@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared scaffolding for the figure-reproduction benches.
+ *
+ * Every bench prints: a banner naming the paper artifact it
+ * regenerates, the modeled-SSD description (Table I at simulation
+ * scale), the measured series as an ASCII table, and a "paper shape"
+ * note stating what qualitative result the series should show.
+ */
+
+#ifndef ZOMBIE_BENCH_COMMON_HH
+#define ZOMBIE_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "util/args.hh"
+#include "util/table.hh"
+
+namespace zombie::bench
+{
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &artifact, const std::string &what)
+{
+    std::printf("%s", sectionBanner(artifact + " - " + what).c_str());
+}
+
+/** Print the expected qualitative result quoted from the paper. */
+inline void
+paperShape(const std::string &note)
+{
+    std::printf("\npaper shape: %s\n", note.c_str());
+}
+
+/** ArgParser preloaded with the options every bench shares. */
+inline ArgParser
+standardArgs(const std::string &description,
+             const std::string &default_requests)
+{
+    ArgParser args(description);
+    args.addOption("requests", default_requests,
+                   "requests per generated trace");
+    args.addOption("seed", "42", "trace generator seed");
+    args.addOption("pool-frac", "0.02",
+                   "dead-value pool entries as a fraction of the "
+                   "trace length (0.02 ~ the paper's 200K entries "
+                   "at day-trace scale)");
+    args.addOption("csv", "", "also write the series to this CSV file");
+    return args;
+}
+
+} // namespace zombie::bench
+
+#endif // ZOMBIE_BENCH_COMMON_HH

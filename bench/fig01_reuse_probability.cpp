@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 1: probability of reusing garbage pages to service incoming
+ * writes, with an infinite buffer, for the nine FIU day-traces
+ * (m1..m3, h1..h3, w1..w3) — with and without deduplication.
+ */
+
+#include <cstdio>
+
+#include "analysis/lifecycle.hh"
+#include "bench_common.hh"
+#include "trace/generator.hh"
+
+using namespace zombie;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args = bench::standardArgs(
+        "Figure 1: garbage-page reuse probability (infinite buffer)",
+        "200000");
+    args.parse(argc, argv);
+    const std::uint64_t requests = args.getUint("requests");
+    const std::uint64_t seed = args.getUint("seed");
+
+    bench::banner("Figure 1",
+                  "P(incoming write reusable from garbage pool)");
+
+    TextTable table({"trace", "writes", "reusable", "P(reuse)",
+                     "P(reuse) after dedup"});
+    for (const DayTrace &day : fiuDayTraces(requests, seed)) {
+        SyntheticTraceGenerator gen(day.profile);
+        LifecycleTracker tracker;
+        TraceRecord rec;
+        while (gen.next(rec))
+            tracker.observe(rec);
+        const LifecycleSummary s = tracker.summary();
+        table.addRow({day.label, std::to_string(s.writes),
+                      std::to_string(s.reusableWrites),
+                      TextTable::pct(s.reuseProbability()),
+                      TextTable::pct(s.reuseProbabilityAfterDedup())});
+    }
+    std::printf("%s", table.render().c_str());
+
+    bench::paperShape(
+        "mail days show the highest reuse probability (up to ~86% in "
+        "the paper), web/home lower; the opportunity shrinks but does "
+        "not vanish after deduplication.");
+    return 0;
+}

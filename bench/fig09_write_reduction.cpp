@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 9: reduction in the number of flash writes achieved by the
+ * MQ dead-value pool, for pool sizes equivalent to the paper's
+ * 100K/200K/300K entries, plus the infinite-pool Ideal, normalized
+ * to the Baseline — across all six workloads.
+ */
+
+#include <cstdio>
+
+#include "sim_bench.hh"
+
+using namespace zombie;
+using namespace zombie::bench;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args = standardArgs(
+        "Figure 9: write reduction vs dead-value pool size", "250000");
+    args.parse(argc, argv);
+    const std::uint64_t requests = args.getUint("requests");
+
+    banner("Figure 9", "reduction in the number of writes");
+
+    ExperimentOptions base;
+    base.requests = requests;
+    base.seed = args.getUint("seed");
+
+    const double mid = args.getDouble("pool-frac");
+    const std::vector<std::pair<std::string, double>> pools = {
+        {"100K-eq", mid / 2.0},
+        {"200K-eq", mid},
+        {"300K-eq", mid * 1.5},
+    };
+    std::vector<std::string> labels;
+    for (const auto &[label, frac] : pools)
+        labels.push_back(label);
+    labels.push_back("ideal");
+
+    const auto rows = runAcrossWorkloads(
+        labels,
+        [&](const std::string &label, ExperimentOptions &opts) {
+            if (label == "ideal")
+                return SystemKind::Ideal;
+            for (const auto &[name, frac] : pools) {
+                if (name == label)
+                    opts.poolCapacity = scaledPool(requests, frac);
+            }
+            return SystemKind::MqDvp;
+        },
+        base);
+    maybeWriteCsv(args, rows);
+
+    TextTable table({"workload", "baseline writes", "100K-eq",
+                     "200K-eq", "300K-eq", "ideal"});
+    std::vector<double> mid_reductions;
+    for (const auto &row : rows) {
+        std::vector<std::string> cells{
+            toString(row.workload),
+            std::to_string(row.baseline.flashPrograms)};
+        for (const std::string &label : labels) {
+            const double red =
+                writeReduction(row.systems.at(label), row.baseline);
+            cells.push_back("-" + TextTable::pct(red));
+            if (label == "200K-eq")
+                mid_reductions.push_back(red);
+        }
+        table.addRow(std::move(cells));
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nmean write reduction at the 200K-equivalent pool: "
+                "%s (paper: 29%% mean, up to 70%% on mail)\n",
+                TextTable::pct(meanOf(mid_reductions)).c_str());
+
+    paperShape(
+        "write-intensive, redundant traces (mail, web, home) benefit "
+        "most; desktop/trans least. Gains grow from the 100K- to the "
+        "200K-equivalent pool and flatten beyond it, approaching the "
+        "ideal infinite pool.");
+    return 0;
+}

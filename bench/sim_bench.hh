@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared runner for the full-simulation benches (Figures 9-12/14/15).
+ *
+ * Pool sizes: the paper sweeps 100K-300K entries against day-long
+ * traces of millions of requests. At bench scale the pool is sized
+ * as a fraction of the trace length so the same capacity-pressure
+ * regime is reproduced; --pool-frac adjusts it.
+ */
+
+#ifndef ZOMBIE_BENCH_SIM_BENCH_HH
+#define ZOMBIE_BENCH_SIM_BENCH_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/experiment.hh"
+#include "util/csv.hh"
+
+namespace zombie::bench
+{
+
+/** Paper-equivalent pool size: fraction of the trace length. */
+inline std::uint64_t
+scaledPool(std::uint64_t requests, double frac)
+{
+    return std::max<std::uint64_t>(
+        256,
+        static_cast<std::uint64_t>(frac *
+                                   static_cast<double>(requests)));
+}
+
+/** The fraction standing in for the paper's 200K-entry default. */
+inline constexpr double kDefaultPoolFrac = 0.02;
+
+/** Results for one workload across several systems. */
+struct WorkloadRow
+{
+    Workload workload;
+    SimResult baseline;
+    std::map<std::string, SimResult> systems;
+};
+
+/**
+ * Run @p variants (label -> (system, options tweak)) over all six
+ * workloads, printing progress to stderr.
+ */
+template <typename ConfigureFn>
+std::vector<WorkloadRow>
+runAcrossWorkloads(const std::vector<std::string> &labels,
+                   ConfigureFn &&configure,
+                   const ExperimentOptions &base_opts)
+{
+    std::vector<WorkloadRow> rows;
+    for (const Workload w : allWorkloads()) {
+        WorkloadRow row;
+        row.workload = w;
+        std::fprintf(stderr, "  running %-8s baseline...\n",
+                     toString(w).c_str());
+        row.baseline =
+            runSystem(w, SystemKind::Baseline, base_opts);
+        for (const std::string &label : labels) {
+            ExperimentOptions opts = base_opts;
+            const SystemKind kind = configure(label, opts);
+            std::fprintf(stderr, "  running %-8s %s...\n",
+                         toString(w).c_str(), label.c_str());
+            row.systems.emplace(label, runSystem(w, kind, opts));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+/**
+ * Optional CSV export: when --csv was given, write one row per
+ * workload x system with the core metrics, for plotting.
+ */
+inline void
+maybeWriteCsv(const ArgParser &args,
+              const std::vector<WorkloadRow> &rows)
+{
+    const std::string path = args.getString("csv");
+    if (path.empty())
+        return;
+    CsvWriter csv(path,
+                  {"workload", "system", "flash_programs",
+                   "flash_erases", "mean_latency_us", "p99_latency_us",
+                   "dvp_revivals", "dedup_hits"});
+    auto emit = [&csv](Workload w, const SimResult &r) {
+        csv.addRow({toString(w), r.system,
+                    std::to_string(r.flashPrograms),
+                    std::to_string(r.flashErases),
+                    std::to_string(r.allLatency.mean() / 1e3),
+                    std::to_string(
+                        static_cast<double>(
+                            r.allLatency.percentile(0.99)) / 1e3),
+                    std::to_string(r.dvpRevivals),
+                    std::to_string(r.dedupHits)});
+    };
+    for (const auto &row : rows) {
+        emit(row.workload, row.baseline);
+        for (const auto &[label, result] : row.systems)
+            emit(row.workload, result);
+    }
+    std::printf("\nwrote CSV to %s\n", path.c_str());
+}
+
+/** Mean of a column of improvement fractions. */
+inline double
+meanOf(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+} // namespace zombie::bench
+
+#endif // ZOMBIE_BENCH_SIM_BENCH_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Replay any trace — a file produced by trace_workbench (or an
+ * external tool emitting the same format) or a generated preset —
+ * through a chosen system and print the full result statistics.
+ *
+ * Examples:
+ *   ./simulate_trace --workload web --system dvp+dedup
+ *   ./simulate_trace --trace /tmp/mail.trc --system ideal
+ */
+
+#include <cstdio>
+
+#include "sim/ssd.hh"
+#include "trace/generator.hh"
+#include "trace/io.hh"
+#include "trace/summary.hh"
+#include "util/args.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace zombie;
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("Replay a content trace on a simulated SSD");
+    args.addOption("trace", "", "trace file to replay (overrides "
+                                "--workload)");
+    args.addOption("workload", "mail", "preset workload to generate");
+    args.addOption("requests", "100000", "generated trace length");
+    args.addOption("seed", "42", "generator seed");
+    args.addOption("system", "dvp",
+                   "baseline|dvp|lru|lx|dedup|dvp+dedup|ideal");
+    args.addOption("pool", "5000", "dead-value pool entries");
+    args.addOption("op", "0.15", "over-provisioning fraction");
+    args.parse(argc, argv);
+
+    const SystemKind system =
+        systemKindFromString(args.getString("system"));
+
+    std::vector<TraceRecord> records;
+    std::string label;
+    if (const std::string path = args.getString("trace");
+        !path.empty()) {
+        records = TraceReader(path).readAll();
+        label = path;
+    } else {
+        const WorkloadProfile profile = WorkloadProfile::preset(
+            workloadFromString(args.getString("workload")), 1,
+            args.getUint("requests"), args.getUint("seed"));
+        records = SyntheticTraceGenerator(profile).generateAll();
+        label = profile.name;
+    }
+    if (records.empty())
+        zombie_fatal("trace is empty");
+
+    // Size the drive from the trace's address footprint.
+    const TraceSummary summary = summarizeTrace(records);
+    Lpn max_lpn = 0;
+    for (const auto &rec : records)
+        max_lpn = std::max(max_lpn, rec.lpn);
+
+    SsdConfig cfg = SsdConfig::forFootprint(max_lpn + 1, system,
+                                            args.getDouble("op"));
+    cfg.mq.capacity = args.getUint("pool");
+
+    std::printf("%s", sectionBanner("replaying " + label + " on " +
+                                    toString(system)).c_str());
+    std::printf("%s\n", cfg.describe().c_str());
+    std::printf("trace: %llu requests, WR %s, unique write values "
+                "%s\n\n",
+                static_cast<unsigned long long>(summary.total()),
+                TextTable::pct(summary.writeRatio()).c_str(),
+                TextTable::pct(summary.uniqueWriteValueFraction())
+                    .c_str());
+
+    Ssd ssd(cfg);
+    ssd.run(records);
+    std::printf("%s", ssd.result().toStatSet().format().c_str());
+    return 0;
+}

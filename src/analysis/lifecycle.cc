@@ -1,0 +1,140 @@
+#include "analysis/lifecycle.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+void
+LifecycleTracker::observe(const TraceRecord &rec)
+{
+    if (!rec.isWrite())
+        return;
+
+    ++clock;
+    ++agg.writes;
+
+    // 1. The content previously stored at this LPN dies (copy-level).
+    auto old = lpnContent.find(rec.lpn);
+    if (old != lpnContent.end()) {
+        ValueLifecycle &o = table[old->second];
+        zombie_assert(o.liveCopies > 0, "copy accounting underflow");
+        --o.liveCopies;
+        ++o.deadCopies;
+        ++o.invalidations;
+        if (o.liveCopies == 0) {
+            // Value-level death: its last live copy is gone.
+            ++o.deaths;
+            ++agg.totalDeaths;
+            o.sumCreationToDeath += clock - o.lastAliveAt;
+            o.lastDeathAt = clock;
+        }
+    }
+
+    // 2. Classify the incoming write against the value's state.
+    ValueLifecycle &v = table[rec.fp];
+    const bool has_live = v.liveCopies > 0;
+    const bool has_dead = v.deadCopies > 0;
+    const bool seen_before = v.writes > 0;
+
+    if (has_dead) {
+        ++agg.reusableWrites;
+        ++v.reuses;
+    }
+    if (has_live) {
+        ++agg.dedupRemovedWrites;
+    } else if (has_dead) {
+        ++agg.reusableWritesAfterDedup;
+    }
+
+    if (seen_before && !has_live) {
+        // Rebirth: rewritten after death (section II-B1).
+        ++v.rebirths;
+        ++agg.totalRebirths;
+        v.sumDeathToRebirth += clock - v.lastDeathAt;
+    }
+    if (!has_live)
+        v.lastAliveAt = clock;
+
+    ++v.writes;
+    if (has_dead)
+        --v.deadCopies; // infinite garbage pool revives a dead copy
+    ++v.liveCopies;
+
+    lpnContent[rec.lpn] = rec.fp;
+}
+
+void
+LifecycleTracker::observeAll(const std::vector<TraceRecord> &records)
+{
+    for (const auto &rec : records)
+        observe(rec);
+}
+
+LifecycleSummary
+LifecycleTracker::summary() const
+{
+    LifecycleSummary s = agg;
+    s.uniqueValues = table.size();
+    s.liveValues = 0;
+    for (const auto &[fp, v] : table) {
+        if (v.isLive())
+            ++s.liveValues;
+    }
+    return s;
+}
+
+std::vector<ValueLifecycle>
+LifecycleTracker::valuesByPopularity() const
+{
+    std::vector<ValueLifecycle> rows;
+    rows.reserve(table.size());
+    for (const auto &[fp, v] : table)
+        rows.push_back(v);
+    std::sort(rows.begin(), rows.end(),
+              [](const ValueLifecycle &a, const ValueLifecycle &b) {
+                  return a.writes > b.writes;
+              });
+    return rows;
+}
+
+std::vector<ShareCurvePoint>
+buildShareCurve(std::vector<std::uint64_t> weights,
+                std::size_t max_points)
+{
+    std::vector<ShareCurvePoint> curve;
+    if (weights.empty() || max_points < 2)
+        return curve;
+
+    std::sort(weights.begin(), weights.end(),
+              std::greater<std::uint64_t>());
+    double total = 0.0;
+    for (const std::uint64_t w : weights)
+        total += static_cast<double>(w);
+    if (total == 0.0)
+        return curve;
+
+    const std::size_t n = weights.size();
+    std::vector<double> cumulative(n);
+    double run = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        run += static_cast<double>(weights[i]);
+        cumulative[i] = run / total;
+    }
+
+    curve.reserve(max_points);
+    for (std::size_t k = 1; k <= max_points; ++k) {
+        const std::size_t idx =
+            std::min(n - 1, k * n / max_points == 0
+                                ? std::size_t{0}
+                                : k * n / max_points - 1);
+        curve.push_back({static_cast<double>(idx + 1) /
+                             static_cast<double>(n),
+                         cumulative[idx]});
+    }
+    return curve;
+}
+
+} // namespace zombie

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Value life-cycle characterization (paper section II).
+ *
+ * The paper extends a value's life-cycle to three stages: creation
+ * (first write), death (its last live copy is invalidated), and
+ * rebirth (it is rewritten after death). LifecycleTracker replays a
+ * trace's writes at the content level — no SSD model, exactly like
+ * the paper's section II methodology ("done by analyzing the traces")
+ * — and records, per unique value:
+ *
+ *   - writes, copy-level invalidations, value-level deaths, rebirths,
+ *   - the number of intervening writes from (re)creation to death and
+ *     from death to rebirth (the paper's time metric in Figure 4),
+ *   - whether each incoming write could have been serviced from the
+ *     garbage pool (Figure 1's infinite-buffer reuse probability).
+ */
+
+#ifndef ZOMBIE_ANALYSIS_LIFECYCLE_HH
+#define ZOMBIE_ANALYSIS_LIFECYCLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/fingerprint.hh"
+#include "trace/record.hh"
+
+namespace zombie
+{
+
+/** Per-unique-value life-cycle counters. */
+struct ValueLifecycle
+{
+    std::uint64_t writes = 0;
+    std::uint64_t invalidations = 0; //!< copy-level deaths
+    std::uint64_t deaths = 0;        //!< value-level deaths
+    std::uint64_t rebirths = 0;      //!< writes arriving while dead
+
+    /**
+     * Copy-level rebirths: writes arriving while at least one dead
+     * copy existed (each reusable from the garbage pool, Figure 1).
+     */
+    std::uint64_t reuses = 0;
+
+    std::uint64_t liveCopies = 0;
+    std::uint64_t deadCopies = 0;
+
+    /** Write-count distances for the Figure 4 time metrics. */
+    std::uint64_t sumCreationToDeath = 0;
+    std::uint64_t sumDeathToRebirth = 0;
+
+    /** Write index when the value most recently became live / died. */
+    std::uint64_t lastAliveAt = 0;
+    std::uint64_t lastDeathAt = 0;
+
+    bool isLive() const { return liveCopies > 0; }
+};
+
+/** Aggregate results of a life-cycle replay. */
+struct LifecycleSummary
+{
+    std::uint64_t writes = 0;
+    std::uint64_t uniqueValues = 0;
+    std::uint64_t liveValues = 0;  //!< still live at end of trace
+    std::uint64_t totalDeaths = 0;
+    std::uint64_t totalRebirths = 0;
+
+    /** Writes servable from the garbage pool, infinite buffer. */
+    std::uint64_t reusableWrites = 0;
+
+    /** Same, assuming in-line dedup removed live-duplicate writes. */
+    std::uint64_t reusableWritesAfterDedup = 0;
+    std::uint64_t dedupRemovedWrites = 0;
+
+    double
+    reuseProbability() const
+    {
+        return writes ? static_cast<double>(reusableWrites) /
+                            static_cast<double>(writes)
+                      : 0.0;
+    }
+
+    double
+    reuseProbabilityAfterDedup() const
+    {
+        return writes ? static_cast<double>(reusableWritesAfterDedup) /
+                            static_cast<double>(writes)
+                      : 0.0;
+    }
+};
+
+/** Content-level trace replay (writes only; reads are ignored). */
+class LifecycleTracker
+{
+  public:
+    /** Feed one record (reads are counted but otherwise ignored). */
+    void observe(const TraceRecord &rec);
+
+    /** Feed a whole trace. */
+    void observeAll(const std::vector<TraceRecord> &records);
+
+    LifecycleSummary summary() const;
+
+    const std::unordered_map<Fingerprint, ValueLifecycle,
+                             FingerprintHash> &
+    values() const
+    {
+        return table;
+    }
+
+    /**
+     * Per-value rows sorted by write count descending — the x-axis
+     * order of Figure 3.
+     */
+    std::vector<ValueLifecycle> valuesByPopularity() const;
+
+    std::uint64_t writeClock() const { return clock; }
+
+  private:
+    std::unordered_map<Fingerprint, ValueLifecycle, FingerprintHash>
+        table;
+    std::unordered_map<Lpn, Fingerprint> lpnContent;
+    LifecycleSummary agg;
+    std::uint64_t clock = 0; //!< write counter (the time metric)
+};
+
+/**
+ * Lorenz-style cumulative share curve: for the top fraction x of
+ * items (sorted descending by weight), the fraction of total weight
+ * they hold. Used for the Figure 3 CDFs.
+ */
+struct ShareCurvePoint
+{
+    double itemFraction;
+    double weightFraction;
+};
+
+std::vector<ShareCurvePoint>
+buildShareCurve(std::vector<std::uint64_t> weights,
+                std::size_t max_points = 20);
+
+} // namespace zombie
+
+#endif // ZOMBIE_ANALYSIS_LIFECYCLE_HH

@@ -1,0 +1,95 @@
+#include "dedup/fingerprint_store.hh"
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+std::optional<Ppn>
+FingerprintStore::lookup(const Fingerprint &fp)
+{
+    ++dstats.lookups;
+    auto it = byFp.find(fp);
+    if (it == byFp.end())
+        return std::nullopt;
+    return it->second.ppn;
+}
+
+void
+FingerprintStore::registerPage(const Fingerprint &fp, Ppn ppn)
+{
+    zombie_assert(!byFp.count(fp),
+                  "fingerprint already live: ", fp.hex());
+    zombie_assert(!byPpn.count(ppn), "PPN already indexed: ", ppn);
+    byFp[fp] = Record{ppn, 1, 1};
+    byPpn[ppn] = fp;
+    ++dstats.registered;
+}
+
+std::uint8_t
+FingerprintStore::addReference(const Fingerprint &fp)
+{
+    auto it = byFp.find(fp);
+    zombie_assert(it != byFp.end(), "addReference to unknown content");
+    ++it->second.refs;
+    it->second.pop = it->second.pop == 255
+                         ? it->second.pop
+                         : static_cast<std::uint8_t>(it->second.pop + 1);
+    ++dstats.hits;
+    return it->second.pop;
+}
+
+std::uint32_t
+FingerprintStore::releaseReference(Ppn ppn)
+{
+    auto pit = byPpn.find(ppn);
+    zombie_assert(pit != byPpn.end(),
+                  "releaseReference on untracked PPN ", ppn);
+    auto fit = byFp.find(pit->second);
+    zombie_assert(fit != byFp.end(), "fingerprint store desync");
+    zombie_assert(fit->second.refs > 0, "refcount underflow");
+
+    const std::uint32_t remaining = --fit->second.refs;
+    if (remaining == 0) {
+        byFp.erase(fit);
+        byPpn.erase(pit);
+        ++dstats.lastRefDrops;
+    }
+    return remaining;
+}
+
+void
+FingerprintStore::relocate(Ppn from, Ppn to)
+{
+    auto pit = byPpn.find(from);
+    zombie_assert(pit != byPpn.end(), "relocate of untracked PPN ", from);
+    const Fingerprint fp = pit->second;
+    byPpn.erase(pit);
+    zombie_assert(!byPpn.count(to), "relocate target already indexed");
+    byPpn[to] = fp;
+    byFp[fp].ppn = to;
+}
+
+std::uint32_t
+FingerprintStore::refCount(Ppn ppn) const
+{
+    auto pit = byPpn.find(ppn);
+    if (pit == byPpn.end())
+        return 0;
+    return byFp.at(pit->second).refs;
+}
+
+std::uint8_t
+FingerprintStore::popularity(const Fingerprint &fp) const
+{
+    auto it = byFp.find(fp);
+    return it == byFp.end() ? 0 : it->second.pop;
+}
+
+bool
+FingerprintStore::contains(const Fingerprint &fp) const
+{
+    return byFp.count(fp) > 0;
+}
+
+} // namespace zombie

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Refcounted fingerprint store for in-line deduplication.
+ *
+ * Implements the CAFTL/value-locality style device-level dedup the
+ * paper uses as its Dedup baseline (references [4], [5]): a live
+ * physical page is indexed by its content hash; a write whose hash is
+ * already live maps the LPN onto the existing PPN (many-to-one) and
+ * bumps a reference count. A physical page becomes garbage only when
+ * its last reference is dropped (paper section VII).
+ */
+
+#ifndef ZOMBIE_DEDUP_FINGERPRINT_STORE_HH
+#define ZOMBIE_DEDUP_FINGERPRINT_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/fingerprint.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Dedup bookkeeping counters. */
+struct DedupStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0; //!< writes absorbed by an existing page
+    std::uint64_t registered = 0;
+    std::uint64_t lastRefDrops = 0; //!< pages that became garbage
+
+    double
+    hitRate() const
+    {
+        return lookups ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
+};
+
+/** Live-content index: fingerprint -> (PPN, refcount, popularity). */
+class FingerprintStore
+{
+  public:
+    /**
+     * Look up live content; counts a dedup lookup. @return the PPN
+     * holding this content, or nullopt.
+     */
+    std::optional<Ppn> lookup(const Fingerprint &fp);
+
+    /** Register newly programmed (or revived) content with ref 1. */
+    void registerPage(const Fingerprint &fp, Ppn ppn);
+
+    /**
+     * A further LPN now references this live content; counts a dedup
+     * hit. @return the popularity degree after the bump.
+     */
+    std::uint8_t addReference(const Fingerprint &fp);
+
+    /**
+     * An LPN stopped referencing the content at @p ppn.
+     * @return remaining references; 0 means the physical page just
+     * became garbage (and is dropped from the store).
+     */
+    std::uint32_t releaseReference(Ppn ppn);
+
+    /** GC moved live content from @p from to @p to. */
+    void relocate(Ppn from, Ppn to);
+
+    /** Current references to the content at @p ppn (0 if untracked). */
+    std::uint32_t refCount(Ppn ppn) const;
+
+    /** Write-popularity degree of live content (0 if untracked). */
+    std::uint8_t popularity(const Fingerprint &fp) const;
+
+    bool contains(const Fingerprint &fp) const;
+    std::uint64_t size() const { return byFp.size(); }
+    const DedupStats &stats() const { return dstats; }
+
+  private:
+    struct Record
+    {
+        Ppn ppn;
+        std::uint32_t refs;
+        std::uint8_t pop;
+    };
+
+    std::unordered_map<Fingerprint, Record, FingerprintHash> byFp;
+    std::unordered_map<Ppn, Fingerprint> byPpn;
+    DedupStats dstats;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_DEDUP_FINGERPRINT_STORE_HH

@@ -1,0 +1,161 @@
+#include "dvp/lru_dvp.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+LruDvp::LruDvp(std::uint64_t entry_capacity) : cap(entry_capacity)
+{
+    if (cap == 0)
+        zombie_fatal("LRU-DVP capacity must be > 0");
+}
+
+void
+LruDvp::removeEntry(LruList::iterator it)
+{
+    for (Ppn ppn : it->ppns)
+        ppnIndex.erase(ppn);
+    index.erase(it->fp);
+    lru.erase(it);
+}
+
+void
+LruDvp::evictOne()
+{
+    zombie_assert(!lru.empty(), "eviction from empty LRU pool");
+    ++dstats.capacityEvictions;
+    removeEntry(lru.begin());
+}
+
+DvpLookupResult
+LruDvp::lookupForWrite(const Fingerprint &fp, Lpn)
+{
+    ++dstats.lookups;
+    auto it = index.find(fp);
+    if (it == index.end())
+        return DvpLookupResult{};
+
+    auto entry = it->second;
+    zombie_assert(!entry->ppns.empty(), "LRU entry without PPNs");
+    const Ppn ppn = entry->ppns.back();
+    entry->ppns.pop_back();
+    ppnIndex.erase(ppn);
+    entry->pop = saturatingIncrement(entry->pop);
+    const std::uint8_t pop_after = entry->pop;
+    ++dstats.hits;
+
+    if (entry->ppns.empty()) {
+        removeEntry(entry);
+    } else {
+        // Recency refresh: move to the MRU end.
+        lru.splice(lru.end(), lru, entry);
+    }
+
+    DvpLookupResult result;
+    result.hit = true;
+    result.ppn = ppn;
+    result.popularity = pop_after;
+    return result;
+}
+
+void
+LruDvp::insertGarbage(const Fingerprint &fp, Lpn, Ppn ppn,
+                      std::uint8_t pop)
+{
+    ++dstats.insertions;
+    auto it = index.find(fp);
+    if (it != index.end()) {
+        auto entry = it->second;
+        entry->ppns.push_back(ppn);
+        entry->pop = std::max(entry->pop, pop);
+        ppnIndex[ppn] = entry;
+        lru.splice(lru.end(), lru, entry);
+        ++dstats.mergedInsertions;
+        return;
+    }
+
+    if (index.size() >= cap)
+        evictOne();
+
+    lru.push_back(Entry{fp, {ppn}, pop});
+    auto entry = std::prev(lru.end());
+    index[fp] = entry;
+    ppnIndex[ppn] = entry;
+}
+
+void
+LruDvp::onErase(Ppn ppn)
+{
+    auto it = ppnIndex.find(ppn);
+    if (it == ppnIndex.end())
+        return;
+    auto entry = it->second;
+    auto pos = std::find(entry->ppns.begin(), entry->ppns.end(), ppn);
+    zombie_assert(pos != entry->ppns.end(), "LRU ppn index out of sync");
+    entry->ppns.erase(pos);
+    ppnIndex.erase(it);
+    ++dstats.gcEvictions;
+    if (entry->ppns.empty())
+        removeEntry(entry);
+}
+
+DvpLookupResult
+InfiniteDvp::lookupForWrite(const Fingerprint &fp, Lpn)
+{
+    ++dstats.lookups;
+    auto it = index.find(fp);
+    if (it == index.end())
+        return DvpLookupResult{};
+
+    Entry &entry = it->second;
+    zombie_assert(!entry.ppns.empty(), "infinite entry without PPNs");
+    const Ppn ppn = entry.ppns.back();
+    entry.ppns.pop_back();
+    ppnIndex.erase(ppn);
+    entry.pop = saturatingIncrement(entry.pop);
+    ++dstats.hits;
+
+    DvpLookupResult result;
+    result.hit = true;
+    result.ppn = ppn;
+    result.popularity = entry.pop;
+    if (entry.ppns.empty())
+        index.erase(it);
+    return result;
+}
+
+void
+InfiniteDvp::insertGarbage(const Fingerprint &fp, Lpn, Ppn ppn,
+                           std::uint8_t pop)
+{
+    ++dstats.insertions;
+    Entry &entry = index[fp];
+    if (!entry.ppns.empty())
+        ++dstats.mergedInsertions;
+    entry.ppns.push_back(ppn);
+    entry.pop = std::max(entry.pop, pop);
+    ppnIndex[ppn] = fp;
+}
+
+void
+InfiniteDvp::onErase(Ppn ppn)
+{
+    auto it = ppnIndex.find(ppn);
+    if (it == ppnIndex.end())
+        return;
+    auto entry_it = index.find(it->second);
+    zombie_assert(entry_it != index.end(), "infinite ppn index desync");
+    auto &ppns = entry_it->second.ppns;
+    auto pos = std::find(ppns.begin(), ppns.end(), ppn);
+    zombie_assert(pos != ppns.end(), "infinite ppn list desync");
+    ppns.erase(pos);
+    ppnIndex.erase(it);
+    ++dstats.gcEvictions;
+    if (ppns.empty())
+        index.erase(entry_it);
+}
+
+} // namespace zombie

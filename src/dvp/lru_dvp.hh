@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Single-queue LRU dead-value pool: the strawman of Figures 5 and 6.
+ *
+ * Content-keyed like MqDvp but with pure recency replacement — the
+ * paper shows it already removes most writes yet loses popular values
+ * under capacity pressure (Fig 6), which motivates MQ.
+ */
+
+#ifndef ZOMBIE_DVP_LRU_DVP_HH
+#define ZOMBIE_DVP_LRU_DVP_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "dvp/dead_value_pool.hh"
+
+namespace zombie
+{
+
+/** Content-keyed LRU pool. */
+class LruDvp : public DeadValuePool
+{
+  public:
+    /** @param entry_capacity maximum resident entries (> 0). */
+    explicit LruDvp(std::uint64_t entry_capacity);
+
+    std::string name() const override { return "lru"; }
+
+    DvpLookupResult lookupForWrite(const Fingerprint &fp,
+                                   Lpn lpn) override;
+    void insertGarbage(const Fingerprint &fp, Lpn lpn, Ppn ppn,
+                       std::uint8_t pop) override;
+    void onErase(Ppn ppn) override;
+
+    std::uint64_t size() const override { return index.size(); }
+    std::uint64_t capacity() const override { return cap; }
+    const DvpStats &stats() const override { return dstats; }
+
+  private:
+    struct Entry
+    {
+        Fingerprint fp;
+        std::vector<Ppn> ppns;
+        std::uint8_t pop = 0;
+    };
+
+    using LruList = std::list<Entry>;
+
+    void removeEntry(LruList::iterator it);
+    void evictOne();
+
+    std::uint64_t cap;
+    LruList lru; //!< front = LRU victim, back = most recent
+    std::unordered_map<Fingerprint, LruList::iterator, FingerprintHash>
+        index;
+    std::unordered_map<Ppn, LruList::iterator> ppnIndex;
+    DvpStats dstats;
+};
+
+/** Unbounded pool: the paper's "Ideal" comparison system. */
+class InfiniteDvp : public DeadValuePool
+{
+  public:
+    InfiniteDvp() = default;
+
+    std::string name() const override { return "infinite"; }
+
+    DvpLookupResult lookupForWrite(const Fingerprint &fp,
+                                   Lpn lpn) override;
+    void insertGarbage(const Fingerprint &fp, Lpn lpn, Ppn ppn,
+                       std::uint8_t pop) override;
+    void onErase(Ppn ppn) override;
+
+    std::uint64_t size() const override { return index.size(); }
+    std::uint64_t capacity() const override { return 0; }
+    const DvpStats &stats() const override { return dstats; }
+
+  private:
+    struct Entry
+    {
+        std::vector<Ppn> ppns;
+        std::uint8_t pop = 0;
+    };
+
+    std::unordered_map<Fingerprint, Entry, FingerprintHash> index;
+    std::unordered_map<Ppn, Fingerprint> ppnIndex;
+    DvpStats dstats;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_DVP_LRU_DVP_HH

@@ -1,0 +1,96 @@
+#include "dvp/lx_dvp.hh"
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+LxDvp::LxDvp(std::uint64_t entry_capacity) : cap(entry_capacity)
+{
+    if (cap == 0)
+        zombie_fatal("LX-DVP capacity must be > 0");
+}
+
+void
+LxDvp::removeEntry(LruList::iterator it)
+{
+    ppnIndex.erase(it->ppn);
+    index.erase(it->lpn);
+    lru.erase(it);
+}
+
+DvpLookupResult
+LxDvp::lookupForWrite(const Fingerprint &fp, Lpn lpn)
+{
+    ++dstats.lookups;
+    auto it = index.find(lpn);
+    if (it == index.end())
+        return DvpLookupResult{};
+
+    auto entry = it->second;
+    if (entry->fp != fp) {
+        // Same address, different content: no recycling possible, but
+        // the address was touched so its recency refreshes.
+        lru.splice(lru.end(), lru, entry);
+        return DvpLookupResult{};
+    }
+
+    ++dstats.hits;
+    DvpLookupResult result;
+    result.hit = true;
+    result.ppn = entry->ppn;
+    result.popularity = saturatingIncrement(entry->pop);
+    removeEntry(entry);
+    return result;
+}
+
+void
+LxDvp::insertGarbage(const Fingerprint &fp, Lpn lpn, Ppn ppn,
+                     std::uint8_t pop)
+{
+    ++dstats.insertions;
+    auto it = index.find(lpn);
+    if (it != index.end()) {
+        // The address died again; only its newest dead content is
+        // remembered (single slot per LBA).
+        auto entry = it->second;
+        ppnIndex.erase(entry->ppn);
+        entry->fp = fp;
+        entry->ppn = ppn;
+        entry->pop = std::max(entry->pop, pop);
+        ppnIndex[ppn] = entry;
+        lru.splice(lru.end(), lru, entry);
+        ++dstats.mergedInsertions;
+        return;
+    }
+
+    if (index.size() >= cap) {
+        ++dstats.capacityEvictions;
+        removeEntry(lru.begin());
+    }
+
+    lru.push_back(Entry{lpn, fp, ppn, pop});
+    auto entry = std::prev(lru.end());
+    index[lpn] = entry;
+    ppnIndex[ppn] = entry;
+}
+
+void
+LxDvp::onErase(Ppn ppn)
+{
+    auto it = ppnIndex.find(ppn);
+    if (it == ppnIndex.end())
+        return;
+    ++dstats.gcEvictions;
+    removeEntry(it->second);
+}
+
+void
+LxDvp::touchOnRead(Lpn lpn)
+{
+    auto it = index.find(lpn);
+    if (it != index.end())
+        lru.splice(lru.end(), lru, it->second);
+}
+
+} // namespace zombie

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * LX-SSD-style recycling pool (prior work, paper reference [20]).
+ *
+ * Modeled after the paper's description of Zhou et al.'s LX-SSD and
+ * its two inefficiencies (section I):
+ *  (i)  recycling probability is driven by combined read+write
+ *       popularity of the *page address*, not write value popularity;
+ *  (ii) replacement considers only the recency of garbage pages
+ *       associated with each LBA (a single LRU keyed by page address).
+ *
+ * Consequently an entry is keyed by LPN: a write can only be
+ * short-circuited when the same logical page is rewritten with the
+ * content it used to hold. Rebirths of a value at a *different* LPN —
+ * the common case the MQ-DVP exploits — are misses here. Reads refresh
+ * recency (inefficiency (i)): touchOnRead() lets the FTL report read
+ * traffic, keeping read-hot but write-cold addresses resident.
+ */
+
+#ifndef ZOMBIE_DVP_LX_DVP_HH
+#define ZOMBIE_DVP_LX_DVP_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "dvp/dead_value_pool.hh"
+
+namespace zombie
+{
+
+/** LBA-keyed LRU recycling pool. */
+class LxDvp : public DeadValuePool
+{
+  public:
+    explicit LxDvp(std::uint64_t entry_capacity);
+
+    std::string name() const override { return "lx"; }
+
+    DvpLookupResult lookupForWrite(const Fingerprint &fp,
+                                   Lpn lpn) override;
+    void insertGarbage(const Fingerprint &fp, Lpn lpn, Ppn ppn,
+                       std::uint8_t pop) override;
+    void onErase(Ppn ppn) override;
+
+    /** Reads refresh the LBA's recency (read+write conflation). */
+    void touchOnRead(Lpn lpn);
+
+    void onHostRead(Lpn lpn) override { touchOnRead(lpn); }
+
+    std::uint64_t size() const override { return index.size(); }
+    std::uint64_t capacity() const override { return cap; }
+    const DvpStats &stats() const override { return dstats; }
+
+  private:
+    struct Entry
+    {
+        Lpn lpn;
+        Fingerprint fp;
+        Ppn ppn;
+        std::uint8_t pop = 0;
+    };
+
+    using LruList = std::list<Entry>;
+
+    void removeEntry(LruList::iterator it);
+
+    std::uint64_t cap;
+    LruList lru;
+    std::unordered_map<Lpn, LruList::iterator> index;
+    std::unordered_map<Ppn, LruList::iterator> ppnIndex;
+    DvpStats dstats;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_DVP_LX_DVP_HH

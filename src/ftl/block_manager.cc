@@ -1,0 +1,199 @@
+#include "ftl/block_manager.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+BlockManager::BlockManager(FlashArray &array)
+    : flash(array), geom(array.geometry())
+{
+    const std::uint64_t planes = geom.totalPlanes();
+    freeLists.resize(planes);
+    userActive.assign(planes, kNoBlock);
+    hotActive.assign(planes, kNoBlock);
+    gcActive.assign(planes, kNoBlock);
+    gcReserve.assign(planes, kNoBlock);
+
+    if (geom.blocksPerPlane() < 4)
+        zombie_fatal("need at least 4 blocks per plane (user + GC "
+                     "write points, GC reserve, and data)");
+
+    // All blocks start free. Stacks are filled in reverse so the
+    // lowest-numbered block of each plane is allocated first (makes
+    // tests deterministic). The highest-numbered block of each plane
+    // becomes the GC reserve.
+    for (std::uint64_t plane = 0; plane < planes; ++plane) {
+        auto &stack = freeLists[plane];
+        stack.reserve(geom.blocksPerPlane());
+        gcReserve[plane] =
+            plane * geom.blocksPerPlane() + geom.blocksPerPlane() - 1;
+        for (std::uint32_t b = geom.blocksPerPlane() - 1; b-- > 0;)
+            stack.push_back(plane * geom.blocksPerPlane() + b);
+    }
+
+    // Channel-first plane visit order: consecutive host writes land
+    // on different channels, maximizing bus-level parallelism.
+    const std::uint64_t planes_per_channel =
+        planes / geom.channels();
+    planeOrder.reserve(planes);
+    for (std::uint64_t offset = 0; offset < planes_per_channel;
+         ++offset) {
+        for (std::uint32_t ch = 0; ch < geom.channels(); ++ch)
+            planeOrder.push_back(ch * planes_per_channel + offset);
+    }
+}
+
+std::uint64_t
+BlockManager::nextUserPlane()
+{
+    if (!loadProbe) {
+        const std::uint64_t plane = planeOrder[rrCursor];
+        rrCursor = (rrCursor + 1) % planeOrder.size();
+        return plane;
+    }
+
+    // Dynamic allocation: least-busy plane, visiting in round-robin
+    // order so ties keep striping across channels. Planes that are
+    // out of spare blocks are skipped unless every plane is.
+    const std::uint64_t n = planeOrder.size();
+    std::uint64_t best = planeOrder[rrCursor];
+    Tick best_load = kMaxTick;
+    bool best_has_room = false;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t plane = planeOrder[(rrCursor + i) % n];
+        const bool has_room = !freeLists[plane].empty() ||
+                              (userActive[plane] != kNoBlock &&
+                               flash.blockHasRoom(userActive[plane])) ||
+                              (hotActive[plane] != kNoBlock &&
+                               flash.blockHasRoom(hotActive[plane]));
+        if (best_has_room && !has_room)
+            continue;
+        const Tick load = loadProbe(plane);
+        if ((has_room && !best_has_room) || load < best_load) {
+            best = plane;
+            best_load = load;
+            best_has_room = has_room;
+        }
+    }
+    rrCursor = (rrCursor + 1) % n;
+    return best;
+}
+
+void
+BlockManager::setLoadProbe(PlaneLoadProbe probe)
+{
+    loadProbe = std::move(probe);
+}
+
+std::uint64_t
+BlockManager::popFree(std::uint64_t plane, bool for_gc)
+{
+    auto &stack = freeLists[plane];
+    if (!stack.empty()) {
+        const std::uint64_t block = stack.back();
+        stack.pop_back();
+        return block;
+    }
+    // GC may dip into its reserve so collection always progresses.
+    if (for_gc && gcReserve[plane] != kNoBlock) {
+        const std::uint64_t block = gcReserve[plane];
+        gcReserve[plane] = kNoBlock;
+        return block;
+    }
+    zombie_panic("plane ", plane, " ran out of free blocks; "
+                 "GC thresholds failed to keep up");
+}
+
+Ppn
+BlockManager::allocatePage(std::uint64_t plane, Stream stream)
+{
+    auto &active = stream == Stream::Gc
+                       ? gcActive[plane]
+                       : (stream == Stream::UserHot ? hotActive[plane]
+                                                    : userActive[plane]);
+    if (active == kNoBlock || !flash.blockHasRoom(active))
+        active = popFree(plane, stream == Stream::Gc);
+    return flash.programPage(active);
+}
+
+bool
+BlockManager::streamHasRoom(std::uint64_t plane, Stream stream) const
+{
+    const std::uint64_t active =
+        stream == Stream::Gc
+            ? gcActive[plane]
+            : (stream == Stream::UserHot ? hotActive[plane]
+                                         : userActive[plane]);
+    return active != kNoBlock && flash.blockHasRoom(active);
+}
+
+std::uint32_t
+BlockManager::freeBlocks(std::uint64_t plane) const
+{
+    zombie_assert(plane < freeLists.size(), "plane out of bounds");
+    return static_cast<std::uint32_t>(freeLists[plane].size());
+}
+
+std::uint32_t
+BlockManager::minFreeBlocks() const
+{
+    std::uint32_t lo = ~0u;
+    for (const auto &stack : freeLists)
+        lo = std::min<std::uint32_t>(
+            lo, static_cast<std::uint32_t>(stack.size()));
+    return lo;
+}
+
+void
+BlockManager::releaseBlock(std::uint64_t block_index)
+{
+    const std::uint64_t plane = geom.planeOfBlock(block_index);
+    zombie_assert(flash.block(block_index).writePtr == 0,
+                  "releasing a non-erased block ", block_index);
+    if (userActive[plane] == block_index)
+        userActive[plane] = kNoBlock;
+    if (hotActive[plane] == block_index)
+        hotActive[plane] = kNoBlock;
+    if (gcActive[plane] == block_index)
+        gcActive[plane] = kNoBlock;
+    // Refill the GC reserve before feeding the general pool.
+    if (gcReserve[plane] == kNoBlock)
+        gcReserve[plane] = block_index;
+    else
+        freeLists[plane].push_back(block_index);
+}
+
+bool
+BlockManager::isActive(std::uint64_t block_index) const
+{
+    const std::uint64_t plane = geom.planeOfBlock(block_index);
+    return userActive[plane] == block_index ||
+           hotActive[plane] == block_index ||
+           gcActive[plane] == block_index;
+}
+
+std::vector<std::uint64_t>
+BlockManager::victimCandidates(std::uint64_t plane) const
+{
+    std::vector<std::uint64_t> candidates;
+    const std::uint64_t first = plane * geom.blocksPerPlane();
+    for (std::uint32_t b = 0; b < geom.blocksPerPlane(); ++b) {
+        const std::uint64_t block = first + b;
+        if (isActive(block))
+            continue;
+        const BlockInfo &info = flash.block(block);
+        if (info.invalidCount == 0)
+            continue;
+        // Only fully written blocks are collected; partially written
+        // inactive blocks do not exist by construction.
+        if (info.writePtr != geom.pagesPerBlock())
+            continue;
+        candidates.push_back(block);
+    }
+    return candidates;
+}
+
+} // namespace zombie

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Free-block pools and write points.
+ *
+ * Each plane keeps its own free-block stack plus two active blocks:
+ * one for host writes and one for GC relocations (so a victim's valid
+ * pages never interleave with fresh host data). Host writes stripe
+ * across planes channel-first, which is what gives the 8x8 drive its
+ * parallelism (paper Table I / section IV-B).
+ */
+
+#ifndef ZOMBIE_FTL_BLOCK_MANAGER_HH
+#define ZOMBIE_FTL_BLOCK_MANAGER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nand/flash_array.hh"
+#include "nand/geometry.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Write streams: separating them concentrates garbage per block. */
+enum class Stream
+{
+    UserCold, //!< default host-write stream
+    UserHot,  //!< updates of popular LPNs (hot/cold separation)
+    Gc,       //!< GC relocation stream
+};
+
+/** Allocation and free-space accounting on top of FlashArray. */
+class BlockManager
+{
+  public:
+    static constexpr std::uint64_t kNoBlock = ~0ULL;
+
+    explicit BlockManager(FlashArray &array);
+
+    /** Load probe: busy-until tick of the die owning a plane. */
+    using PlaneLoadProbe = std::function<Tick(std::uint64_t plane)>;
+
+    /**
+     * Plane the next host write should land on. Without a probe this
+     * is channel-first round-robin; with one it is dynamic allocation
+     * (SSDSim [13]): the least-busy plane in round-robin order.
+     */
+    std::uint64_t nextUserPlane();
+
+    /** Install/remove the dynamic-allocation probe. */
+    void setLoadProbe(PlaneLoadProbe probe);
+
+    /**
+     * Program one page on @p plane through the given write stream.
+     * Panics if the plane is out of free blocks — the GC
+     * policy/thresholds must prevent that.
+     * @return the programmed PPN.
+     */
+    Ppn allocatePage(std::uint64_t plane, Stream stream);
+
+    /**
+     * Whether a page can be programmed on @p plane through
+     * @p stream without consuming a new free block.
+     */
+    bool streamHasRoom(std::uint64_t plane, Stream stream) const;
+
+    /** Back-compat shorthand: @p for_gc selects the GC stream. */
+    Ppn
+    allocatePage(std::uint64_t plane, bool for_gc)
+    {
+        return allocatePage(plane,
+                            for_gc ? Stream::Gc : Stream::UserCold);
+    }
+
+    /** Blocks currently on @p plane's free stack. */
+    std::uint32_t freeBlocks(std::uint64_t plane) const;
+
+    /** Smallest free-stack depth across all planes. */
+    std::uint32_t minFreeBlocks() const;
+
+    /** Return an erased block to its plane's free stack. */
+    void releaseBlock(std::uint64_t block_index);
+
+    /** True if @p block_index is a write point (never a GC victim). */
+    bool isActive(std::uint64_t block_index) const;
+
+    /** Victim candidates on @p plane: full, inactive, some garbage. */
+    std::vector<std::uint64_t>
+    victimCandidates(std::uint64_t plane) const;
+
+  private:
+    std::uint64_t popFree(std::uint64_t plane, bool for_gc);
+
+    FlashArray &flash;
+    const Geometry &geom;
+    std::vector<std::vector<std::uint64_t>> freeLists; //!< per plane
+    std::vector<std::uint64_t> userActive;             //!< per plane
+    std::vector<std::uint64_t> hotActive;              //!< per plane
+    std::vector<std::uint64_t> gcActive;               //!< per plane
+
+    /**
+     * One block per plane set aside for GC relocation: even with the
+     * free stack empty, a victim's valid pages (at most one block's
+     * worth) can always move, so collection can always make progress.
+     */
+    std::vector<std::uint64_t> gcReserve;
+    std::vector<std::uint64_t> planeOrder; //!< channel-first striping
+    std::uint64_t rrCursor = 0;
+    PlaneLoadProbe loadProbe;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_FTL_BLOCK_MANAGER_HH

@@ -1,0 +1,403 @@
+#include "ftl/ftl.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+Ftl::Ftl(FlashArray &flash_array, FtlConfig config)
+    : array(flash_array), cfg(std::move(config)),
+      map(cfg.logicalPages, array.geometry().totalPages()),
+      blockMgr(array),
+      policy(cfg.wearTolerance > 0
+                 ? std::make_unique<WearAwareGcPolicy>(
+                       makeGcPolicy(cfg.gcPolicy, cfg.gcPopWeight),
+                       cfg.wearTolerance)
+                 : makeGcPolicy(cfg.gcPolicy, cfg.gcPopWeight)),
+      gcJobs(array.geometry().totalPlanes())
+{
+    if (cfg.gcPagesPerStep == 0)
+        zombie_fatal("gcPagesPerStep must be > 0");
+    const std::uint64_t physical = array.geometry().totalPages();
+    if (cfg.logicalPages > physical)
+        zombie_fatal("logical space exceeds physical capacity");
+    // Sanity-check the implied over-provisioning: warn below 5%.
+    const double op =
+        static_cast<double>(physical - cfg.logicalPages) /
+        static_cast<double>(cfg.logicalPages);
+    if (op < 0.05) {
+        zombie_warn("over-provisioning is only ", op * 100.0,
+                    "% - GC may thrash");
+    }
+}
+
+void
+Ftl::attachDvp(DeadValuePool *p)
+{
+    pool = p;
+}
+
+void
+Ftl::attachDedup(FingerprintStore *s)
+{
+    store = s;
+}
+
+void
+Ftl::setPlaneLoadProbe(BlockManager::PlaneLoadProbe probe)
+{
+    blockMgr.setLoadProbe(std::move(probe));
+}
+
+void
+Ftl::invalidateLpn(Lpn lpn)
+{
+    const Ppn old_ppn = map.ppnOf(lpn);
+    const Fingerprint old_fp = map.fingerprintOf(lpn);
+    const std::uint8_t old_pop = map.popularity(lpn);
+
+    if (store) {
+        auto it = owners.find(old_ppn);
+        zombie_assert(it != owners.end(), "dedup owner list missing");
+        auto &list = it->second;
+        auto pos = std::find(list.begin(), list.end(), lpn);
+        zombie_assert(pos != list.end(), "LPN missing from owner list");
+        list.erase(pos);
+
+        const std::uint32_t remaining =
+            store->releaseReference(old_ppn);
+        if (remaining > 0) {
+            // Other LPNs still share the page; it stays live
+            // (section VII: many-to-one mapping delays garbage).
+            if (map.lpnOf(old_ppn) == lpn)
+                map.map(list.front(), old_ppn);
+            return;
+        }
+        owners.erase(it);
+    }
+
+    array.invalidatePage(old_ppn, old_pop);
+    map.clearReverse(old_ppn);
+    // Pages inside a block under active collection are about to be
+    // erased; registering them would allow a revival the erase would
+    // then corrupt.
+    if (pool && !inGcVictim(old_ppn))
+        pool->insertGarbage(old_fp, lpn, old_ppn, old_pop);
+}
+
+bool
+Ftl::inGcVictim(Ppn ppn) const
+{
+    const std::uint64_t block = array.geometry().blockOfPpn(ppn);
+    const std::uint64_t plane = array.geometry().planeOfBlock(block);
+    return gcJobs[plane].victim == block;
+}
+
+void
+Ftl::mapNewContent(Lpn lpn, Ppn ppn, const Fingerprint &fp,
+                   std::uint8_t pop)
+{
+    map.map(lpn, ppn);
+    map.setFingerprint(lpn, fp);
+    map.setPopularity(lpn, pop);
+    if (store)
+        owners[ppn].push_back(lpn);
+}
+
+HostOpResult
+Ftl::write(Lpn lpn, const Fingerprint &fp)
+{
+    zombie_assert(lpn < cfg.logicalPages, "write beyond logical space");
+    HostOpResult result;
+    ++fstats.hostWrites;
+
+    // Collect before allocating so a plane can never be asked for a
+    // user block while it still has reclaimable garbage pending.
+    advanceGcAll(result);
+
+    const bool was_mapped = map.isMapped(lpn);
+
+    // 1. In-line dedup against live content (before invalidating the
+    //    old page, so a same-content rewrite is a pure no-op).
+    if (store) {
+        if (auto live = store->lookup(fp)) {
+            const Ppn live_ppn = *live;
+            if (was_mapped && map.ppnOf(lpn) == live_ppn) {
+                // Same content, same page: nothing changes.
+                const std::uint8_t pop = store->addReference(fp);
+                store->releaseReference(live_ppn); // undo ref bump
+                map.setPopularity(lpn, pop);
+            } else {
+                if (was_mapped)
+                    invalidateLpn(lpn);
+                const std::uint8_t pop = store->addReference(fp);
+                mapNewContent(lpn, live_ppn, fp, pop);
+            }
+            result.shortCircuit = true;
+            result.dedupHit = true;
+            ++fstats.dedupHits;
+            return result;
+        }
+    }
+
+    // 2. Out-of-place update: the old page dies and its hash enters
+    //    the dead-value pool.
+    if (was_mapped)
+        invalidateLpn(lpn);
+
+    // 3. Dead-value pool lookup: revive a zombie page on a hit.
+    if (pool) {
+        const DvpLookupResult hit = pool->lookupForWrite(fp, lpn);
+        if (hit.hit) {
+            array.revivePage(hit.ppn);
+            mapNewContent(lpn, hit.ppn, fp, hit.popularity);
+            if (store)
+                store->registerPage(fp, hit.ppn);
+            result.shortCircuit = true;
+            result.dvpRevival = true;
+            ++fstats.dvpRevivals;
+            return result;
+        }
+    }
+
+    // 4. Normal program path. With hot/cold separation, updates of
+    //    frequently written LPNs use the hot write point. When the
+    //    plane has no spare block to extend the preferred stream,
+    //    degrade to whichever user write point still has room rather
+    //    than strand the allocation.
+    const bool hot = cfg.hotColdSeparation && was_mapped &&
+                     map.popularity(lpn) >= cfg.hotThreshold;
+    const std::uint64_t plane = blockMgr.nextUserPlane();
+    Stream stream = hot ? Stream::UserHot : Stream::UserCold;
+    if (blockMgr.freeBlocks(plane) == 0 &&
+        !blockMgr.streamHasRoom(plane, stream)) {
+        const Stream other =
+            hot ? Stream::UserCold : Stream::UserHot;
+        if (blockMgr.streamHasRoom(plane, other))
+            stream = other;
+    }
+    const Ppn ppn = blockMgr.allocatePage(plane, stream);
+    ++fstats.programs;
+    mapNewContent(lpn, ppn, fp, 1);
+    if (store)
+        store->registerPage(fp, ppn);
+    result.userSteps.push_back(FlashStep{FlashOp::Program, ppn});
+    return result;
+}
+
+HostOpResult
+Ftl::read(Lpn lpn)
+{
+    HostOpResult result;
+    ++fstats.hostReads;
+
+    if (lpn >= cfg.logicalPages || !map.isMapped(lpn)) {
+        ++fstats.unmappedReads;
+        result.ok = false;
+        return result;
+    }
+
+    const Ppn ppn = map.ppnOf(lpn);
+    array.readPage(ppn);
+    result.userSteps.push_back(FlashStep{FlashOp::Read, ppn});
+    if (pool)
+        pool->onHostRead(lpn);
+    return result;
+}
+
+HostOpResult
+Ftl::trim(Lpn lpn)
+{
+    HostOpResult result;
+    ++fstats.trims;
+    if (lpn >= cfg.logicalPages || !map.isMapped(lpn)) {
+        result.ok = false;
+        return result;
+    }
+    invalidateLpn(lpn);
+    map.unmap(lpn);
+    map.setPopularity(lpn, 0);
+    advanceGcAll(result);
+    return result;
+}
+
+WearSummary
+Ftl::wearSummary() const
+{
+    return summarizeWear(array);
+}
+
+void
+Ftl::advanceGcAll(HostOpResult &result)
+{
+    const std::uint64_t planes = array.geometry().totalPlanes();
+
+    // Emergency: a plane with no free block left drains its victim in
+    // one shot (the GC reserve guarantees relocation space) so the
+    // next user allocation cannot strand. In practice the paced tiers
+    // below keep planes from ever reaching this point.
+    for (std::uint64_t p = 0; p < planes; ++p) {
+        if (blockMgr.freeBlocks(p) == 0)
+            advanceGc(p, array.geometry().pagesPerBlock(), result);
+    }
+
+    // Paced background collection: planes at/below the mandatory
+    // watermark have first claim on the budget, then opportunistic
+    // (quality-gated) collection of planes at the soft watermark.
+    std::uint32_t budget = cfg.gcPagesPerStep;
+    for (std::uint64_t i = 0; i < planes && budget > 0; ++i) {
+        const std::uint64_t p = (gcCursor + i) % planes;
+        if (gcJobs[p].active() ||
+            blockMgr.freeBlocks(p) <= cfg.gcLowWater) {
+            budget -= advanceGc(p, budget, result);
+        }
+    }
+    for (std::uint64_t i = 0; i < planes && budget > 0; ++i) {
+        const std::uint64_t p = (gcCursor + i) % planes;
+        if (!gcJobs[p].active() &&
+            blockMgr.freeBlocks(p) <= cfg.gcSoftWater) {
+            budget -= advanceGc(p, budget, result);
+        }
+    }
+    gcCursor = (gcCursor + 1) % planes;
+}
+
+bool
+Ftl::startGcJob(std::uint64_t plane)
+{
+    const auto candidates = blockMgr.victimCandidates(plane);
+    if (candidates.empty())
+        return false;
+    const std::uint64_t victim = policy->selectVictim(array, candidates);
+
+    // Thin garbage is not worth hundreds of relocations per erase;
+    // above the mandatory watermark, wait for invalidations to
+    // concentrate rather than collecting a poor victim.
+    if (array.block(victim).invalidCount < cfg.gcMinInvalid &&
+        blockMgr.freeBlocks(plane) > cfg.gcLowWater) {
+        return false;
+    }
+
+    GcJob &job = gcJobs[plane];
+    job.victim = victim;
+    job.nextPage = 0;
+    ++fstats.gcInvocations;
+
+    // The victim's garbage pages are now doomed: purge their pool
+    // entries so no write revives a page scheduled for erase.
+    if (pool) {
+        const Geometry &geom = array.geometry();
+        const Ppn first = geom.firstPpnOfBlock(victim);
+        for (std::uint32_t i = 0; i < geom.pagesPerBlock(); ++i) {
+            if (array.state(first + i) == PageState::Invalid)
+                pool->onErase(first + i);
+        }
+    }
+    return true;
+}
+
+void
+Ftl::relocatePage(std::uint64_t plane, Ppn src, HostOpResult &result)
+{
+    array.readPage(src);
+    result.gcSteps.push_back(FlashStep{FlashOp::Read, src});
+    const Ppn dst = blockMgr.allocatePage(plane, true);
+    result.gcSteps.push_back(FlashStep{FlashOp::Program, dst});
+    ++fstats.gcRelocations;
+
+    if (store) {
+        auto it = owners.find(src);
+        zombie_assert(it != owners.end(),
+                      "relocating page without owners");
+        std::vector<Lpn> list = std::move(it->second);
+        owners.erase(it);
+        store->relocate(src, dst);
+        for (const Lpn l : list)
+            map.map(l, dst);
+        owners[dst] = std::move(list);
+    } else {
+        const Lpn owner = map.lpnOf(src);
+        zombie_assert(owner != kInvalidLpn,
+                      "valid page without reverse mapping");
+        map.map(owner, dst);
+    }
+    // The source copy is dead; popularity 0 keeps GC scoring neutral
+    // about relocation-created garbage.
+    array.invalidatePage(src, 0);
+    map.clearReverse(src);
+}
+
+std::uint32_t
+Ftl::advanceGc(std::uint64_t plane, std::uint32_t budget,
+               HostOpResult &result)
+{
+    GcJob &job = gcJobs[plane];
+    if (!job.active() && !startGcJob(plane))
+        return 0;
+
+    const Geometry &geom = array.geometry();
+    const Ppn first = geom.firstPpnOfBlock(job.victim);
+
+    std::uint32_t moved = 0;
+    while (moved < budget && job.nextPage < geom.pagesPerBlock()) {
+        const Ppn src = first + job.nextPage;
+        if (array.state(src) == PageState::Valid) {
+            relocatePage(plane, src, result);
+            ++moved;
+        }
+        ++job.nextPage;
+    }
+
+    if (job.nextPage == geom.pagesPerBlock()) {
+        // All live data moved; the erase completes the job. Garbage
+        // pages invalidated mid-job were never (re)inserted into the
+        // pool, so nothing dangles.
+        array.eraseBlock(job.victim);
+        result.gcSteps.push_back(FlashStep{FlashOp::Erase, first});
+        blockMgr.releaseBlock(job.victim);
+        job.reset();
+    }
+    return moved;
+}
+
+std::vector<Lpn>
+Ftl::ownersOf(Ppn ppn) const
+{
+    if (store) {
+        auto it = owners.find(ppn);
+        return it == owners.end() ? std::vector<Lpn>{} : it->second;
+    }
+    const Lpn owner = map.lpnOf(ppn);
+    if (owner == kInvalidLpn)
+        return {};
+    return {owner};
+}
+
+void
+Ftl::checkConsistency() const
+{
+    // Every mapped LPN must point at a Valid physical page holding it.
+    for (Lpn lpn = 0; lpn < cfg.logicalPages; ++lpn) {
+        if (!map.isMapped(lpn))
+            continue;
+        const Ppn ppn = map.ppnOf(lpn);
+        zombie_assert(array.state(ppn) == PageState::Valid,
+                      "LPN ", lpn, " maps to non-valid PPN ", ppn);
+        if (store) {
+            auto it = owners.find(ppn);
+            zombie_assert(it != owners.end(), "shared page ", ppn,
+                          " lost its owner list");
+            zombie_assert(std::find(it->second.begin(),
+                                    it->second.end(),
+                                    lpn) != it->second.end(),
+                          "LPN ", lpn, " missing from owners of ", ppn);
+        } else {
+            zombie_assert(map.lpnOf(ppn) == lpn,
+                          "reverse map mismatch for LPN ", lpn);
+        }
+    }
+}
+
+} // namespace zombie

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The flash translation layer orchestrator.
+ *
+ * Ties together the mapping table, block manager, GC policy, the
+ * optional dead-value pool (the paper's contribution) and the optional
+ * dedup fingerprint store (the paper's Dedup baseline / combination
+ * system of section VII).
+ *
+ * The FTL performs all state transitions synchronously and returns
+ * the flash operations the controller must charge time for, split
+ * into the user op's own steps and collateral GC steps. This keeps
+ * the functional model (who writes what where) testable without the
+ * event-driven timing layer on top.
+ *
+ * Write path (sections IV-C and VII):
+ *  1. with dedup: look the content up among live pages first; a hit
+ *     just remaps the LPN (many-to-one) with no flash program,
+ *  2. an update invalidates the old physical page; the dying page's
+ *     hash, PPN and popularity degree enter the dead-value pool,
+ *  3. the new content is searched in the dead-value pool; a hit
+ *     revives a dead page (Invalid -> Valid) and short-circuits the
+ *     program entirely,
+ *  4. otherwise a page is programmed and GC may be triggered.
+ */
+
+#ifndef ZOMBIE_FTL_FTL_HH
+#define ZOMBIE_FTL_FTL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dedup/fingerprint_store.hh"
+#include "dvp/dead_value_pool.hh"
+#include "ftl/block_manager.hh"
+#include "ftl/gc_policy.hh"
+#include "ftl/mapping.hh"
+#include "ftl/wear.hh"
+#include "nand/flash_array.hh"
+#include "nand/timing.hh"
+
+namespace zombie
+{
+
+/** FTL tunables. */
+struct FtlConfig
+{
+    /** Exported logical space in pages. */
+    std::uint64_t logicalPages = 0;
+
+    /**
+     * Opportunistic threshold: at <= this many free blocks a plane
+     * starts collecting, but only victims that pass the quality gate
+     * (gcMinInvalid).
+     */
+    std::uint32_t gcSoftWater = 5;
+
+    /**
+     * Mandatory threshold: at <= this many free blocks the quality
+     * gate is waived — the best victim is collected regardless, still
+     * paced. At <= 1 free block the victim drains in one shot.
+     */
+    std::uint32_t gcLowWater = 2;
+
+    /**
+     * Incremental GC budget: total valid-page relocations advanced
+     * per host write, spent round-robin across collecting planes.
+     * Keeps background collection paced to the host write rate so
+     * synchronized plane fill levels cannot trigger GC storms; a
+     * plane down to its last free block drains its victim in one
+     * shot regardless (survival mode).
+     */
+    std::uint32_t gcPagesPerStep = 2;
+
+    /** "greedy" or "popularity" (paper section IV-D). */
+    std::string gcPolicy = "greedy";
+    double gcPopWeight = 1.0;
+
+    /**
+     * Quality gate for opportunistic (soft-watermark) collection:
+     * only victims with at least this many garbage pages are worth
+     * collecting early. Waived at/below the mandatory watermark.
+     */
+    std::uint32_t gcMinInvalid = 192;
+
+    /**
+     * Wrap the victim policy in the wear-aware tie-breaking
+     * decorator (see ftl/wear.hh). Tolerance 0 disables it.
+     */
+    std::uint32_t wearTolerance = 8;
+
+    /**
+     * Hot/cold stream separation: updates of LPNs whose popularity
+     * byte (Figure 8) reaches hotThreshold program through a
+     * dedicated write point, so hot pages die together and GC
+     * victims carry less live data. Costs one more active block per
+     * plane when enabled.
+     */
+    bool hotColdSeparation = false;
+    std::uint8_t hotThreshold = 2;
+};
+
+/** One flash operation the controller must schedule. */
+struct FlashStep
+{
+    FlashOp op;
+    Ppn ppn;
+};
+
+/** Outcome of a host read/write at the FTL level. */
+struct HostOpResult
+{
+    bool ok = true;            //!< false: read of an unmapped LPN
+    bool shortCircuit = false; //!< no program was needed
+    bool dvpRevival = false;   //!< a dead page was revived
+    bool dedupHit = false;     //!< absorbed by a live duplicate
+
+    /** Flash steps of the user operation itself (0 or 1 step). */
+    std::vector<FlashStep> userSteps;
+
+    /** Collateral GC steps (relocation reads/programs + erases). */
+    std::vector<FlashStep> gcSteps;
+};
+
+/** FTL-level counters. */
+struct FtlStats
+{
+    std::uint64_t hostWrites = 0;
+    std::uint64_t hostReads = 0;
+    std::uint64_t unmappedReads = 0;
+    std::uint64_t programs = 0; //!< host-caused page programs
+    std::uint64_t dvpRevivals = 0;
+    std::uint64_t dedupHits = 0;
+    std::uint64_t gcInvocations = 0;
+    std::uint64_t gcRelocations = 0;
+    std::uint64_t trims = 0;
+};
+
+/** Page-level FTL with optional DVP and dedup attachments. */
+class Ftl
+{
+  public:
+    Ftl(FlashArray &array, FtlConfig config);
+
+    /** Attach the dead-value pool (not owned). May be nullptr. */
+    void attachDvp(DeadValuePool *pool);
+
+    /** Attach the dedup store (not owned). May be nullptr. */
+    void attachDedup(FingerprintStore *store);
+
+    /** Enable dynamic write allocation (see BlockManager). */
+    void setPlaneLoadProbe(BlockManager::PlaneLoadProbe probe);
+
+    /** Service a host write of content @p fp to @p lpn. */
+    HostOpResult write(Lpn lpn, const Fingerprint &fp);
+
+    /** Service a host read of @p lpn. */
+    HostOpResult read(Lpn lpn);
+
+    /**
+     * Trim (discard) @p lpn: the mapping is dropped and the physical
+     * page becomes garbage. Its content still enters the dead-value
+     * pool — trimmed data is dead data, and a later write of the
+     * same content revives it, extending the paper's mechanism to
+     * the discard path. No-op on unmapped LPNs.
+     */
+    HostOpResult trim(Lpn lpn);
+
+    /** Drive-wide erase-count statistics. */
+    WearSummary wearSummary() const;
+
+    const MappingTable &mapping() const { return map; }
+    const FlashArray &flash() const { return array; }
+    const BlockManager &blocks() const { return blockMgr; }
+    const FtlStats &stats() const { return fstats; }
+    const FtlConfig &config() const { return cfg; }
+    DeadValuePool *dvp() { return pool; }
+    FingerprintStore *dedup() { return store; }
+
+    /** Owner LPNs of a valid physical page (dedup-aware). */
+    std::vector<Lpn> ownersOf(Ppn ppn) const;
+
+    /** Invariant sweep used by tests: panics on inconsistency. */
+    void checkConsistency() const;
+
+  private:
+    /** In-flight incremental collection of one victim block. */
+    struct GcJob
+    {
+        std::uint64_t victim = ~0ULL;
+        std::uint32_t nextPage = 0;
+
+        bool active() const { return victim != ~0ULL; }
+        void reset() { victim = ~0ULL; nextPage = 0; }
+    };
+
+    void invalidateLpn(Lpn lpn);
+    void mapNewContent(Lpn lpn, Ppn ppn, const Fingerprint &fp,
+                       std::uint8_t pop);
+    void advanceGcAll(HostOpResult &result);
+
+    /**
+     * Advance @p plane's collection by at most @p budget relocations.
+     * @return relocations performed.
+     */
+    std::uint32_t advanceGc(std::uint64_t plane, std::uint32_t budget,
+                            HostOpResult &result);
+    bool startGcJob(std::uint64_t plane);
+    void relocatePage(std::uint64_t plane, Ppn src,
+                      HostOpResult &result);
+    bool inGcVictim(Ppn ppn) const;
+
+    FlashArray &array;
+    FtlConfig cfg;
+    MappingTable map;
+    BlockManager blockMgr;
+    std::unique_ptr<GcPolicy> policy;
+    DeadValuePool *pool = nullptr;
+    FingerprintStore *store = nullptr;
+
+    /** Owner lists for shared (deduplicated) physical pages. */
+    std::unordered_map<Ppn, std::vector<Lpn>> owners;
+
+    /** One incremental GC job per plane. */
+    std::vector<GcJob> gcJobs;
+    std::uint64_t gcCursor = 0;
+
+    FtlStats fstats;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_FTL_FTL_HH

@@ -1,0 +1,70 @@
+#include "ftl/gc_policy.hh"
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+std::uint64_t
+GreedyGcPolicy::selectVictim(
+    const FlashArray &flash,
+    const std::vector<std::uint64_t> &candidates) const
+{
+    zombie_assert(!candidates.empty(), "victim selection with no "
+                                       "candidates");
+    std::uint64_t best = candidates.front();
+    std::uint32_t best_invalid = flash.block(best).invalidCount;
+    for (const std::uint64_t block : candidates) {
+        const std::uint32_t invalid = flash.block(block).invalidCount;
+        if (invalid > best_invalid) {
+            best = block;
+            best_invalid = invalid;
+        }
+    }
+    return best;
+}
+
+double
+PopularityAwareGcPolicy::score(const FlashArray &flash,
+                               std::uint64_t block) const
+{
+    const BlockInfo &info = flash.block(block);
+    // Normalize the popularity sum by the 1-byte counter range so a
+    // fully popular garbage page cancels roughly `weight / 255` of a
+    // reclaimable page.
+    const double popularity_penalty =
+        weight * static_cast<double>(info.garbagePopularity) / 255.0;
+    return static_cast<double>(info.invalidCount) - popularity_penalty;
+}
+
+std::uint64_t
+PopularityAwareGcPolicy::selectVictim(
+    const FlashArray &flash,
+    const std::vector<std::uint64_t> &candidates) const
+{
+    zombie_assert(!candidates.empty(), "victim selection with no "
+                                       "candidates");
+    std::uint64_t best = candidates.front();
+    double best_score = score(flash, best);
+    for (const std::uint64_t block : candidates) {
+        const double s = score(flash, block);
+        if (s > best_score) {
+            best = block;
+            best_score = s;
+        }
+    }
+    return best;
+}
+
+std::unique_ptr<GcPolicy>
+makeGcPolicy(const std::string &name, double pop_weight)
+{
+    if (name == "greedy")
+        return std::make_unique<GreedyGcPolicy>();
+    if (name == "popularity")
+        return std::make_unique<PopularityAwareGcPolicy>(pop_weight);
+    zombie_fatal("unknown GC policy '", name,
+                 "' (expected greedy | popularity)");
+}
+
+} // namespace zombie

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * GC victim-selection policies.
+ *
+ * GreedyGcPolicy is the conventional max-invalid-pages choice.
+ * PopularityAwareGcPolicy implements the paper's section IV-D tuning:
+ * the victim score discounts blocks whose garbage pages carry high
+ * popularity degrees, so pages likely to be revived soon survive
+ * longer in the dead-value pool.
+ */
+
+#ifndef ZOMBIE_FTL_GC_POLICY_HH
+#define ZOMBIE_FTL_GC_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nand/flash_array.hh"
+
+namespace zombie
+{
+
+/** Strategy interface: pick a victim among candidate blocks. */
+class GcPolicy
+{
+  public:
+    virtual ~GcPolicy() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * @param candidates non-empty list of erasable block indices.
+     * @return the chosen victim block index.
+     */
+    virtual std::uint64_t
+    selectVictim(const FlashArray &flash,
+                 const std::vector<std::uint64_t> &candidates) const = 0;
+};
+
+/** Conventional greedy policy: most invalid pages wins. */
+class GreedyGcPolicy : public GcPolicy
+{
+  public:
+    std::string name() const override { return "greedy"; }
+
+    std::uint64_t
+    selectVictim(const FlashArray &flash,
+                 const std::vector<std::uint64_t> &candidates)
+        const override;
+};
+
+/**
+ * Popularity-aware policy (paper section IV-D): score each candidate
+ * by invalid-page count minus a weighted, normalized sum of the
+ * popularity degrees of its garbage pages; the highest score wins.
+ */
+class PopularityAwareGcPolicy : public GcPolicy
+{
+  public:
+    explicit PopularityAwareGcPolicy(double pop_weight = 1.0)
+        : weight(pop_weight)
+    {
+    }
+
+    std::string name() const override { return "popularity-aware"; }
+
+    double popWeight() const { return weight; }
+
+    /** The victim score; exposed for tests and the ablation bench. */
+    double score(const FlashArray &flash, std::uint64_t block) const;
+
+    std::uint64_t
+    selectVictim(const FlashArray &flash,
+                 const std::vector<std::uint64_t> &candidates)
+        const override;
+
+  private:
+    double weight;
+};
+
+/** Factory: "greedy" or "popularity". */
+std::unique_ptr<GcPolicy> makeGcPolicy(const std::string &name,
+                                       double pop_weight = 1.0);
+
+} // namespace zombie
+
+#endif // ZOMBIE_FTL_GC_POLICY_HH

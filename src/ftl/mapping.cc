@@ -1,0 +1,114 @@
+#include "ftl/mapping.hh"
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+MappingTable::MappingTable(std::uint64_t logical_pages,
+                           std::uint64_t physical_pages)
+    : forward(logical_pages, kInvalidPpn),
+      reverse(physical_pages, kInvalidLpn),
+      pop(logical_pages, 0),
+      content(logical_pages)
+{
+    if (logical_pages == 0)
+        zombie_fatal("mapping table needs a non-empty logical space");
+    if (physical_pages < logical_pages)
+        zombie_fatal("physical space (", physical_pages,
+                     " pages) smaller than logical space (",
+                     logical_pages, " pages)");
+}
+
+void
+MappingTable::checkLpn(Lpn lpn) const
+{
+    zombie_assert(lpn < forward.size(), "LPN ", lpn, " out of bounds");
+}
+
+void
+MappingTable::checkPpn(Ppn ppn) const
+{
+    zombie_assert(ppn < reverse.size(), "PPN ", ppn, " out of bounds");
+}
+
+bool
+MappingTable::isMapped(Lpn lpn) const
+{
+    checkLpn(lpn);
+    return forward[lpn] != kInvalidPpn;
+}
+
+Ppn
+MappingTable::ppnOf(Lpn lpn) const
+{
+    checkLpn(lpn);
+    return forward[lpn];
+}
+
+void
+MappingTable::map(Lpn lpn, Ppn ppn)
+{
+    checkLpn(lpn);
+    checkPpn(ppn);
+    if (forward[lpn] == kInvalidPpn)
+        ++mapped;
+    forward[lpn] = ppn;
+    reverse[ppn] = lpn;
+}
+
+void
+MappingTable::unmap(Lpn lpn)
+{
+    checkLpn(lpn);
+    if (forward[lpn] == kInvalidPpn)
+        return;
+    if (reverse[forward[lpn]] == lpn)
+        reverse[forward[lpn]] = kInvalidLpn;
+    forward[lpn] = kInvalidPpn;
+    --mapped;
+}
+
+Lpn
+MappingTable::lpnOf(Ppn ppn) const
+{
+    checkPpn(ppn);
+    return reverse[ppn];
+}
+
+void
+MappingTable::clearReverse(Ppn ppn)
+{
+    checkPpn(ppn);
+    reverse[ppn] = kInvalidLpn;
+}
+
+std::uint8_t
+MappingTable::popularity(Lpn lpn) const
+{
+    checkLpn(lpn);
+    return pop[lpn];
+}
+
+void
+MappingTable::setPopularity(Lpn lpn, std::uint8_t p)
+{
+    checkLpn(lpn);
+    pop[lpn] = p;
+}
+
+const Fingerprint &
+MappingTable::fingerprintOf(Lpn lpn) const
+{
+    checkLpn(lpn);
+    return content[lpn];
+}
+
+void
+MappingTable::setFingerprint(Lpn lpn, const Fingerprint &fp)
+{
+    checkLpn(lpn);
+    content[lpn] = fp;
+}
+
+} // namespace zombie

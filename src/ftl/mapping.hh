@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Page-level LPN-to-PPN mapping table (paper Figure 8).
+ *
+ * Besides the forward map, each LPN entry carries the 1-byte
+ * popularity degree the paper adds ("not to lose the popularity
+ * information of a data block once it is evicted from the dead-value
+ * pool") and — simulation bookkeeping standing in for the page's
+ * content — the fingerprint currently stored at the LPN, which the
+ * controller needs when the page dies (its hash is inserted into the
+ * dead-value pool). A one-owner reverse map supports GC relocation in
+ * the non-deduplicated FTL; the dedup engine keeps its own owner
+ * lists for shared pages.
+ */
+
+#ifndef ZOMBIE_FTL_MAPPING_HH
+#define ZOMBIE_FTL_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/fingerprint.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Forward + reverse page-level mapping with popularity bytes. */
+class MappingTable
+{
+  public:
+    MappingTable(std::uint64_t logical_pages,
+                 std::uint64_t physical_pages);
+
+    std::uint64_t logicalPages() const { return forward.size(); }
+
+    bool isMapped(Lpn lpn) const;
+    Ppn ppnOf(Lpn lpn) const;
+
+    /** Map (or remap) @p lpn to @p ppn, updating the reverse map. */
+    void map(Lpn lpn, Ppn ppn);
+
+    /** Drop the mapping for @p lpn (trim / update bookkeeping). */
+    void unmap(Lpn lpn);
+
+    /** Owner LPN of a physical page (kInvalidLpn if none). */
+    Lpn lpnOf(Ppn ppn) const;
+
+    /** Clear the reverse entry without touching the forward map. */
+    void clearReverse(Ppn ppn);
+
+    std::uint8_t popularity(Lpn lpn) const;
+    void setPopularity(Lpn lpn, std::uint8_t pop);
+
+    const Fingerprint &fingerprintOf(Lpn lpn) const;
+    void setFingerprint(Lpn lpn, const Fingerprint &fp);
+
+    std::uint64_t mappedCount() const { return mapped; }
+
+    /** Per-entry RAM cost in bytes (Figure 8 accounting). */
+    static constexpr std::size_t
+    bytesPerEntry()
+    {
+        // PPN (8B when fully resident) + 1B popularity.
+        return sizeof(Ppn) + 1;
+    }
+
+  private:
+    void checkLpn(Lpn lpn) const;
+    void checkPpn(Ppn ppn) const;
+
+    std::vector<Ppn> forward;
+    std::vector<Lpn> reverse;
+    std::vector<std::uint8_t> pop;
+    std::vector<Fingerprint> content;
+    std::uint64_t mapped = 0;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_FTL_MAPPING_HH

@@ -1,0 +1,81 @@
+#include "ftl/wear.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+WearSummary
+summarizeWear(const FlashArray &flash)
+{
+    WearSummary summary;
+    const std::uint64_t blocks = flash.geometry().totalBlocks();
+    zombie_assert(blocks > 0, "empty geometry");
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    summary.minErase = flash.block(0).eraseCount;
+    summary.maxErase = flash.block(0).eraseCount;
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+        const std::uint32_t erases = flash.block(b).eraseCount;
+        summary.minErase = std::min(summary.minErase, erases);
+        summary.maxErase = std::max(summary.maxErase, erases);
+        sum += erases;
+        sum_sq += static_cast<double>(erases) * erases;
+    }
+    const double n = static_cast<double>(blocks);
+    summary.meanErase = sum / n;
+    const double variance =
+        std::max(0.0, sum_sq / n - summary.meanErase * summary.meanErase);
+    summary.stddevErase = std::sqrt(variance);
+    return summary;
+}
+
+WearAwareGcPolicy::WearAwareGcPolicy(
+    std::unique_ptr<GcPolicy> base_policy, std::uint32_t tolerance)
+    : basePolicy(std::move(base_policy)), tol(tolerance)
+{
+    zombie_assert(basePolicy != nullptr,
+                  "wear-aware decorator needs a base policy");
+}
+
+std::string
+WearAwareGcPolicy::name() const
+{
+    return "wear-aware(" + basePolicy->name() + ")";
+}
+
+std::uint64_t
+WearAwareGcPolicy::selectVictim(
+    const FlashArray &flash,
+    const std::vector<std::uint64_t> &candidates) const
+{
+    const std::uint64_t preferred =
+        basePolicy->selectVictim(flash, candidates);
+    if (tol == 0)
+        return preferred;
+
+    // Treat candidates within `tol` garbage pages of the preferred
+    // victim as equivalent and pick the least-worn among them.
+    const std::uint32_t best_invalid =
+        flash.block(preferred).invalidCount;
+    std::uint64_t chosen = preferred;
+    std::uint32_t chosen_erases = flash.block(preferred).eraseCount;
+    for (const std::uint64_t block : candidates) {
+        const BlockInfo &info = flash.block(block);
+        if (info.invalidCount + tol < best_invalid)
+            continue;
+        if (info.invalidCount > best_invalid + tol)
+            continue;
+        if (info.eraseCount < chosen_erases) {
+            chosen = block;
+            chosen_erases = info.eraseCount;
+        }
+    }
+    return chosen;
+}
+
+} // namespace zombie

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Wear accounting and wear-aware victim selection.
+ *
+ * The paper's FTL "is comprised of (i) a Mapping Unit ... and (ii)
+ * the garbage collection and wear levelling" (section IV-B), and its
+ * lifetime argument rests on erase counts ("each NAND Flash cell can
+ * endure only a limited number of erases"). This module provides:
+ *
+ *  - WearSummary: per-drive erase-count statistics (the lifetime
+ *    metric behind Figure 10's erase reductions),
+ *  - WearAwareGcPolicy: a decorator over any GcPolicy that breaks
+ *    near-ties toward less-worn victims, bounding the erase-count
+ *    skew the base policy would otherwise build up on hot planes.
+ */
+
+#ifndef ZOMBIE_FTL_WEAR_HH
+#define ZOMBIE_FTL_WEAR_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "ftl/gc_policy.hh"
+#include "nand/flash_array.hh"
+
+namespace zombie
+{
+
+/** Drive-wide erase-count statistics. */
+struct WearSummary
+{
+    std::uint32_t minErase = 0;
+    std::uint32_t maxErase = 0;
+    double meanErase = 0.0;
+    double stddevErase = 0.0;
+
+    /** max - min: the imbalance wear leveling must bound. */
+    std::uint32_t
+    skew() const
+    {
+        return maxErase - minErase;
+    }
+};
+
+/** Compute erase-count statistics over every block in the array. */
+WearSummary summarizeWear(const FlashArray &flash);
+
+/**
+ * Wear-aware tie-breaking decorator: victims whose base-policy score
+ * is within @p tolerance garbage pages of the best are considered
+ * equivalent, and the least-worn of them is chosen. tolerance = 0
+ * degenerates to the base policy.
+ */
+class WearAwareGcPolicy : public GcPolicy
+{
+  public:
+    WearAwareGcPolicy(std::unique_ptr<GcPolicy> base_policy,
+                      std::uint32_t tolerance = 8);
+
+    std::string name() const override;
+
+    std::uint64_t
+    selectVictim(const FlashArray &flash,
+                 const std::vector<std::uint64_t> &candidates)
+        const override;
+
+    const GcPolicy &base() const { return *basePolicy; }
+
+  private:
+    std::unique_ptr<GcPolicy> basePolicy;
+    std::uint32_t tol;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_FTL_WEAR_HH

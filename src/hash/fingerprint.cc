@@ -1,0 +1,56 @@
+#include "hash/fingerprint.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace zombie
+{
+
+std::string
+Fingerprint::hex() const
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(32);
+    for (std::uint8_t b : bytes) {
+        out += digits[b >> 4];
+        out += digits[b & 0xf];
+    }
+    return out;
+}
+
+Fingerprint
+Fingerprint::fromHex(const std::string &hex)
+{
+    if (hex.size() != 32)
+        zombie_fatal("fingerprint hex must be 32 chars, got ", hex.size());
+    auto nibble = [&](char c) -> std::uint8_t {
+        if (c >= '0' && c <= '9')
+            return static_cast<std::uint8_t>(c - '0');
+        if (c >= 'a' && c <= 'f')
+            return static_cast<std::uint8_t>(c - 'a' + 10);
+        if (c >= 'A' && c <= 'F')
+            return static_cast<std::uint8_t>(c - 'A' + 10);
+        zombie_fatal("bad hex character '", c, "' in fingerprint");
+    };
+    Fingerprint fp;
+    for (std::size_t i = 0; i < 16; ++i) {
+        fp.bytes[i] = static_cast<std::uint8_t>(
+            (nibble(hex[2 * i]) << 4) | nibble(hex[2 * i + 1]));
+    }
+    return fp;
+}
+
+Fingerprint
+Fingerprint::fromValueId(std::uint64_t value_id)
+{
+    SplitMix64 sm(value_id ^ 0xdeadbeefcafef00dULL);
+    const std::uint64_t w0 = sm.next();
+    const std::uint64_t w1 = sm.next();
+    Fingerprint fp;
+    std::memcpy(fp.bytes.data(), &w0, 8);
+    std::memcpy(fp.bytes.data() + 8, &w1, 8);
+    return fp;
+}
+
+} // namespace zombie

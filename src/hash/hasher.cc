@@ -1,0 +1,74 @@
+#include "hash/hasher.hh"
+
+#include "hash/md5.hh"
+#include "hash/sha1.hh"
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+HashAlgo
+hashAlgoFromString(const std::string &name)
+{
+    if (name == "md5")
+        return HashAlgo::Md5;
+    if (name == "sha1")
+        return HashAlgo::Sha1;
+    if (name == "synthetic")
+        return HashAlgo::Synthetic;
+    zombie_fatal("unknown hash algorithm '", name,
+                 "' (expected md5 | sha1 | synthetic)");
+}
+
+std::string
+toString(HashAlgo algo)
+{
+    switch (algo) {
+      case HashAlgo::Md5:
+        return "md5";
+      case HashAlgo::Sha1:
+        return "sha1";
+      case HashAlgo::Synthetic:
+        return "synthetic";
+    }
+    zombie_panic("unreachable hash algo");
+}
+
+Fingerprint
+ContentHasher::hash(const void *data, std::size_t len) const
+{
+    switch (algo_) {
+      case HashAlgo::Md5:
+        return Md5::digest(data, len);
+      case HashAlgo::Sha1:
+        return Sha1::digest(data, len);
+      case HashAlgo::Synthetic: {
+        // Fold the buffer to a 64-bit word, then expand; adequate for
+        // synthetic content whose buffers are themselves id-derived.
+        std::uint64_t acc = 0xcbf29ce484222325ULL;
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            acc ^= bytes[i];
+            acc *= 0x100000001b3ULL;
+        }
+        return Fingerprint::fromValueId(acc);
+      }
+    }
+    zombie_panic("unreachable hash algo");
+}
+
+Fingerprint
+ContentHasher::hashValueId(std::uint64_t value_id) const
+{
+    switch (algo_) {
+      case HashAlgo::Md5:
+        return Md5::digest(&value_id, sizeof(value_id));
+      case HashAlgo::Sha1:
+        return Sha1::digest(&value_id, sizeof(value_id));
+      case HashAlgo::Synthetic:
+        return Fingerprint::fromValueId(value_id);
+    }
+    zombie_panic("unreachable hash algo");
+}
+
+} // namespace zombie

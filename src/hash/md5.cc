@@ -1,0 +1,145 @@
+#include "hash/md5.hh"
+
+#include <cstring>
+
+namespace zombie
+{
+
+namespace
+{
+
+constexpr std::uint32_t kK[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee,
+    0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa,
+    0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed,
+    0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05,
+    0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039,
+    0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+};
+
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+std::uint32_t
+rotl32(std::uint32_t x, int c)
+{
+    return (x << c) | (x >> (32 - c));
+}
+
+} // namespace
+
+Md5::Md5()
+    : a0(0x67452301), b0(0xefcdab89), c0(0x98badcfe), d0(0x10325476),
+      totalLen(0), bufferLen(0)
+{
+}
+
+void
+Md5::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t m[16];
+    std::memcpy(m, block, 64);
+
+    std::uint32_t a = a0, b = b0, c = c0, d = d0;
+    for (int i = 0; i < 64; ++i) {
+        std::uint32_t f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        f += a + kK[i] + m[g];
+        a = d;
+        d = c;
+        c = b;
+        b += rotl32(f, kShift[i]);
+    }
+    a0 += a;
+    b0 += b;
+    c0 += c;
+    d0 += d;
+}
+
+void
+Md5::update(const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    totalLen += len;
+
+    if (bufferLen > 0) {
+        const std::size_t take = std::min<std::size_t>(64 - bufferLen, len);
+        std::memcpy(buffer + bufferLen, bytes, take);
+        bufferLen += take;
+        bytes += take;
+        len -= take;
+        if (bufferLen == 64) {
+            processBlock(buffer);
+            bufferLen = 0;
+        }
+    }
+    while (len >= 64) {
+        processBlock(bytes);
+        bytes += 64;
+        len -= 64;
+    }
+    if (len > 0) {
+        std::memcpy(buffer, bytes, len);
+        bufferLen = len;
+    }
+}
+
+Fingerprint
+Md5::finish()
+{
+    const std::uint64_t bit_len = totalLen * 8;
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0;
+    while (bufferLen != 56)
+        update(&zero, 1);
+
+    // Length is appended little-endian, bypassing totalLen accounting.
+    std::memcpy(buffer + 56, &bit_len, 8);
+    processBlock(buffer);
+    bufferLen = 0;
+
+    Fingerprint fp;
+    std::memcpy(fp.bytes.data() + 0, &a0, 4);
+    std::memcpy(fp.bytes.data() + 4, &b0, 4);
+    std::memcpy(fp.bytes.data() + 8, &c0, 4);
+    std::memcpy(fp.bytes.data() + 12, &d0, 4);
+    return fp;
+}
+
+Fingerprint
+Md5::digest(const void *data, std::size_t len)
+{
+    Md5 ctx;
+    ctx.update(data, len);
+    return ctx.finish();
+}
+
+} // namespace zombie

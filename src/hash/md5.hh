@@ -1,0 +1,46 @@
+/**
+ * @file
+ * MD5 message digest (RFC 1321).
+ *
+ * The FIU traces carry MD5 fingerprints of each 4KB chunk; this is a
+ * from-scratch implementation so trace files written by external tools
+ * (hashed with real MD5) interoperate with the simulator.
+ */
+
+#ifndef ZOMBIE_HASH_MD5_HH
+#define ZOMBIE_HASH_MD5_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/fingerprint.hh"
+
+namespace zombie
+{
+
+/** Incremental MD5 context; also exposes a one-shot helper. */
+class Md5
+{
+  public:
+    Md5();
+
+    void update(const void *data, std::size_t len);
+
+    /** Finalize and return the 16-byte digest; context becomes stale. */
+    Fingerprint finish();
+
+    /** One-shot digest of a buffer. */
+    static Fingerprint digest(const void *data, std::size_t len);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t a0, b0, c0, d0;
+    std::uint64_t totalLen;
+    std::uint8_t buffer[64];
+    std::size_t bufferLen;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_HASH_MD5_HH

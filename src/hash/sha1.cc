@@ -1,0 +1,142 @@
+#include "hash/sha1.hh"
+
+#include <cstring>
+
+namespace zombie
+{
+
+namespace
+{
+
+std::uint32_t
+rotl32(std::uint32_t x, int c)
+{
+    return (x << c) | (x >> (32 - c));
+}
+
+} // namespace
+
+Sha1::Sha1() : totalLen(0), bufferLen(0)
+{
+    h[0] = 0x67452301;
+    h[1] = 0xefcdab89;
+    h[2] = 0x98badcfe;
+    h[3] = 0x10325476;
+    h[4] = 0xc3d2e1f0;
+}
+
+void
+Sha1::processBlock(const std::uint8_t *block)
+{
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+        w[i] = (std::uint32_t(block[4 * i]) << 24) |
+               (std::uint32_t(block[4 * i + 1]) << 16) |
+               (std::uint32_t(block[4 * i + 2]) << 8) |
+               std::uint32_t(block[4 * i + 3]);
+    }
+    for (int i = 16; i < 80; ++i)
+        w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    std::uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+        std::uint32_t f, k;
+        if (i < 20) {
+            f = (b & c) | (~b & d);
+            k = 0x5a827999;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdc;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6;
+        }
+        const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl32(b, 30);
+        b = a;
+        a = temp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+}
+
+void
+Sha1::update(const void *data, std::size_t len)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    totalLen += len;
+
+    if (bufferLen > 0) {
+        const std::size_t take = std::min<std::size_t>(64 - bufferLen, len);
+        std::memcpy(buffer + bufferLen, bytes, take);
+        bufferLen += take;
+        bytes += take;
+        len -= take;
+        if (bufferLen == 64) {
+            processBlock(buffer);
+            bufferLen = 0;
+        }
+    }
+    while (len >= 64) {
+        processBlock(bytes);
+        bytes += 64;
+        len -= 64;
+    }
+    if (len > 0) {
+        std::memcpy(buffer, bytes, len);
+        bufferLen = len;
+    }
+}
+
+std::array<std::uint8_t, 20>
+Sha1::finishFull()
+{
+    const std::uint64_t bit_len = totalLen * 8;
+    const std::uint8_t pad = 0x80;
+    update(&pad, 1);
+    const std::uint8_t zero = 0;
+    while (bufferLen != 56)
+        update(&zero, 1);
+
+    // Length is appended big-endian per FIPS 180-1.
+    for (int i = 0; i < 8; ++i)
+        buffer[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+    processBlock(buffer);
+    bufferLen = 0;
+
+    std::array<std::uint8_t, 20> digest;
+    for (int i = 0; i < 5; ++i) {
+        digest[4 * i] = static_cast<std::uint8_t>(h[i] >> 24);
+        digest[4 * i + 1] = static_cast<std::uint8_t>(h[i] >> 16);
+        digest[4 * i + 2] = static_cast<std::uint8_t>(h[i] >> 8);
+        digest[4 * i + 3] = static_cast<std::uint8_t>(h[i]);
+    }
+    return digest;
+}
+
+Fingerprint
+Sha1::finish()
+{
+    const auto full = finishFull();
+    Fingerprint fp;
+    std::memcpy(fp.bytes.data(), full.data(), 16);
+    return fp;
+}
+
+Fingerprint
+Sha1::digest(const void *data, std::size_t len)
+{
+    Sha1 ctx;
+    ctx.update(data, len);
+    return ctx.finish();
+}
+
+} // namespace zombie

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SHA-1 message digest (FIPS 180-1).
+ *
+ * The OSU traces in the paper's workload set (hadoop, trans, desktop)
+ * carry SHA-1 content hashes; like those traces' 16B hash field, the
+ * digest is truncated to a 16-byte Fingerprint.
+ */
+
+#ifndef ZOMBIE_HASH_SHA1_HH
+#define ZOMBIE_HASH_SHA1_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/fingerprint.hh"
+
+namespace zombie
+{
+
+/** Incremental SHA-1 context. */
+class Sha1
+{
+  public:
+    Sha1();
+
+    void update(const void *data, std::size_t len);
+
+    /** Finalize, returning the full 20-byte digest. */
+    std::array<std::uint8_t, 20> finishFull();
+
+    /** Finalize, truncated to the trace format's 16 bytes. */
+    Fingerprint finish();
+
+    /** One-shot truncated digest of a buffer. */
+    static Fingerprint digest(const void *data, std::size_t len);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t h[5];
+    std::uint64_t totalLen;
+    std::uint8_t buffer[64];
+    std::size_t bufferLen;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_HASH_SHA1_HH

@@ -1,0 +1,156 @@
+#include "nand/flash_array.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+FlashArray::FlashArray(const Geometry &geometry)
+    : geom(geometry),
+      pageState(geom.totalPages(), PageState::Free),
+      garbagePop(geom.totalPages(), 0),
+      blocks(geom.totalBlocks()),
+      freePages(geom.totalPages())
+{
+}
+
+PageState
+FlashArray::state(Ppn ppn) const
+{
+    zombie_assert(ppn < pageState.size(), "PPN out of bounds");
+    return pageState[ppn];
+}
+
+std::uint8_t
+FlashArray::garbagePopularity(Ppn ppn) const
+{
+    zombie_assert(state(ppn) == PageState::Invalid,
+                  "garbage popularity queried on non-garbage page");
+    return garbagePop[ppn];
+}
+
+const BlockInfo &
+FlashArray::block(std::uint64_t block_index) const
+{
+    zombie_assert(block_index < blocks.size(), "block index out of bounds");
+    return blocks[block_index];
+}
+
+bool
+FlashArray::blockHasRoom(std::uint64_t block_index) const
+{
+    return block(block_index).writePtr < geom.pagesPerBlock();
+}
+
+std::uint32_t
+FlashArray::freePagesInBlock(std::uint64_t block_index) const
+{
+    return geom.pagesPerBlock() - block(block_index).writePtr;
+}
+
+Ppn
+FlashArray::programPage(std::uint64_t block_index)
+{
+    BlockInfo &blk = blocks[block_index];
+    zombie_assert(blk.writePtr < geom.pagesPerBlock(),
+                  "program into a full block ", block_index);
+    const Ppn ppn = geom.firstPpnOfBlock(block_index) + blk.writePtr;
+    zombie_assert(pageState[ppn] == PageState::Free,
+                  "program of a non-free page ", ppn);
+    ++blk.writePtr;
+    ++blk.validCount;
+    pageState[ppn] = PageState::Valid;
+    --freePages;
+    ++validPages;
+    ++stats.programs;
+    return ppn;
+}
+
+void
+FlashArray::readPage(Ppn ppn)
+{
+    zombie_assert(state(ppn) == PageState::Valid,
+                  "read of a non-valid page ", ppn);
+    ++stats.reads;
+}
+
+void
+FlashArray::invalidatePage(Ppn ppn, std::uint8_t popularity)
+{
+    zombie_assert(state(ppn) == PageState::Valid,
+                  "invalidate of a non-valid page ", ppn);
+    pageState[ppn] = PageState::Invalid;
+    garbagePop[ppn] = popularity;
+
+    BlockInfo &blk = blocks[geom.blockOfPpn(ppn)];
+    zombie_assert(blk.validCount > 0, "block valid count underflow");
+    --blk.validCount;
+    ++blk.invalidCount;
+    blk.garbagePopularity += popularity;
+
+    --validPages;
+    ++invalidPages;
+    ++stats.invalidations;
+}
+
+void
+FlashArray::revivePage(Ppn ppn)
+{
+    zombie_assert(state(ppn) == PageState::Invalid,
+                  "revive of a non-garbage page ", ppn);
+    pageState[ppn] = PageState::Valid;
+
+    BlockInfo &blk = blocks[geom.blockOfPpn(ppn)];
+    zombie_assert(blk.invalidCount > 0, "block invalid count underflow");
+    --blk.invalidCount;
+    ++blk.validCount;
+    blk.garbagePopularity -= std::min<std::uint64_t>(
+        blk.garbagePopularity, garbagePop[ppn]);
+    garbagePop[ppn] = 0;
+
+    --invalidPages;
+    ++validPages;
+    ++stats.revivals;
+}
+
+void
+FlashArray::eraseBlock(std::uint64_t block_index)
+{
+    BlockInfo &blk = blocks[block_index];
+    zombie_assert(blk.validCount == 0,
+                  "erase of block ", block_index,
+                  " with ", blk.validCount, " valid pages");
+
+    const Ppn first = geom.firstPpnOfBlock(block_index);
+    for (std::uint32_t i = 0; i < geom.pagesPerBlock(); ++i) {
+        const Ppn ppn = first + i;
+        if (pageState[ppn] == PageState::Invalid) {
+            --invalidPages;
+            ++freePages;
+        } else if (pageState[ppn] == PageState::Free) {
+            // already free; nothing to adjust
+        }
+        pageState[ppn] = PageState::Free;
+        garbagePop[ppn] = 0;
+    }
+
+    // Pages beyond writePtr were never programmed and stay free.
+    blk.writePtr = 0;
+    blk.invalidCount = 0;
+    blk.garbagePopularity = 0;
+    ++blk.eraseCount;
+    ++stats.erases;
+}
+
+std::uint32_t
+FlashArray::maxEraseCount() const
+{
+    std::uint32_t max_erases = 0;
+    for (const auto &blk : blocks)
+        max_erases = std::max(max_erases, blk.eraseCount);
+    return max_erases;
+}
+
+} // namespace zombie

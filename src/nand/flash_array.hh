@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Page/block state bookkeeping for the whole flash array.
+ *
+ * Enforces the NAND invariants the paper's mechanism lives inside:
+ * no write-in-place (a page programs only from the Free state, pages
+ * within a block program sequentially), erase works on whole blocks,
+ * and an invalidated page is garbage until erased. The one deliberate
+ * extension is revivePage(): flipping an Invalid page back to Valid,
+ * which is exactly the "zombie revival" the dead-value pool performs
+ * on a hit.
+ *
+ * Each garbage page also remembers the popularity degree its LPN had
+ * when it died; the popularity-aware GC victim metric (paper section
+ * IV-D) is the weighted sum of these per block.
+ */
+
+#ifndef ZOMBIE_NAND_FLASH_ARRAY_HH
+#define ZOMBIE_NAND_FLASH_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/geometry.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Life state of one flash page. */
+enum class PageState : std::uint8_t
+{
+    Free = 0,
+    Valid = 1,
+    Invalid = 2, //!< garbage ("dead"/zombie candidate)
+};
+
+/** Per-block bookkeeping. */
+struct BlockInfo
+{
+    std::uint32_t writePtr = 0; //!< next page to program (sequential)
+    std::uint32_t validCount = 0;
+    std::uint32_t invalidCount = 0;
+    std::uint32_t eraseCount = 0;
+
+    /** Sum of popularity degrees over current garbage pages. */
+    std::uint64_t garbagePopularity = 0;
+};
+
+/** Array-wide operation counters. */
+struct FlashCounters
+{
+    std::uint64_t programs = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t erases = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t revivals = 0;
+};
+
+/** State of every page and block in the drive. */
+class FlashArray
+{
+  public:
+    explicit FlashArray(const Geometry &geom);
+
+    const Geometry &geometry() const { return geom; }
+
+    PageState state(Ppn ppn) const;
+
+    /** Popularity recorded when the page was invalidated. */
+    std::uint8_t garbagePopularity(Ppn ppn) const;
+
+    const BlockInfo &block(std::uint64_t block_index) const;
+
+    /**
+     * Program the next free page of @p block_index. Panics if the
+     * block is full (the caller must have checked blockHasRoom).
+     * @return the PPN that was programmed.
+     */
+    Ppn programPage(std::uint64_t block_index);
+
+    bool blockHasRoom(std::uint64_t block_index) const;
+    std::uint32_t freePagesInBlock(std::uint64_t block_index) const;
+
+    /** Count a host/GC read of a valid page. */
+    void readPage(Ppn ppn);
+
+    /**
+     * Invalidate a valid page (out-of-place update or trim), tagging
+     * it with the dying LPN's popularity degree for GC scoring.
+     */
+    void invalidatePage(Ppn ppn, std::uint8_t popularity);
+
+    /**
+     * Revive a garbage page: Invalid -> Valid without programming.
+     * This is the dead-value-pool hit path (no flash op, no latency
+     * beyond mapping updates).
+     */
+    void revivePage(Ppn ppn);
+
+    /**
+     * Erase a block: every page returns to Free. Panics if valid
+     * pages remain (GC must relocate them first).
+     */
+    void eraseBlock(std::uint64_t block_index);
+
+    const FlashCounters &counters() const { return stats; }
+
+    /** Aggregate page-state census (testing / reporting). */
+    std::uint64_t totalFreePages() const { return freePages; }
+    std::uint64_t totalValidPages() const { return validPages; }
+    std::uint64_t totalInvalidPages() const { return invalidPages; }
+
+    /** Max per-block erase count (wear skew reporting). */
+    std::uint32_t maxEraseCount() const;
+
+  private:
+    Geometry geom;
+    std::vector<PageState> pageState;
+    std::vector<std::uint8_t> garbagePop;
+    std::vector<BlockInfo> blocks;
+    FlashCounters stats;
+    std::uint64_t freePages;
+    std::uint64_t validPages = 0;
+    std::uint64_t invalidPages = 0;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_NAND_FLASH_ARRAY_HH

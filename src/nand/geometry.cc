@@ -1,0 +1,154 @@
+#include "nand/geometry.hh"
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+Geometry::Geometry(std::uint32_t channels,
+                   std::uint32_t chips_per_channel,
+                   std::uint32_t dies_per_chip,
+                   std::uint32_t planes_per_die,
+                   std::uint32_t blocks_per_plane,
+                   std::uint32_t pages_per_block)
+    : nChannels(channels), nChips(chips_per_channel),
+      nDies(dies_per_chip), nPlanes(planes_per_die),
+      nBlocks(blocks_per_plane), nPages(pages_per_block)
+{
+    if (!channels || !chips_per_channel || !dies_per_chip ||
+        !planes_per_die || !blocks_per_plane || !pages_per_block) {
+        zombie_fatal("every geometry dimension must be >= 1");
+    }
+}
+
+Geometry
+Geometry::tableI(std::uint32_t blocks_per_plane)
+{
+    // 8x8 dimension, 4 dies/chip, 2 planes/die, 256 pages/block.
+    return Geometry(8, 8, 4, 2, blocks_per_plane, 256);
+}
+
+std::uint64_t
+Geometry::totalChips() const
+{
+    return std::uint64_t(nChannels) * nChips;
+}
+
+std::uint64_t
+Geometry::totalDies() const
+{
+    return totalChips() * nDies;
+}
+
+std::uint64_t
+Geometry::totalPlanes() const
+{
+    return totalDies() * nPlanes;
+}
+
+std::uint64_t
+Geometry::totalBlocks() const
+{
+    return totalPlanes() * nBlocks;
+}
+
+std::uint64_t
+Geometry::totalPages() const
+{
+    return totalBlocks() * nPages;
+}
+
+std::uint64_t
+Geometry::capacityBytes() const
+{
+    return totalPages() * kPageSize;
+}
+
+Ppn
+Geometry::encode(const PageAddress &addr) const
+{
+    zombie_assert(addr.channel < nChannels && addr.chip < nChips &&
+                  addr.die < nDies && addr.plane < nPlanes &&
+                  addr.block < nBlocks && addr.page < nPages,
+                  "page address out of geometry bounds");
+    std::uint64_t idx = addr.channel;
+    idx = idx * nChips + addr.chip;
+    idx = idx * nDies + addr.die;
+    idx = idx * nPlanes + addr.plane;
+    idx = idx * nBlocks + addr.block;
+    idx = idx * nPages + addr.page;
+    return idx;
+}
+
+PageAddress
+Geometry::decode(Ppn ppn) const
+{
+    zombie_assert(ppn < totalPages(), "PPN ", ppn, " out of bounds");
+    PageAddress addr;
+    addr.page = static_cast<std::uint32_t>(ppn % nPages);
+    ppn /= nPages;
+    addr.block = static_cast<std::uint32_t>(ppn % nBlocks);
+    ppn /= nBlocks;
+    addr.plane = static_cast<std::uint32_t>(ppn % nPlanes);
+    ppn /= nPlanes;
+    addr.die = static_cast<std::uint32_t>(ppn % nDies);
+    ppn /= nDies;
+    addr.chip = static_cast<std::uint32_t>(ppn % nChips);
+    ppn /= nChips;
+    addr.channel = static_cast<std::uint32_t>(ppn);
+    return addr;
+}
+
+std::uint64_t
+Geometry::blockIndex(const PageAddress &addr) const
+{
+    return encode(PageAddress{addr.channel, addr.chip, addr.die,
+                              addr.plane, addr.block, 0}) / nPages;
+}
+
+std::uint64_t
+Geometry::blockOfPpn(Ppn ppn) const
+{
+    zombie_assert(ppn < totalPages(), "PPN out of bounds");
+    return ppn / nPages;
+}
+
+std::uint64_t
+Geometry::planeIndex(const PageAddress &addr) const
+{
+    return blockIndex(addr) / nBlocks;
+}
+
+std::uint64_t
+Geometry::planeOfPpn(Ppn ppn) const
+{
+    return blockOfPpn(ppn) / nBlocks;
+}
+
+std::uint64_t
+Geometry::planeOfBlock(std::uint64_t block_index) const
+{
+    zombie_assert(block_index < totalBlocks(), "block index out of bounds");
+    return block_index / nBlocks;
+}
+
+std::uint64_t
+Geometry::dieOfPpn(Ppn ppn) const
+{
+    return planeOfPpn(ppn) / nPlanes;
+}
+
+std::uint32_t
+Geometry::channelOfPpn(Ppn ppn) const
+{
+    return static_cast<std::uint32_t>(dieOfPpn(ppn) / (nDies * nChips));
+}
+
+Ppn
+Geometry::firstPpnOfBlock(std::uint64_t block_index) const
+{
+    zombie_assert(block_index < totalBlocks(), "block index out of bounds");
+    return block_index * nPages;
+}
+
+} // namespace zombie

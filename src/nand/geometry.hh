@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Physical geometry of the modeled SSD and the PPN address codec.
+ *
+ * Follows Table I of the paper: 8 channels x 8 chips, 4 dies per chip,
+ * 2 planes per die, 256 pages per block, 4KB pages. Blocks-per-plane is
+ * the scaling knob: the paper models a 1TB drive, the simulator scales
+ * capacity to the trace footprint while keeping every structural ratio
+ * (see DESIGN.md, substitution table).
+ */
+
+#ifndef ZOMBIE_NAND_GEOMETRY_HH
+#define ZOMBIE_NAND_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Decomposed flash page address. */
+struct PageAddress
+{
+    std::uint32_t channel;
+    std::uint32_t chip;   //!< within channel
+    std::uint32_t die;    //!< within chip
+    std::uint32_t plane;  //!< within die
+    std::uint32_t block;  //!< within plane
+    std::uint32_t page;   //!< within block
+
+    bool operator==(const PageAddress &) const = default;
+};
+
+/** Immutable geometry with flat-index codecs. */
+class Geometry
+{
+  public:
+    Geometry(std::uint32_t channels, std::uint32_t chips_per_channel,
+             std::uint32_t dies_per_chip, std::uint32_t planes_per_die,
+             std::uint32_t blocks_per_plane,
+             std::uint32_t pages_per_block);
+
+    /** Table I configuration at simulation scale (64 blocks/plane). */
+    static Geometry tableI(std::uint32_t blocks_per_plane = 64);
+
+    std::uint32_t channels() const { return nChannels; }
+    std::uint32_t chipsPerChannel() const { return nChips; }
+    std::uint32_t diesPerChip() const { return nDies; }
+    std::uint32_t planesPerDie() const { return nPlanes; }
+    std::uint32_t blocksPerPlane() const { return nBlocks; }
+    std::uint32_t pagesPerBlock() const { return nPages; }
+
+    std::uint64_t totalChips() const;
+    std::uint64_t totalDies() const;
+    std::uint64_t totalPlanes() const;
+    std::uint64_t totalBlocks() const;
+    std::uint64_t totalPages() const;
+    std::uint64_t capacityBytes() const;
+
+    /** Flat block index in [0, totalBlocks). */
+    std::uint64_t blockIndex(const PageAddress &addr) const;
+    std::uint64_t blockOfPpn(Ppn ppn) const;
+
+    /** Flat plane index in [0, totalPlanes). */
+    std::uint64_t planeIndex(const PageAddress &addr) const;
+    std::uint64_t planeOfPpn(Ppn ppn) const;
+    std::uint64_t planeOfBlock(std::uint64_t block_index) const;
+
+    /** Flat die index in [0, totalDies). */
+    std::uint64_t dieOfPpn(Ppn ppn) const;
+    std::uint32_t channelOfPpn(Ppn ppn) const;
+
+    Ppn encode(const PageAddress &addr) const;
+    PageAddress decode(Ppn ppn) const;
+
+    /** First PPN of the given flat block index. */
+    Ppn firstPpnOfBlock(std::uint64_t block_index) const;
+
+  private:
+    std::uint32_t nChannels;
+    std::uint32_t nChips;
+    std::uint32_t nDies;
+    std::uint32_t nPlanes;
+    std::uint32_t nBlocks;
+    std::uint32_t nPages;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_NAND_GEOMETRY_HH

@@ -1,0 +1,125 @@
+#include "nand/resource_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+ResourceModel::ResourceModel(const Geometry &geometry,
+                             const TimingModel &timing)
+    : geom(geometry), times(timing),
+      channelBusyUntil(geom.channels(), 0),
+      dieBusyUntil(geom.totalDies(), 0),
+      channelBusyTotal(geom.channels(), 0),
+      dieBusyTotal(geom.totalDies(), 0)
+{
+}
+
+Tick
+ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest)
+{
+    const std::uint64_t die = geom.dieOfPpn(ppn);
+    const std::uint32_t channel = geom.channelOfPpn(ppn);
+    Tick &die_free = dieBusyUntil[die];
+    Tick &chan_free = channelBusyUntil[channel];
+
+    const Tick cmd = times.commandOverhead;
+    const Tick xfer = times.pageTransfer;
+    const Tick array = times.arrayLatency(op);
+
+    Tick completion = 0;
+    switch (op) {
+      case FlashOp::Read: {
+        // Array sense first, then data-out over the channel. The
+        // channel's busy-until horizon only advances when transfers
+        // genuinely contend (start at or before the horizon); a
+        // transfer far in the future leaves the idle bus unreserved —
+        // a scalar busy-until cannot represent the gap, and
+        // reserving it would let one backlogged die stall its whole
+        // channel ("horizon ratchet").
+        const Tick start = std::max(earliest, die_free) + cmd;
+        const Tick sensed = start + array;
+        const Tick xfer_start = std::max(sensed, chan_free);
+        completion = xfer_start + xfer;
+        // The page register holds data until the transfer drains.
+        dieBusyTotal[die] += completion - start;
+        die_free = completion;
+        channelBusyTotal[channel] += xfer;
+        if (sensed <= chan_free)
+            chan_free = completion;
+        break;
+      }
+      case FlashOp::Program: {
+        // Data-in over the channel first, then the array program.
+        // The bus is held only for the transfer itself — the page
+        // register buffers the data while the die drains its queue —
+        // so one backlogged die never stalls its whole channel.
+        const Tick xfer_start = std::max(earliest, chan_free) + cmd;
+        const Tick loaded = xfer_start + xfer;
+        const Tick prog_start = std::max(loaded, die_free);
+        completion = prog_start + array;
+        channelBusyTotal[channel] += xfer;
+        if (earliest <= chan_free)
+            chan_free = loaded;
+        dieBusyTotal[die] += completion - prog_start;
+        die_free = completion;
+        break;
+      }
+      case FlashOp::Erase: {
+        // Array-only; the channel carries just the command cycles.
+        const Tick start = std::max(earliest, die_free) + cmd;
+        completion = start + array;
+        dieBusyTotal[die] += completion - start;
+        die_free = completion;
+        break;
+      }
+    }
+    return completion;
+}
+
+Tick
+ResourceModel::dieFreeAt(Ppn ppn) const
+{
+    return dieBusyUntil[geom.dieOfPpn(ppn)];
+}
+
+Tick
+ResourceModel::channelFreeAt(Ppn ppn) const
+{
+    return channelBusyUntil[geom.channelOfPpn(ppn)];
+}
+
+Tick
+ResourceModel::dieFreeAtIndex(std::uint64_t die) const
+{
+    zombie_assert(die < dieBusyUntil.size(), "die index out of bounds");
+    return dieBusyUntil[die];
+}
+
+double
+ResourceModel::channelUtilization(Tick horizon) const
+{
+    if (horizon == 0)
+        return 0.0;
+    Tick busy = 0;
+    for (Tick t : channelBusyTotal)
+        busy += t;
+    return static_cast<double>(busy) /
+           (static_cast<double>(horizon) * channelBusyTotal.size());
+}
+
+double
+ResourceModel::dieUtilization(Tick horizon) const
+{
+    if (horizon == 0)
+        return 0.0;
+    Tick busy = 0;
+    for (Tick t : dieBusyTotal)
+        busy += t;
+    return static_cast<double>(busy) /
+           (static_cast<double>(horizon) * dieBusyTotal.size());
+}
+
+} // namespace zombie

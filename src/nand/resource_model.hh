@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Channel/die contention model (SSDSim-style).
+ *
+ * The drive's parallelism comes from independently functioning
+ * channels with multiple chips (Table I: 8x8, 4 dies/chip); the die is
+ * the concurrency unit for array operations and the channel bus
+ * serializes page transfers. Each resource keeps a busy-until
+ * timestamp; scheduling an operation composes bus and array phases:
+ *
+ *   read:    array(tR) on die, then data-out transfer on channel
+ *   program: data-in transfer on channel, then array(tPROG) on die
+ *   erase:   array(tBERS) on die only
+ *
+ * scheduleOp() returns the completion tick; the difference to the
+ * request's arrival is its device-level latency, which is where GC
+ * interference and write/read asymmetry show up (paper sections I, VI-B).
+ */
+
+#ifndef ZOMBIE_NAND_RESOURCE_MODEL_HH
+#define ZOMBIE_NAND_RESOURCE_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/geometry.hh"
+#include "nand/timing.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Busy-until schedule for every channel and die. */
+class ResourceModel
+{
+  public:
+    ResourceModel(const Geometry &geom, const TimingModel &timing);
+
+    /**
+     * Schedule @p op against the page @p ppn lives on, no earlier
+     * than @p earliest. Advances the die/channel busy-until state.
+     * @return completion tick.
+     */
+    Tick scheduleOp(FlashOp op, Ppn ppn, Tick earliest);
+
+    /** Earliest tick at which the die owning @p ppn is idle. */
+    Tick dieFreeAt(Ppn ppn) const;
+    Tick channelFreeAt(Ppn ppn) const;
+
+    /** Busy-until of a die by flat index (dynamic write allocation). */
+    Tick dieFreeAtIndex(std::uint64_t die) const;
+
+    /** Fraction of [0, horizon] each resource class was busy. */
+    double channelUtilization(Tick horizon) const;
+    double dieUtilization(Tick horizon) const;
+
+    const TimingModel &timing() const { return times; }
+
+  private:
+    Geometry geom;
+    TimingModel times;
+    std::vector<Tick> channelBusyUntil;
+    std::vector<Tick> dieBusyUntil;
+    std::vector<Tick> channelBusyTotal;
+    std::vector<Tick> dieBusyTotal;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_NAND_RESOURCE_MODEL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * NAND operation timing (Table I) and the ONFi channel model.
+ *
+ * Latencies follow Table I: read 75us, program 400us, erase 3.8ms,
+ * hash engine 12us per 4KB chunk. The channel models ONFi 4.0 at
+ * 800 MT/s: moving one 4KB page plus metadata over the 8-bit bus takes
+ * about 5.2us, plus fixed command overhead.
+ */
+
+#ifndef ZOMBIE_NAND_TIMING_HH
+#define ZOMBIE_NAND_TIMING_HH
+
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Flash operation kinds the resource model schedules. */
+enum class FlashOp
+{
+    Read,
+    Program,
+    Erase,
+};
+
+/** All latencies in ticks (ns). */
+struct TimingModel
+{
+    Tick readLatency = ticksFromUs(75);
+    Tick programLatency = ticksFromUs(400);
+    Tick eraseLatency = ticksFromMs(3.8);
+
+    /** 4KB + OOB over an ONFi 4.0 800 MT/s 8-bit bus. */
+    Tick pageTransfer = ticksFromUs(5.2);
+
+    /** Command/address cycles per operation. */
+    Tick commandOverhead = ticksFromUs(0.2);
+
+    /** On-controller hash engine, per 4KB chunk (Table I, [35]). */
+    Tick hashLatency = ticksFromUs(12);
+
+    /** FTL mapping-table manipulation cost per request. */
+    Tick ftlOverhead = ticksFromUs(1);
+
+    /** Serving a read from controller RAM (read-cache hit). */
+    Tick cacheHit = ticksFromUs(3);
+
+    /** Array-busy time for an operation (excludes bus transfer). */
+    Tick
+    arrayLatency(FlashOp op) const
+    {
+        switch (op) {
+          case FlashOp::Read:
+            return readLatency;
+          case FlashOp::Program:
+            return programLatency;
+          case FlashOp::Erase:
+            return eraseLatency;
+        }
+        return 0;
+    }
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_NAND_TIMING_HH

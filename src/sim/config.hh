@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Simulated-system configuration (paper Table I + section V).
+ *
+ * SystemKind enumerates the studied systems: Baseline, the proposed
+ * MQ dead-value pool, the LRU strawman, LX-SSD prior work, the Dedup
+ * baseline, DVP-on-Dedup, and the infinite-pool Ideal.
+ *
+ * Geometry scaling: the paper models a 1TB drive; at simulation scale
+ * the channel/chip structure (8x8) and all Table I latencies are kept
+ * while dies/planes/blocks-per-plane shrink so that the physical
+ * capacity is the trace footprint plus 15% over-provisioning — the
+ * utilization ratio, not absolute capacity, is what drives GC.
+ */
+
+#ifndef ZOMBIE_SIM_CONFIG_HH
+#define ZOMBIE_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dvp/mq_dvp.hh"
+#include "nand/geometry.hh"
+#include "nand/timing.hh"
+#include "trace/profile.hh"
+
+namespace zombie
+{
+
+/** The systems compared in the evaluation (section V-A). */
+enum class SystemKind
+{
+    Baseline, //!< no content engine at all
+    MqDvp,    //!< the proposal: MQ dead-value pool
+    LruDvp,   //!< single-LRU pool (Figures 5/6)
+    LxSsd,    //!< prior work [20]
+    Dedup,    //!< in-line dedup only [4,5]
+    DvpDedup, //!< MQ-DVP layered on dedup (section VII)
+    Ideal,    //!< infinite dead-value pool
+};
+
+SystemKind systemKindFromString(const std::string &name);
+std::string toString(SystemKind kind);
+
+/** Whether this system computes content hashes on the write path. */
+bool usesHashEngine(SystemKind kind);
+/** Whether this system owns a dead-value pool. */
+bool usesDvp(SystemKind kind);
+/** Whether this system runs in-line dedup. */
+bool usesDedup(SystemKind kind);
+
+/** Everything needed to instantiate one simulated SSD. */
+struct SsdConfig
+{
+    SystemKind system = SystemKind::Baseline;
+
+    Geometry geom = Geometry::tableI();
+    TimingModel timing;
+
+    /** Exported logical space in pages. */
+    std::uint64_t logicalPages = 0;
+
+    /** Fraction of the logical space pre-written before timing. */
+    double prefillFraction = 0.70;
+
+    /**
+     * Controller read-cache entries (pages; 16 MiB at the default).
+     * 0 disables the cache. Without one, dedup's many-to-one mapping
+     * turns every popular value into a single-die read hotspot.
+     */
+    std::uint64_t readCacheEntries = 4096;
+
+    /** Hot/cold write-stream separation (see FtlConfig). */
+    bool hotColdSeparation = false;
+    std::uint8_t hotThreshold = 2;
+
+    /** Dead-value pool sizing (MQ config; capacity shared by LRU/LX). */
+    MqDvpConfig mq;
+
+    /**
+     * GC victim policy: "auto" = popularity-aware when a DVP is
+     * present (paper section IV-D), greedy otherwise. Explicit
+     * "greedy"/"popularity" override for the ablation bench.
+     */
+    std::string gcPolicy = "auto";
+    double gcPopWeight = 1.0;
+    std::uint32_t gcSoftWater = 5;
+    std::uint32_t gcLowWater = 2;
+
+    /** Incremental-GC budget (relocations per host write per plane). */
+    std::uint32_t gcPagesPerStep = 2;
+
+    /** Resolved GC policy name for the chosen system. */
+    std::string resolvedGcPolicy() const;
+
+    /** Implied over-provisioning fraction. */
+    double overProvisioning() const;
+
+    /**
+     * Build a config for @p system sized to a workload: logical space
+     * = the profile's footprint, physical = footprint * (1 + op),
+     * channels/chips kept at 8x8 (Table I), dies/planes/blocks scaled.
+     */
+    static SsdConfig forProfile(const WorkloadProfile &profile,
+                                SystemKind system, double op = 0.15);
+
+    /** Same scaling from a raw footprint in pages. */
+    static SsdConfig forFootprint(std::uint64_t footprint_pages,
+                                  SystemKind system, double op = 0.15);
+
+    /** One-line human-readable description (bench headers). */
+    std::string describe() const;
+
+    /** Fatal on inconsistent settings. */
+    void validate() const;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_SIM_CONFIG_HH

@@ -1,0 +1,50 @@
+#include "sim/experiment.hh"
+
+#include "trace/generator.hh"
+
+namespace zombie
+{
+
+SimResult
+runSystemOnProfile(const WorkloadProfile &profile, SystemKind system,
+                   const ExperimentOptions &opts)
+{
+    SyntheticTraceGenerator gen(profile);
+
+    SsdConfig cfg = SsdConfig::forProfile(profile, system);
+    cfg.mq.capacity = opts.poolCapacity;
+    cfg.mq.numQueues = opts.mqQueues;
+    cfg.gcPolicy = opts.gcPolicy;
+    if (opts.tweak)
+        opts.tweak(cfg);
+
+    Ssd ssd(cfg);
+    ssd.prefill();
+    TraceRecord rec;
+    while (gen.next(rec))
+        ssd.process(rec);
+    return ssd.result();
+}
+
+SimResult
+runSystem(Workload workload, SystemKind system,
+          const ExperimentOptions &opts)
+{
+    const WorkloadProfile profile = WorkloadProfile::preset(
+        workload, opts.day, opts.requests, opts.seed);
+    return runSystemOnProfile(profile, system, opts);
+}
+
+Comparison
+compareSystems(Workload workload,
+               const std::vector<SystemKind> &systems,
+               const ExperimentOptions &opts)
+{
+    Comparison cmp;
+    cmp.baseline = runSystem(workload, SystemKind::Baseline, opts);
+    for (const SystemKind kind : systems)
+        cmp.systems.push_back(runSystem(workload, kind, opts));
+    return cmp;
+}
+
+} // namespace zombie

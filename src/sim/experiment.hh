@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment runner: generate a workload trace, simulate it on one or
+ * more systems, and compare against the Baseline — the shape every
+ * evaluation figure (9-12, 14, 15) follows.
+ */
+
+#ifndef ZOMBIE_SIM_EXPERIMENT_HH
+#define ZOMBIE_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/ssd.hh"
+#include "trace/profile.hh"
+
+namespace zombie
+{
+
+/** Shared knobs for one experiment run. */
+struct ExperimentOptions
+{
+    std::uint64_t requests = 300'000;
+    std::uint64_t seed = 42;
+    int day = 1;
+
+    /** Pool entries for DVP/LRU/LX systems. */
+    std::uint64_t poolCapacity = 200'000;
+
+    /** "auto" | "greedy" | "popularity". */
+    std::string gcPolicy = "auto";
+    std::uint32_t mqQueues = 8;
+
+    /** Optional hook to tweak the SsdConfig before construction. */
+    std::function<void(SsdConfig &)> tweak;
+};
+
+/** Simulate @p system on the given workload; trace is regenerated
+ *  deterministically from (workload, day, requests, seed) so every
+ *  system sees the identical request stream. */
+SimResult runSystem(Workload workload, SystemKind system,
+                    const ExperimentOptions &opts = {});
+
+/** Same, from an explicit profile. */
+SimResult runSystemOnProfile(const WorkloadProfile &profile,
+                             SystemKind system,
+                             const ExperimentOptions &opts = {});
+
+/** Baseline + the listed systems over one workload. */
+struct Comparison
+{
+    SimResult baseline;
+    std::vector<SimResult> systems;
+};
+
+Comparison compareSystems(Workload workload,
+                          const std::vector<SystemKind> &systems,
+                          const ExperimentOptions &opts = {});
+
+} // namespace zombie
+
+#endif // ZOMBIE_SIM_EXPERIMENT_HH

@@ -1,0 +1,40 @@
+#include "sim/read_cache.hh"
+
+namespace zombie
+{
+
+bool
+ReadCache::access(Ppn ppn)
+{
+    if (!enabled())
+        return false;
+
+    auto it = index.find(ppn);
+    if (it != index.end()) {
+        ++cstats.hits;
+        lru.splice(lru.end(), lru, it->second);
+        return true;
+    }
+
+    ++cstats.misses;
+    if (index.size() >= cap) {
+        index.erase(lru.front());
+        lru.pop_front();
+    }
+    lru.push_back(ppn);
+    index[ppn] = std::prev(lru.end());
+    return false;
+}
+
+void
+ReadCache::invalidate(Ppn ppn)
+{
+    auto it = index.find(ppn);
+    if (it == index.end())
+        return;
+    ++cstats.invalidations;
+    lru.erase(it->second);
+    index.erase(it);
+}
+
+} // namespace zombie

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Controller read cache.
+ *
+ * SSD controllers keep recently read pages in on-board RAM; without
+ * it, deduplication's many-to-one mapping (section VII) funnels every
+ * read of a popular value onto the single die holding its one
+ * physical copy, and the resulting hotspot can swamp the latency
+ * benefit of the removed writes. The cache is keyed by PPN — valid
+ * flash pages are immutable (no write-in-place), so an entry only
+ * needs invalidating when its page is reprogrammed after an erase.
+ */
+
+#ifndef ZOMBIE_SIM_READ_CACHE_HH
+#define ZOMBIE_SIM_READ_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Cache hit/miss counters. */
+struct ReadCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/** LRU page cache keyed by physical page number. */
+class ReadCache
+{
+  public:
+    /** @param capacity entries (pages); 0 disables the cache. */
+    explicit ReadCache(std::uint64_t capacity) : cap(capacity) {}
+
+    bool enabled() const { return cap > 0; }
+
+    /**
+     * Look up @p ppn, counting a hit or miss; on a miss the page is
+     * inserted (evicting the LRU entry if full).
+     * @return true on a hit.
+     */
+    bool access(Ppn ppn);
+
+    /** Drop @p ppn (its flash page was reprogrammed). */
+    void invalidate(Ppn ppn);
+
+    std::uint64_t size() const { return index.size(); }
+    std::uint64_t capacity() const { return cap; }
+    const ReadCacheStats &stats() const { return cstats; }
+
+  private:
+    std::uint64_t cap;
+    std::list<Ppn> lru; //!< front = LRU victim, back = most recent
+    std::unordered_map<Ppn, std::list<Ppn>::iterator> index;
+    ReadCacheStats cstats;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_SIM_READ_CACHE_HH

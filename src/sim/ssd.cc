@@ -1,0 +1,284 @@
+#include "sim/ssd.hh"
+
+#include <algorithm>
+
+#include "dvp/lru_dvp.hh"
+#include "dvp/lx_dvp.hh"
+#include "dvp/mq_dvp.hh"
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+namespace
+{
+
+/** Prefill content ids live far above any trace value id. */
+constexpr std::uint64_t kPrefillIdBase = 0xF000'0000'0000'0000ULL;
+
+double
+reduction(std::uint64_t sys, std::uint64_t base)
+{
+    if (base == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(sys) / static_cast<double>(base);
+}
+
+double
+improvement(double sys, double base)
+{
+    if (base <= 0.0)
+        return 0.0;
+    return 1.0 - sys / base;
+}
+
+} // namespace
+
+StatSet
+SimResult::toStatSet() const
+{
+    StatSet s;
+    s.set("requests", static_cast<double>(requests));
+    s.set("reads", static_cast<double>(reads));
+    s.set("writes", static_cast<double>(writes));
+    s.set("flash.programs", static_cast<double>(flashPrograms));
+    s.set("flash.host_programs", static_cast<double>(hostPrograms));
+    s.set("flash.reads", static_cast<double>(flashReads));
+    s.set("flash.erases", static_cast<double>(flashErases));
+    s.set("flash.revivals", static_cast<double>(revivals));
+    s.set("gc.invocations", static_cast<double>(gcInvocations));
+    s.set("gc.relocations", static_cast<double>(gcRelocations));
+    s.set("dvp.revivals", static_cast<double>(dvpRevivals));
+    s.set("dedup.hits", static_cast<double>(dedupHits));
+    s.set("latency.read.mean_us", readLatency.mean() / 1000.0);
+    s.set("latency.write.mean_us", writeLatency.mean() / 1000.0);
+    s.set("latency.all.mean_us", allLatency.mean() / 1000.0);
+    s.set("latency.all.p99_us",
+          static_cast<double>(allLatency.percentile(0.99)) / 1000.0);
+    s.set("makespan_ms", static_cast<double>(makespan) / 1e6);
+    s.set("wear.max_erase", static_cast<double>(wear.maxErase));
+    s.set("wear.mean_erase", wear.meanErase);
+    s.set("wear.skew", static_cast<double>(wear.skew()));
+    s.set("cache.hit_rate", readCache.hitRate());
+    s.set("cache.hits", static_cast<double>(readCache.hits));
+    if (hasDvp) {
+        s.set("dvp.hit_rate", dvpStats.hitRate());
+        s.set("dvp.capacity_evictions",
+              static_cast<double>(dvpStats.capacityEvictions));
+        s.set("dvp.gc_evictions",
+              static_cast<double>(dvpStats.gcEvictions));
+    }
+    if (hasDedup)
+        s.set("dedup.hit_rate", dedupStats.hitRate());
+    return s;
+}
+
+double
+writeReduction(const SimResult &sys, const SimResult &base)
+{
+    return reduction(sys.flashPrograms, base.flashPrograms);
+}
+
+double
+eraseReduction(const SimResult &sys, const SimResult &base)
+{
+    return reduction(sys.flashErases, base.flashErases);
+}
+
+double
+meanLatencyImprovement(const SimResult &sys, const SimResult &base)
+{
+    return improvement(sys.allLatency.mean(), base.allLatency.mean());
+}
+
+double
+tailLatencyImprovement(const SimResult &sys, const SimResult &base)
+{
+    return improvement(
+        static_cast<double>(sys.allLatency.percentile(0.99)),
+        static_cast<double>(base.allLatency.percentile(0.99)));
+}
+
+std::unique_ptr<DeadValuePool>
+Ssd::makePool(const SsdConfig &cfg)
+{
+    switch (cfg.system) {
+      case SystemKind::MqDvp:
+      case SystemKind::DvpDedup:
+        return std::make_unique<MqDvp>(cfg.mq);
+      case SystemKind::LruDvp:
+        return std::make_unique<LruDvp>(cfg.mq.capacity);
+      case SystemKind::LxSsd:
+        return std::make_unique<LxDvp>(cfg.mq.capacity);
+      case SystemKind::Ideal:
+        return std::make_unique<InfiniteDvp>();
+      default:
+        return nullptr;
+    }
+}
+
+Ssd::Ssd(SsdConfig config)
+    : cfg(std::move(config)),
+      flashArray(cfg.geom),
+      pool(makePool(cfg)),
+      store(usesDedup(cfg.system) ? std::make_unique<FingerprintStore>()
+                                  : nullptr),
+      ftl_(flashArray,
+           FtlConfig{.logicalPages = cfg.logicalPages,
+                     .gcSoftWater = cfg.gcSoftWater,
+                     .gcLowWater = cfg.gcLowWater,
+                     .gcPagesPerStep = cfg.gcPagesPerStep,
+                     .gcPolicy = cfg.resolvedGcPolicy(),
+                     .gcPopWeight = cfg.gcPopWeight,
+                     .hotColdSeparation = cfg.hotColdSeparation,
+                     .hotThreshold = cfg.hotThreshold}),
+      resources(cfg.geom, cfg.timing),
+      cache(cfg.readCacheEntries)
+{
+    cfg.validate();
+    if (pool)
+        ftl_.attachDvp(pool.get());
+    if (store)
+        ftl_.attachDedup(store.get());
+
+    // Dynamic write allocation: steer host writes toward idle dies.
+    const std::uint32_t planes_per_die = cfg.geom.planesPerDie();
+    ftl_.setPlaneLoadProbe([this, planes_per_die](std::uint64_t plane) {
+        return resources.dieFreeAtIndex(plane / planes_per_die);
+    });
+}
+
+void
+Ssd::prefill()
+{
+    zombie_assert(!prefilled && !measuring,
+                  "prefill must run once, before any request");
+    const auto target = static_cast<std::uint64_t>(
+        cfg.prefillFraction * static_cast<double>(cfg.logicalPages));
+    for (std::uint64_t lpn = 0; lpn < target; ++lpn) {
+        const Fingerprint fp =
+            Fingerprint::fromValueId(kPrefillIdBase | lpn);
+        ftl_.write(lpn, fp);
+    }
+    prefilled = true;
+}
+
+void
+Ssd::beginMeasurement()
+{
+    measuring = true;
+    flashBase = flashArray.counters();
+    ftlBase = ftl_.stats();
+}
+
+void
+Ssd::process(const TraceRecord &rec)
+{
+    if (!measuring) {
+        beginMeasurement();
+        firstArrival = rec.arrival;
+    }
+
+    // Controller dispatch: in-order, serializing on the FTL overhead.
+    // The hash engine (12us, Table I) is pipelined hardware: it adds
+    // latency to each write's path without limiting throughput.
+    const Tick dispatched = std::max(rec.arrival, dispatchFreeAt);
+    dispatchFreeAt = dispatched + cfg.timing.ftlOverhead;
+    Tick t = dispatchFreeAt;
+    if (rec.isWrite() && usesHashEngine(cfg.system))
+        t += cfg.timing.hashLatency;
+
+    HostOpResult result =
+        rec.isWrite() ? ftl_.write(rec.lpn, rec.fp) : ftl_.read(rec.lpn);
+
+    Tick completion = t;
+    for (const FlashStep &step : result.userSteps) {
+        if (step.op == FlashOp::Read && cache.access(step.ppn)) {
+            // Served from controller RAM; no flash operation.
+            completion = t + cfg.timing.cacheHit;
+            continue;
+        }
+        if (step.op == FlashOp::Program)
+            cache.invalidate(step.ppn);
+        completion = resources.scheduleOp(step.op, step.ppn, t);
+    }
+
+    // GC work starts when the FTL triggers it (dispatch time) and
+    // piles onto its dies/channels; later arrivals to those dies
+    // queue behind the collection. Steps on one die serialize through
+    // its busy-until in issue order; planes collect in parallel.
+    Tick gc_tail = completion;
+    for (const FlashStep &step : result.gcSteps) {
+        if (step.op == FlashOp::Program)
+            cache.invalidate(step.ppn);
+        gc_tail = std::max(gc_tail,
+                           resources.scheduleOp(step.op, step.ppn, t));
+    }
+
+    lastCompletion = std::max(lastCompletion, std::max(completion,
+                                                       gc_tail));
+
+    const Tick latency = completion - rec.arrival;
+    if (rec.isWrite()) {
+        ++writes;
+        writeLat.record(latency);
+    } else {
+        ++reads;
+        readLat.record(latency);
+    }
+    allLat.record(latency);
+}
+
+void
+Ssd::run(const std::vector<TraceRecord> &records)
+{
+    if (!prefilled && cfg.prefillFraction > 0.0)
+        prefill();
+    for (const auto &rec : records)
+        process(rec);
+}
+
+SimResult
+Ssd::result() const
+{
+    SimResult r;
+    r.system = toString(cfg.system);
+    r.requests = reads + writes;
+    r.reads = reads;
+    r.writes = writes;
+
+    const FlashCounters &fc = flashArray.counters();
+    const FtlStats &fs = ftl_.stats();
+    r.flashPrograms = fc.programs - flashBase.programs;
+    r.flashReads = fc.reads - flashBase.reads;
+    r.flashErases = fc.erases - flashBase.erases;
+    r.revivals = fc.revivals - flashBase.revivals;
+    r.hostPrograms = fs.programs - ftlBase.programs;
+    r.gcInvocations = fs.gcInvocations - ftlBase.gcInvocations;
+    r.gcRelocations = fs.gcRelocations - ftlBase.gcRelocations;
+    r.dvpRevivals = fs.dvpRevivals - ftlBase.dvpRevivals;
+    r.dedupHits = fs.dedupHits - ftlBase.dedupHits;
+    r.unmappedReads = fs.unmappedReads - ftlBase.unmappedReads;
+
+    r.readLatency = readLat;
+    r.writeLatency = writeLat;
+    r.allLatency = allLat;
+    r.makespan = lastCompletion > firstArrival
+                     ? lastCompletion - firstArrival
+                     : 0;
+
+    r.wear = ftl_.wearSummary();
+    r.readCache = cache.stats();
+
+    if (pool) {
+        r.hasDvp = true;
+        r.dvpStats = pool->stats();
+    }
+    if (store) {
+        r.hasDedup = true;
+        r.dedupStats = store->stats();
+    }
+    return r;
+}
+
+} // namespace zombie

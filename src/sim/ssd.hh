@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The simulated SSD: functional FTL + transaction-level timing.
+ *
+ * Timing model (SSDSim-style, section V-A): requests are dispatched
+ * in arrival order through the controller, which charges FTL overhead
+ * plus — for content-aware systems — the 12us hash-engine latency on
+ * the write path ("we modeled its impact on the queuing latency of
+ * the incoming write requests"). Flash operations then contend for
+ * channel buses and dies via busy-until scheduling; GC steps triggered
+ * by a write are scheduled right behind it on the same resources, so
+ * subsequent requests to those dies queue behind the collection —
+ * the paper's source of tail latency.
+ */
+
+#ifndef ZOMBIE_SIM_SSD_HH
+#define ZOMBIE_SIM_SSD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dedup/fingerprint_store.hh"
+#include "dvp/dead_value_pool.hh"
+#include "ftl/ftl.hh"
+#include "ftl/wear.hh"
+#include "nand/flash_array.hh"
+#include "nand/resource_model.hh"
+#include "sim/config.hh"
+#include "sim/read_cache.hh"
+#include "trace/record.hh"
+#include "util/stats.hh"
+
+namespace zombie
+{
+
+/** Everything a bench needs from one simulation run. */
+struct SimResult
+{
+    std::string system;
+
+    std::uint64_t requests = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t unmappedReads = 0;
+
+    /** Flash activity during the measured phase (prefill excluded). */
+    std::uint64_t flashPrograms = 0; //!< host + GC-relocation programs
+    std::uint64_t hostPrograms = 0;  //!< host-caused programs only
+    std::uint64_t flashReads = 0;
+    std::uint64_t flashErases = 0;
+    std::uint64_t revivals = 0;
+
+    std::uint64_t gcInvocations = 0;
+    std::uint64_t gcRelocations = 0;
+    std::uint64_t dvpRevivals = 0;
+    std::uint64_t dedupHits = 0;
+    ReadCacheStats readCache;
+
+    LatencyHistogram readLatency;
+    LatencyHistogram writeLatency;
+    LatencyHistogram allLatency;
+
+    Tick makespan = 0;
+
+    /** Erase-count statistics at end of run (device lifetime). */
+    WearSummary wear;
+
+    bool hasDvp = false;
+    DvpStats dvpStats;
+    bool hasDedup = false;
+    DedupStats dedupStats;
+
+    /** Flat dump for EXPERIMENTS.md style reporting. */
+    StatSet toStatSet() const;
+};
+
+/** 1 - sys/base, clamped to 0 when base is empty. */
+double writeReduction(const SimResult &sys, const SimResult &base);
+double eraseReduction(const SimResult &sys, const SimResult &base);
+double meanLatencyImprovement(const SimResult &sys,
+                              const SimResult &base);
+double tailLatencyImprovement(const SimResult &sys,
+                              const SimResult &base);
+
+/** One simulated drive servicing one trace. */
+class Ssd
+{
+  public:
+    explicit Ssd(SsdConfig config);
+
+    /**
+     * Pre-write prefillFraction of the logical space with unique
+     * content, untimed, so GC operates at realistic utilization
+     * during the measured phase. Must run before process().
+     */
+    void prefill();
+
+    /** Service one timed request. */
+    void process(const TraceRecord &rec);
+
+    /** Service a whole trace (prefill() first if configured). */
+    void run(const std::vector<TraceRecord> &records);
+
+    SimResult result() const;
+
+    const SsdConfig &config() const { return cfg; }
+    const Ftl &ftl() const { return ftl_; }
+    const ResourceModel &resourceModel() const { return resources; }
+    const FlashArray &flash() const { return flashArray; }
+    DeadValuePool *dvp() { return pool.get(); }
+    FingerprintStore *dedupStore() { return store.get(); }
+
+  private:
+    SsdConfig cfg;
+    FlashArray flashArray;
+    std::unique_ptr<DeadValuePool> pool;
+    std::unique_ptr<FingerprintStore> store;
+    Ftl ftl_;
+    ResourceModel resources;
+    ReadCache cache;
+
+    bool prefilled = false;
+    bool measuring = false;
+    Tick dispatchFreeAt = 0;
+    Tick firstArrival = 0;
+    Tick lastCompletion = 0;
+
+    /** Counter snapshots taken when measurement starts. */
+    FlashCounters flashBase;
+    FtlStats ftlBase;
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    LatencyHistogram readLat;
+    LatencyHistogram writeLat;
+    LatencyHistogram allLat;
+
+    void beginMeasurement();
+    static std::unique_ptr<DeadValuePool> makePool(const SsdConfig &);
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_SIM_SSD_HH

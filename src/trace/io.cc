@@ -1,0 +1,164 @@
+#include "trace/io.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+namespace
+{
+
+constexpr char kBinaryMagic[8] = {'Z', 'O', 'M', 'B', 'T', 'R', 'C', '1'};
+
+/** Fixed-width on-disk record for the binary format. */
+struct PackedRecord
+{
+    std::uint64_t arrival;
+    std::uint64_t lpn;
+    std::uint64_t value_id;
+    std::uint8_t op;
+    std::uint8_t fp[16];
+    std::uint8_t pad[7];
+};
+static_assert(sizeof(PackedRecord) == 48, "packed record layout drifted");
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, TraceFormat format)
+    : out(path, format == TraceFormat::Binary
+                    ? std::ios::binary | std::ios::out
+                    : std::ios::out),
+      fmt(format)
+{
+    if (!out)
+        zombie_fatal("cannot open trace file for writing: ", path);
+    if (fmt == TraceFormat::Binary)
+        out.write(kBinaryMagic, sizeof(kBinaryMagic));
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::write(const TraceRecord &rec)
+{
+    if (fmt == TraceFormat::Text) {
+        out << rec.arrival << ' '
+            << (rec.isWrite() ? 'W' : 'R') << ' '
+            << rec.lpn << ' '
+            << rec.fp.hex() << ' ';
+        if (rec.valueId == TraceRecord::kNoValueId)
+            out << '-';
+        else
+            out << rec.valueId;
+        out << '\n';
+    } else {
+        PackedRecord packed{};
+        packed.arrival = rec.arrival;
+        packed.lpn = rec.lpn;
+        packed.value_id = rec.valueId;
+        packed.op = static_cast<std::uint8_t>(rec.op);
+        std::memcpy(packed.fp, rec.fp.bytes.data(), 16);
+        out.write(reinterpret_cast<const char *>(&packed), sizeof(packed));
+    }
+    ++count;
+}
+
+void
+TraceWriter::close()
+{
+    if (out.is_open())
+        out.close();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in(path, std::ios::binary), path_(path), fmt(TraceFormat::Text)
+{
+    if (!in)
+        zombie_fatal("cannot open trace file: ", path);
+    char magic[sizeof(kBinaryMagic)] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() == sizeof(magic) &&
+        std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0) {
+        fmt = TraceFormat::Binary;
+    } else {
+        // Not binary: rewind and parse as text.
+        in.clear();
+        in.seekg(0);
+        fmt = TraceFormat::Text;
+    }
+}
+
+bool
+TraceReader::next(TraceRecord &out)
+{
+    if (fmt == TraceFormat::Binary) {
+        PackedRecord packed;
+        in.read(reinterpret_cast<char *>(&packed), sizeof(packed));
+        if (in.gcount() == 0)
+            return false;
+        if (in.gcount() != sizeof(packed))
+            zombie_fatal("truncated binary trace: ", path_);
+        out.arrival = packed.arrival;
+        out.lpn = packed.lpn;
+        out.valueId = packed.value_id;
+        if (packed.op > 1)
+            zombie_fatal("corrupt op byte in binary trace: ", path_);
+        out.op = static_cast<OpType>(packed.op);
+        std::memcpy(out.fp.bytes.data(), packed.fp, 16);
+        return true;
+    }
+
+    std::string text;
+    while (std::getline(in, text)) {
+        ++line;
+        if (text.empty() || text[0] == '#')
+            continue;
+        std::istringstream iss(text);
+        char op_char;
+        std::string fp_hex, vid_text;
+        if (!(iss >> out.arrival >> op_char >> out.lpn >> fp_hex >>
+              vid_text)) {
+            zombie_fatal("malformed trace line ", line, " in ", path_,
+                         ": '", text, "'");
+        }
+        if (op_char == 'W' || op_char == 'w')
+            out.op = OpType::Write;
+        else if (op_char == 'R' || op_char == 'r')
+            out.op = OpType::Read;
+        else
+            zombie_fatal("bad op '", op_char, "' at line ", line, " in ",
+                         path_);
+        out.fp = Fingerprint::fromHex(fp_hex);
+        out.valueId = vid_text == "-" ? TraceRecord::kNoValueId
+                                      : std::stoull(vid_text);
+        return true;
+    }
+    return false;
+}
+
+std::vector<TraceRecord>
+TraceReader::readAll()
+{
+    std::vector<TraceRecord> records;
+    TraceRecord rec;
+    while (next(rec))
+        records.push_back(rec);
+    return records;
+}
+
+void
+writeTraceFile(const std::string &path, TraceFormat format,
+               const std::vector<TraceRecord> &records)
+{
+    TraceWriter writer(path, format);
+    for (const auto &rec : records)
+        writer.write(rec);
+}
+
+} // namespace zombie

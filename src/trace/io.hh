@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Trace (de)serialization.
+ *
+ * Two interchangeable formats:
+ *  - text: one request per line, "ts_ns OP lpn fp_hex value_id"
+ *    (value_id = "-" for external traces), easy to inspect/diff;
+ *  - binary: packed little-endian records behind a magic header,
+ *    ~10x smaller and faster for multi-million-request traces.
+ */
+
+#ifndef ZOMBIE_TRACE_IO_HH
+#define ZOMBIE_TRACE_IO_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace zombie
+{
+
+/** On-disk trace format selector. */
+enum class TraceFormat
+{
+    Text,
+    Binary,
+};
+
+/** Streaming writer; fatal on I/O errors (user environment problem). */
+class TraceWriter
+{
+  public:
+    TraceWriter(const std::string &path, TraceFormat format);
+    ~TraceWriter();
+
+    void write(const TraceRecord &rec);
+    void close();
+
+    std::uint64_t recordsWritten() const { return count; }
+
+  private:
+    std::ofstream out;
+    TraceFormat fmt;
+    std::uint64_t count = 0;
+};
+
+/** Streaming reader mirroring TraceWriter. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    /** @return false at end of trace; fatal on malformed input. */
+    bool next(TraceRecord &out);
+
+    /** Drain the remainder of the trace. */
+    std::vector<TraceRecord> readAll();
+
+    TraceFormat format() const { return fmt; }
+
+  private:
+    std::ifstream in;
+    std::string path_;
+    TraceFormat fmt;
+    std::uint64_t line = 0;
+};
+
+/** Convenience: write a whole trace in one call. */
+void writeTraceFile(const std::string &path, TraceFormat format,
+                    const std::vector<TraceRecord> &records);
+
+} // namespace zombie
+
+#endif // ZOMBIE_TRACE_IO_HH

@@ -1,0 +1,263 @@
+#include "trace/profile.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+Workload
+workloadFromString(const std::string &name)
+{
+    if (name == "web")
+        return Workload::Web;
+    if (name == "home")
+        return Workload::Home;
+    if (name == "mail")
+        return Workload::Mail;
+    if (name == "hadoop")
+        return Workload::Hadoop;
+    if (name == "trans")
+        return Workload::Trans;
+    if (name == "desktop")
+        return Workload::Desktop;
+    zombie_fatal("unknown workload '", name,
+                 "' (web|home|mail|hadoop|trans|desktop)");
+}
+
+std::string
+toString(Workload w)
+{
+    switch (w) {
+      case Workload::Web:
+        return "web";
+      case Workload::Home:
+        return "home";
+      case Workload::Mail:
+        return "mail";
+      case Workload::Hadoop:
+        return "hadoop";
+      case Workload::Trans:
+        return "trans";
+      case Workload::Desktop:
+        return "desktop";
+    }
+    zombie_panic("unreachable workload");
+}
+
+std::vector<Workload>
+allWorkloads()
+{
+    return {Workload::Web, Workload::Home, Workload::Mail,
+            Workload::Hadoop, Workload::Trans, Workload::Desktop};
+}
+
+TableIiRow
+tableIi(Workload w)
+{
+    // Verbatim from the paper's Table II.
+    switch (w) {
+      case Workload::Web:
+        return {0.77, 0.42, 0.32};
+      case Workload::Home:
+        return {0.96, 0.66, 0.80};
+      case Workload::Mail:
+        return {0.77, 0.08, 0.80};
+      case Workload::Hadoop:
+        return {0.30, 0.639, 0.175};
+      case Workload::Trans:
+        return {0.55, 0.774, 0.138};
+      case Workload::Desktop:
+        return {0.42, 0.747, 0.497};
+    }
+    zombie_panic("unreachable workload");
+}
+
+WorkloadProfile
+WorkloadProfile::preset(Workload w, int day, std::uint64_t requests,
+                        std::uint64_t seed)
+{
+    zombie_assert(day >= 1, "trace day index is 1-based");
+
+    WorkloadProfile p;
+    p.requests = requests;
+    const TableIiRow row = tableIi(w);
+    p.writeRatio = row.writeRatio;
+
+    // Calibrated so measured Table II columns land near the paper's
+    // (validated by tests/trace/test_table2.cc and bench/table2).
+    switch (w) {
+      case Workload::Web:
+        p.newValueProb = 0.33;
+        p.popularPoolFrac = 0.12;
+        p.valueAlpha = 1.00;
+        p.footprintFrac = 0.30;
+        p.updateLpnAlpha = 0.75;
+        p.readLpnAlpha = 1.10;
+        p.coldReadFrac = 0.12;
+        p.meanInterarrivalUs = 30.0;
+        break;
+      case Workload::Home:
+        p.newValueProb = 0.58;
+        p.popularPoolFrac = 0.10;
+        p.valueAlpha = 0.90;
+        p.footprintFrac = 0.45;
+        p.updateLpnAlpha = 0.70;
+        p.readLpnAlpha = 0.30;
+        p.coldReadFrac = 0.85;
+        p.meanInterarrivalUs = 40.0;
+        break;
+      case Workload::Mail:
+        // Highest write redundancy of the set (unique writes = 8%) and
+        // the largest footprint; the paper's headline workload.
+        p.newValueProb = 0.02;
+        p.popularPoolFrac = 0.08;
+        p.valueAlpha = 1.20;
+        p.footprintFrac = 0.50;
+        p.updateLpnAlpha = 0.80;
+        p.readLpnAlpha = 0.30;
+        p.coldReadFrac = 0.85;
+        p.meanInterarrivalUs = 35.0;
+        break;
+      case Workload::Hadoop:
+        p.newValueProb = 0.56;
+        p.popularPoolFrac = 0.10;
+        p.valueAlpha = 0.90;
+        p.footprintFrac = 0.40;
+        p.updateLpnAlpha = 0.70;
+        p.readLpnAlpha = 1.10;
+        p.meanInterarrivalUs = 25.0;
+        break;
+      case Workload::Trans:
+        p.newValueProb = 0.71;
+        p.popularPoolFrac = 0.08;
+        p.valueAlpha = 0.80;
+        p.footprintFrac = 0.30;
+        p.updateLpnAlpha = 0.70;
+        p.readLpnAlpha = 1.40;
+        p.meanInterarrivalUs = 25.0;
+        break;
+      case Workload::Desktop:
+        p.newValueProb = 0.68;
+        p.popularPoolFrac = 0.08;
+        p.valueAlpha = 0.80;
+        p.footprintFrac = 0.35;
+        p.updateLpnAlpha = 0.70;
+        p.readLpnAlpha = 0.95;
+        p.coldReadFrac = 0.38;
+        p.meanInterarrivalUs = 30.0;
+        break;
+    }
+
+    // Multi-day collections: each day is a fresh arrival process over
+    // the same underlying content population, with small drift.
+    p.seed = seed + static_cast<std::uint64_t>(day) * 1000003ULL;
+    const double drift = 0.015 * static_cast<double>(day - 1);
+    p.newValueProb = std::min(0.95, p.newValueProb + drift);
+    p.valueAlpha = std::max(0.5, p.valueAlpha - drift);
+
+    p.name = toString(w) + std::to_string(day);
+    p.validate();
+    return p;
+}
+
+std::uint64_t
+WorkloadProfile::expectedWrites() const
+{
+    return static_cast<std::uint64_t>(
+        std::llround(writeRatio * static_cast<double>(requests)));
+}
+
+std::uint64_t
+WorkloadProfile::popularPoolSize() const
+{
+    const auto pool = static_cast<std::uint64_t>(
+        std::llround(popularPoolFrac *
+                     static_cast<double>(expectedWrites())));
+    return std::max<std::uint64_t>(pool, 16);
+}
+
+std::uint64_t
+WorkloadProfile::footprintPages() const
+{
+    const auto pages = static_cast<std::uint64_t>(
+        std::llround(footprintFrac *
+                     static_cast<double>(expectedWrites())));
+    return std::max<std::uint64_t>(pages, 64);
+}
+
+std::uint64_t
+WorkloadProfile::expectedReads() const
+{
+    return requests - expectedWrites();
+}
+
+std::uint64_t
+WorkloadProfile::coldReadPages() const
+{
+    if (coldReadFrac <= 0.0)
+        return 0;
+    // 3x the expected cold-read count keeps repeat probability low,
+    // so nearly every cold read returns distinct content.
+    const auto pages = static_cast<std::uint64_t>(
+        std::llround(3.0 * coldReadFrac *
+                     static_cast<double>(expectedReads())));
+    return std::max<std::uint64_t>(pages, 16);
+}
+
+std::uint64_t
+WorkloadProfile::totalLpnSpace() const
+{
+    return coldReadPages() + footprintPages();
+}
+
+void
+WorkloadProfile::validate() const
+{
+    if (requests == 0)
+        zombie_fatal("profile '", name, "': requests must be > 0");
+    if (writeRatio < 0.0 || writeRatio > 1.0)
+        zombie_fatal("profile '", name, "': writeRatio out of [0,1]");
+    if (newValueProb < 0.0 || newValueProb > 1.0)
+        zombie_fatal("profile '", name, "': newValueProb out of [0,1]");
+    if (sameValueProb < 0.0 || sameValueProb > 1.0)
+        zombie_fatal("profile '", name, "': sameValueProb out of [0,1]");
+    if (popularPoolFrac <= 0.0 || popularPoolFrac > 1.0)
+        zombie_fatal("profile '", name, "': popularPoolFrac out of (0,1]");
+    if (footprintFrac <= 0.0 || footprintFrac > 1.0)
+        zombie_fatal("profile '", name, "': footprintFrac out of (0,1]");
+    if (coldReadFrac < 0.0 || coldReadFrac > 1.0)
+        zombie_fatal("profile '", name, "': coldReadFrac out of [0,1]");
+    if (meanInterarrivalUs <= 0.0)
+        zombie_fatal("profile '", name, "': interarrival must be > 0");
+    if (burstProb < 0.0 || burstProb > 1.0)
+        zombie_fatal("profile '", name, "': burstProb out of [0,1]");
+}
+
+std::vector<DayTrace>
+fiuDayTraces(std::uint64_t requests_per_day, std::uint64_t seed)
+{
+    std::vector<DayTrace> traces;
+    const struct
+    {
+        Workload w;
+        char letter;
+    } kinds[] = {
+        {Workload::Mail, 'm'},
+        {Workload::Home, 'h'},
+        {Workload::Web, 'w'},
+    };
+    for (const auto &kind : kinds) {
+        for (int day = 1; day <= 3; ++day) {
+            DayTrace t;
+            t.label = std::string(1, kind.letter) + std::to_string(day);
+            t.profile = WorkloadProfile::preset(kind.w, day,
+                                                requests_per_day, seed);
+            traces.push_back(std::move(t));
+        }
+    }
+    return traces;
+}
+
+} // namespace zombie

@@ -1,0 +1,38 @@
+#include "trace/summary.hh"
+
+namespace zombie
+{
+
+void
+TraceSummarizer::observe(const TraceRecord &rec)
+{
+    if (first) {
+        summary.firstArrival = rec.arrival;
+        first = false;
+    }
+    summary.lastArrival = rec.arrival;
+
+    if (lpns.insert(rec.lpn).second)
+        ++summary.distinctLpns;
+
+    if (rec.isWrite()) {
+        ++summary.writes;
+        if (writeValues.insert(rec.fp).second)
+            ++summary.distinctWriteValues;
+    } else {
+        ++summary.reads;
+        if (readValues.insert(rec.fp).second)
+            ++summary.distinctReadValues;
+    }
+}
+
+TraceSummary
+summarizeTrace(const std::vector<TraceRecord> &records)
+{
+    TraceSummarizer s;
+    for (const auto &rec : records)
+        s.observe(rec);
+    return s.finish();
+}
+
+} // namespace zombie

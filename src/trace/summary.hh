@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Trace summarization: recompute Table II columns from any record
+ * stream (synthetic or file-based), independent of the generator's
+ * internal counters.
+ */
+
+#ifndef ZOMBIE_TRACE_SUMMARY_HH
+#define ZOMBIE_TRACE_SUMMARY_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "hash/fingerprint.hh"
+#include "trace/record.hh"
+
+namespace zombie
+{
+
+/** Aggregate trace statistics (Table II reproduction). */
+struct TraceSummary
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t distinctWriteValues = 0;
+    std::uint64_t distinctReadValues = 0;
+    std::uint64_t distinctLpns = 0;
+    Tick firstArrival = 0;
+    Tick lastArrival = 0;
+
+    std::uint64_t total() const { return reads + writes; }
+
+    double
+    writeRatio() const
+    {
+        return total() ? static_cast<double>(writes) /
+                             static_cast<double>(total())
+                       : 0.0;
+    }
+
+    double
+    uniqueWriteValueFraction() const
+    {
+        return writes ? static_cast<double>(distinctWriteValues) /
+                            static_cast<double>(writes)
+                      : 0.0;
+    }
+
+    double
+    uniqueReadValueFraction() const
+    {
+        return reads ? static_cast<double>(distinctReadValues) /
+                           static_cast<double>(reads)
+                     : 0.0;
+    }
+};
+
+/** Streaming summarizer (fingerprint-keyed, so it works on any trace). */
+class TraceSummarizer
+{
+  public:
+    void observe(const TraceRecord &rec);
+    TraceSummary finish() const { return summary; }
+
+  private:
+    TraceSummary summary;
+    std::unordered_set<Fingerprint, FingerprintHash> writeValues;
+    std::unordered_set<Fingerprint, FingerprintHash> readValues;
+    std::unordered_set<Lpn> lpns;
+    bool first = true;
+};
+
+/** Convenience over a materialized trace. */
+TraceSummary summarizeTrace(const std::vector<TraceRecord> &records);
+
+} // namespace zombie
+
+#endif // ZOMBIE_TRACE_SUMMARY_HH

@@ -1,0 +1,150 @@
+#include "util/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+ArgParser::ArgParser(std::string program_description)
+    : description(std::move(program_description))
+{
+    addFlag("help", "show this help text and exit");
+}
+
+void
+ArgParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    zombie_assert(!options.count(name), "duplicate option --", name);
+    options[name] = Option{def, help, false};
+    order.push_back(name);
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    zombie_assert(!options.count(name), "duplicate flag --", name);
+    options[name] = Option{"false", help, true};
+    order.push_back(name);
+}
+
+void
+ArgParser::parse(int argc, char **argv)
+{
+    if (argc > 0)
+        program = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            zombie_fatal("unexpected positional argument: ", arg);
+        arg = arg.substr(2);
+
+        std::string value;
+        bool has_value = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+
+        auto it = options.find(arg);
+        if (it == options.end())
+            zombie_fatal("unknown option --", arg, "\n", usage());
+
+        if (it->second.is_flag) {
+            if (has_value)
+                zombie_fatal("flag --", arg, " does not take a value");
+            parsed[arg] = "true";
+        } else {
+            if (!has_value) {
+                if (i + 1 >= argc)
+                    zombie_fatal("option --", arg, " needs a value");
+                value = argv[++i];
+            }
+            parsed[arg] = value;
+        }
+    }
+
+    if (getFlag("help")) {
+        std::fputs(usage().c_str(), stdout);
+        std::exit(0);
+    }
+}
+
+const ArgParser::Option &
+ArgParser::lookup(const std::string &name) const
+{
+    auto it = options.find(name);
+    zombie_assert(it != options.end(), "option --", name,
+                  " was never registered");
+    return it->second;
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    const Option &opt = lookup(name);
+    auto it = parsed.find(name);
+    return it != parsed.end() ? it->second : opt.def;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    const std::string text = getString(name);
+    try {
+        return std::stoll(text);
+    } catch (...) {
+        zombie_fatal("--", name, " expects an integer, got '", text, "'");
+    }
+}
+
+std::uint64_t
+ArgParser::getUint(const std::string &name) const
+{
+    const std::string text = getString(name);
+    try {
+        return std::stoull(text);
+    } catch (...) {
+        zombie_fatal("--", name, " expects an unsigned integer, got '",
+                     text, "'");
+    }
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const std::string text = getString(name);
+    try {
+        return std::stod(text);
+    } catch (...) {
+        zombie_fatal("--", name, " expects a number, got '", text, "'");
+    }
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return getString(name) == "true";
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream oss;
+    oss << description << "\n\nusage: " << program << " [options]\n";
+    for (const auto &name : order) {
+        const Option &opt = options.at(name);
+        oss << "  --" << name;
+        if (!opt.is_flag)
+            oss << " <value> (default: " << opt.def << ")";
+        oss << "\n      " << opt.help << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace zombie

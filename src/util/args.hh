@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal command-line argument parser for benches and examples.
+ *
+ * Supports --flag, --key value and --key=value forms plus automatic
+ * --help generation. Unknown options are fatal (user error) so typos
+ * do not silently run the wrong experiment.
+ */
+
+#ifndef ZOMBIE_UTIL_ARGS_HH
+#define ZOMBIE_UTIL_ARGS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zombie
+{
+
+/** Declarative CLI option set with typed accessors. */
+class ArgParser
+{
+  public:
+    explicit ArgParser(std::string program_description);
+
+    /** Register an option with a default value (all values as text). */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Exits with usage text on --help; fatal on unknown
+     * options or missing values.
+     */
+    void parse(int argc, char **argv);
+
+    std::string getString(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    std::uint64_t getUint(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string def;
+        std::string help;
+        bool is_flag;
+    };
+
+    const Option &lookup(const std::string &name) const;
+
+    std::string description;
+    std::string program = "prog";
+    std::vector<std::string> order;
+    std::map<std::string, Option> options;
+    std::map<std::string, std::string> parsed;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_ARGS_HH

@@ -1,0 +1,59 @@
+#include "util/csv.hh"
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+CsvWriter::CsvWriter(const std::string &path,
+                     std::vector<std::string> header)
+    : filePath(path), out(path), arity(header.size())
+{
+    if (!out)
+        zombie_fatal("cannot open CSV output file: ", path);
+    zombie_assert(arity > 0, "CSV needs at least one column");
+    writeRow(header);
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &row)
+{
+    for (std::size_t i = 0; i < row.size(); ++i) {
+        if (i)
+            out << ',';
+        out << escape(row[i]);
+    }
+    out << '\n';
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &row)
+{
+    zombie_assert(row.size() == arity, "CSV row arity mismatch");
+    writeRow(row);
+}
+
+void
+CsvWriter::close()
+{
+    out.close();
+}
+
+} // namespace zombie

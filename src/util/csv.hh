@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CSV emission so bench output can be post-processed / plotted.
+ */
+
+#ifndef ZOMBIE_UTIL_CSV_HH
+#define ZOMBIE_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace zombie
+{
+
+/** Streams rows to a CSV file with RFC-4180 quoting. */
+class CsvWriter
+{
+  public:
+    /** Opens (truncates) the target path; fatal if unwritable. */
+    CsvWriter(const std::string &path, std::vector<std::string> header);
+
+    void addRow(const std::vector<std::string> &row);
+    void close();
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    static std::string escape(const std::string &cell);
+    void writeRow(const std::vector<std::string> &row);
+
+    std::string filePath;
+    std::ofstream out;
+    std::size_t arity;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_CSV_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Status-message and error-handling helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (a bug in zombie itself);
+ *            aborts so a core dump / debugger can inspect the state.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, malformed trace); exits with code 1.
+ * warn()   - something works but not as well as it should.
+ * inform() - normal operating message.
+ */
+
+#ifndef ZOMBIE_UTIL_LOGGING_HH
+#define ZOMBIE_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace zombie
+{
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Global log verbosity; defaults to Inform. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Fold a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace zombie
+
+/** Abort on an internal bug; never use for user errors. */
+#define zombie_panic(...) \
+    ::zombie::detail::panicImpl(__FILE__, __LINE__, \
+                                ::zombie::detail::concat(__VA_ARGS__))
+
+/** Exit on a user error (bad config, bad trace). */
+#define zombie_fatal(...) \
+    ::zombie::detail::fatalImpl(__FILE__, __LINE__, \
+                                ::zombie::detail::concat(__VA_ARGS__))
+
+/** Warn about suspicious but survivable conditions. */
+#define zombie_warn(...) \
+    ::zombie::detail::warnImpl(::zombie::detail::concat(__VA_ARGS__))
+
+/** Normal status output. */
+#define zombie_inform(...) \
+    ::zombie::detail::informImpl(::zombie::detail::concat(__VA_ARGS__))
+
+/** Verbose diagnostic output, only shown at LogLevel::Debug. */
+#define zombie_debug(...) \
+    ::zombie::detail::debugImpl(::zombie::detail::concat(__VA_ARGS__))
+
+/**
+ * Invariant check that survives NDEBUG builds. Use for conditions whose
+ * violation means the simulator state is corrupt.
+ */
+#define zombie_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::zombie::detail::panicImpl(__FILE__, __LINE__, \
+                ::zombie::detail::concat("assertion failed: " #cond " ", \
+                                         ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // ZOMBIE_UTIL_LOGGING_HH

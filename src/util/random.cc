@@ -1,0 +1,14 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+namespace zombie
+{
+
+double
+Xoshiro256::logApprox(double u)
+{
+    return std::log(u);
+}
+
+} // namespace zombie

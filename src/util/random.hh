@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic components (trace generation, tie-breaking) draw from a
+ * Xoshiro256** generator seeded explicitly, so every experiment is
+ * reproducible from its command line.
+ */
+
+#ifndef ZOMBIE_UTIL_RANDOM_HH
+#define ZOMBIE_UTIL_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace zombie
+{
+
+/** SplitMix64: used to expand a 64-bit seed into generator state. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+ * Satisfies the UniformRandomBitGenerator concept.
+ */
+class Xoshiro256
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Xoshiro256(std::uint64_t seed = 0x5eedULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &w : state)
+            w = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). Requires bound > 0. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t l = static_cast<std::uint64_t>(m);
+        if (l < bound) {
+            std::uint64_t t = (-bound) % bound;
+            while (l < t) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    nextBool(double p)
+    {
+        return nextDouble() < p;
+    }
+
+    /** Exponentially distributed draw with the given mean. */
+    double
+    nextExponential(double mean)
+    {
+        double u = nextDouble();
+        // Guard u == 0 which would yield +inf.
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * logApprox(u);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Thin wrapper so <cmath> stays out of this header's hot path. */
+    static double logApprox(double u);
+
+    std::array<std::uint64_t, 4> state;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_RANDOM_HH

@@ -1,0 +1,87 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+TextTable::TextTable(std::vector<std::string> header)
+    : columns(std::move(header))
+{
+    zombie_assert(!columns.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    zombie_assert(row.size() == columns.size(),
+                  "row arity ", row.size(), " != header arity ",
+                  columns.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision)
+        << fraction * 100.0 << '%';
+    return oss.str();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_line = [&](const std::vector<std::string> &cells) {
+        std::ostringstream oss;
+        oss << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            oss << ' ' << cells[c];
+            for (std::size_t i = cells[c].size(); i < widths[c]; ++i)
+                oss << ' ';
+            oss << " |";
+        }
+        oss << '\n';
+        return oss.str();
+    };
+
+    std::ostringstream oss;
+    std::string separator = "+";
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        separator += std::string(widths[c] + 2, '-') + "+";
+    separator += '\n';
+
+    oss << separator << render_line(columns) << separator;
+    for (const auto &row : rows)
+        oss << render_line(row);
+    oss << separator;
+    return oss.str();
+}
+
+std::string
+sectionBanner(const std::string &title)
+{
+    std::string bar(std::max<std::size_t>(title.size() + 4, 40), '=');
+    return bar + "\n  " + title + "\n" + bar + "\n";
+}
+
+} // namespace zombie

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table rendering for bench output.
+ *
+ * Every figure-reproduction bench prints the series the paper plots as
+ * an aligned ASCII table so the rows can be diffed against
+ * EXPERIMENTS.md or piped into a plotting script.
+ */
+
+#ifndef ZOMBIE_UTIL_TABLE_HH
+#define ZOMBIE_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace zombie
+{
+
+/** Column-aligned ASCII table with a header row and separators. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with fixed precision. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the full table including borders. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a titled section banner around bench output. */
+std::string sectionBanner(const std::string &title);
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_TABLE_HH

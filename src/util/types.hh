@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental index and time types shared by every zombie module.
+ *
+ * The simulator follows the paper's terminology: a logical page number
+ * (LPN) names a 4KB chunk in the host address space, a physical page
+ * number (PPN) names a flash page, and simulated time advances in
+ * nanosecond ticks.
+ */
+
+#ifndef ZOMBIE_UTIL_TYPES_HH
+#define ZOMBIE_UTIL_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace zombie
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Logical page number: index of a 4KB chunk in host address space. */
+using Lpn = std::uint64_t;
+
+/** Physical page number: flat index of a flash page in the array. */
+using Ppn = std::uint64_t;
+
+/** Sentinel for "no page mapped". */
+inline constexpr Lpn kInvalidLpn = std::numeric_limits<Lpn>::max();
+inline constexpr Ppn kInvalidPpn = std::numeric_limits<Ppn>::max();
+inline constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Page size used throughout the paper: requests are 4KB chunks. */
+inline constexpr std::size_t kPageSize = 4096;
+
+/** Tick helpers: the config file quotes latencies in us/ms. */
+inline constexpr Tick
+ticksFromUs(double us)
+{
+    return static_cast<Tick>(us * 1000.0);
+}
+
+inline constexpr Tick
+ticksFromMs(double ms)
+{
+    return static_cast<Tick>(ms * 1000.0 * 1000.0);
+}
+
+inline constexpr double
+usFromTicks(Tick t)
+{
+    return static_cast<double>(t) / 1000.0;
+}
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_TYPES_HH

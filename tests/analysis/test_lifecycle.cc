@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for value life-cycle tracking (paper section II).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/lifecycle.hh"
+#include "trace/generator.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TraceRecord
+wr(Lpn lpn, std::uint64_t vid)
+{
+    TraceRecord r;
+    r.op = OpType::Write;
+    r.lpn = lpn;
+    r.valueId = vid;
+    r.fp = Fingerprint::fromValueId(vid);
+    return r;
+}
+
+TraceRecord
+rd(Lpn lpn, std::uint64_t vid)
+{
+    TraceRecord r = wr(lpn, vid);
+    r.op = OpType::Read;
+    return r;
+}
+
+TEST(Lifecycle, CreationOnly)
+{
+    LifecycleTracker t;
+    t.observe(wr(0, 1));
+    const LifecycleSummary s = t.summary();
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.uniqueValues, 1u);
+    EXPECT_EQ(s.liveValues, 1u);
+    EXPECT_EQ(s.totalDeaths, 0u);
+    EXPECT_EQ(s.totalRebirths, 0u);
+    EXPECT_EQ(s.reusableWrites, 0u);
+}
+
+TEST(Lifecycle, ReadsAreIgnored)
+{
+    LifecycleTracker t;
+    t.observe(wr(0, 1));
+    t.observe(rd(0, 1));
+    t.observe(rd(0, 1));
+    EXPECT_EQ(t.summary().writes, 1u);
+    EXPECT_EQ(t.writeClock(), 1u);
+}
+
+TEST(Lifecycle, DeathWhenLastCopyInvalidated)
+{
+    LifecycleTracker t;
+    t.observe(wr(0, 1)); // value 1 live
+    t.observe(wr(0, 2)); // value 1 dies
+    const auto &v1 = t.values().at(Fingerprint::fromValueId(1));
+    EXPECT_EQ(v1.deaths, 1u);
+    EXPECT_EQ(v1.invalidations, 1u);
+    EXPECT_EQ(v1.liveCopies, 0u);
+    EXPECT_EQ(v1.deadCopies, 1u);
+    EXPECT_EQ(t.summary().liveValues, 1u); // only value 2
+}
+
+TEST(Lifecycle, MultiCopyValueDiesOnlyAtLastCopy)
+{
+    LifecycleTracker t;
+    t.observe(wr(0, 1));
+    t.observe(wr(1, 1)); // second copy (not reusable yet: no dead)
+    t.observe(wr(0, 2)); // copy-level death, value still live
+    const auto &v1 = t.values().at(Fingerprint::fromValueId(1));
+    EXPECT_EQ(v1.invalidations, 1u);
+    EXPECT_EQ(v1.deaths, 0u);
+    t.observe(wr(1, 2)); // value-level death
+    EXPECT_EQ(t.values().at(Fingerprint::fromValueId(1)).deaths, 1u);
+}
+
+TEST(Lifecycle, RebirthAfterDeath)
+{
+    LifecycleTracker t;
+    t.observe(wr(0, 1)); // creation      (clock 1)
+    t.observe(wr(0, 2)); // death of 1    (clock 2)
+    t.observe(wr(1, 1)); // rebirth of 1  (clock 3)
+    const auto &v1 = t.values().at(Fingerprint::fromValueId(1));
+    EXPECT_EQ(v1.rebirths, 1u);
+    EXPECT_EQ(v1.sumDeathToRebirth, 1u); // one write in between
+    EXPECT_EQ(t.summary().totalRebirths, 1u);
+}
+
+TEST(Lifecycle, CreationToDeathDistance)
+{
+    LifecycleTracker t;
+    t.observe(wr(0, 1)); // clock 1: creation
+    t.observe(wr(1, 9)); // clock 2
+    t.observe(wr(2, 9)); // clock 3
+    t.observe(wr(0, 2)); // clock 4: value 1 dies
+    const auto &v1 = t.values().at(Fingerprint::fromValueId(1));
+    EXPECT_EQ(v1.sumCreationToDeath, 3u);
+}
+
+TEST(Lifecycle, ReusableWritesWithInfiniteBuffer)
+{
+    // Figure 1 semantics: a write whose value has a dead copy can be
+    // serviced from the garbage pool.
+    LifecycleTracker t;
+    t.observe(wr(0, 1));
+    t.observe(wr(0, 2)); // 1 dies
+    t.observe(wr(1, 1)); // reusable!
+    const LifecycleSummary s = t.summary();
+    EXPECT_EQ(s.reusableWrites, 1u);
+    EXPECT_NEAR(s.reuseProbability(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Lifecycle, DedupAdjustedReuseExcludesLiveDuplicates)
+{
+    LifecycleTracker t;
+    t.observe(wr(0, 1));
+    t.observe(wr(1, 1)); // live duplicate: dedup removes this write
+    t.observe(wr(0, 2)); // copy of 1 dies (value still live at lpn 1)
+    t.observe(wr(2, 1)); // dead copy exists AND live copy exists
+    const LifecycleSummary s = t.summary();
+    EXPECT_EQ(s.dedupRemovedWrites, 2u); // writes 2 and 4
+    EXPECT_EQ(s.reusableWrites, 1u);     // write 4 (dead copy present)
+    // After dedup, write 4 is removed by the live copy, so no
+    // garbage-reuse remains.
+    EXPECT_EQ(s.reusableWritesAfterDedup, 0u);
+}
+
+TEST(Lifecycle, DedupAdjustedReuseCountsDeadOnlyValues)
+{
+    LifecycleTracker t;
+    t.observe(wr(0, 1));
+    t.observe(wr(0, 2)); // 1 fully dead
+    t.observe(wr(1, 1)); // only a dead copy exists -> dedup can't help
+    const LifecycleSummary s = t.summary();
+    EXPECT_EQ(s.reusableWritesAfterDedup, 1u);
+}
+
+TEST(Lifecycle, ValuesByPopularitySortsDescending)
+{
+    LifecycleTracker t;
+    t.observe(wr(0, 1));
+    for (int i = 0; i < 5; ++i)
+        t.observe(wr(1, 2)); // value 2 written 5 times
+    t.observe(wr(2, 3));
+    const auto rows = t.valuesByPopularity();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].writes, 5u);
+    EXPECT_LE(rows[1].writes, rows[0].writes);
+    EXPECT_LE(rows[2].writes, rows[1].writes);
+}
+
+TEST(Lifecycle, PaperShapeMajorityOfMailValuesNotLive)
+{
+    // Figure 2: ~30% of values written during mail are still live at
+    // the end; the rest were invalidated at least once.
+    WorkloadProfile profile =
+        WorkloadProfile::preset(Workload::Mail, 1, 60'000, 3);
+    LifecycleTracker t;
+    t.observeAll(SyntheticTraceGenerator(profile).generateAll());
+    const LifecycleSummary s = t.summary();
+    const double live_fraction =
+        static_cast<double>(s.liveValues) /
+        static_cast<double>(s.uniqueValues);
+    // The paper measures ~30% live on the real mail trace; with the
+    // synthetic value universe (8% unique writes over a large
+    // footprint) many values keep a live copy somewhere, so assert
+    // the directional property rather than the absolute figure.
+    EXPECT_LT(live_fraction, 0.92);
+    EXPECT_GT(s.totalDeaths, 0u);
+    EXPECT_GT(s.totalRebirths, 0u);
+}
+
+TEST(Lifecycle, PopularValuesHaveMoreRebirths)
+{
+    // Figure 4c: rebirth count grows with popularity degree.
+    WorkloadProfile profile =
+        WorkloadProfile::preset(Workload::Mail, 1, 60'000, 3);
+    LifecycleTracker t;
+    t.observeAll(SyntheticTraceGenerator(profile).generateAll());
+    const auto rows = t.valuesByPopularity();
+    ASSERT_GT(rows.size(), 100u);
+    // Average rebirths of the top decile vs the bottom half.
+    double top = 0.0, bottom = 0.0;
+    const std::size_t n = rows.size();
+    for (std::size_t i = 0; i < n / 10; ++i)
+        top += static_cast<double>(rows[i].rebirths);
+    top /= static_cast<double>(n / 10);
+    for (std::size_t i = n / 2; i < n; ++i)
+        bottom += static_cast<double>(rows[i].rebirths);
+    bottom /= static_cast<double>(n - n / 2);
+    EXPECT_GT(top, bottom * 2.0);
+
+    // Copy-level rebirths (reuses) concentrate even harder on the
+    // popular head: the top decile dominates the bottom half.
+    double top_reuses = 0.0, bottom_reuses = 0.0;
+    for (std::size_t i = 0; i < n / 10; ++i)
+        top_reuses += static_cast<double>(rows[i].reuses);
+    for (std::size_t i = n / 2; i < n; ++i)
+        bottom_reuses += static_cast<double>(rows[i].reuses);
+    EXPECT_GT(top_reuses, 4.0 * bottom_reuses);
+}
+
+TEST(ShareCurve, TwentyEightyOnSkewedWeights)
+{
+    // Zipf-like weights: top 20% of items should hold most mass.
+    std::vector<std::uint64_t> weights;
+    for (std::uint64_t i = 1; i <= 1000; ++i)
+        weights.push_back(1000 / i);
+    const auto curve = buildShareCurve(weights, 10);
+    ASSERT_EQ(curve.size(), 10u);
+    EXPECT_GT(curve[1].weightFraction, 0.5); // top 20%
+    EXPECT_DOUBLE_EQ(curve.back().weightFraction, 1.0);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_LE(curve[i - 1].itemFraction, curve[i].itemFraction);
+        EXPECT_LE(curve[i - 1].weightFraction, curve[i].weightFraction);
+    }
+}
+
+TEST(ShareCurve, EmptyAndZeroWeights)
+{
+    EXPECT_TRUE(buildShareCurve({}, 5).empty());
+    EXPECT_TRUE(buildShareCurve({0, 0, 0}, 5).empty());
+}
+
+} // namespace
+} // namespace zombie

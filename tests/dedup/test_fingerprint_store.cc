@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the refcounted fingerprint store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dedup/fingerprint_store.hh"
+
+namespace zombie
+{
+namespace
+{
+
+Fingerprint
+fp(std::uint64_t id)
+{
+    return Fingerprint::fromValueId(id);
+}
+
+TEST(FingerprintStore, LookupMissOnEmpty)
+{
+    FingerprintStore store;
+    EXPECT_FALSE(store.lookup(fp(1)).has_value());
+    EXPECT_EQ(store.stats().lookups, 1u);
+}
+
+TEST(FingerprintStore, RegisterThenLookup)
+{
+    FingerprintStore store;
+    store.registerPage(fp(1), 100);
+    const auto hit = store.lookup(fp(1));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 100u);
+    EXPECT_TRUE(store.contains(fp(1)));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_EQ(store.refCount(100), 1u);
+}
+
+TEST(FingerprintStore, AddReferenceBumpsRefAndPopularity)
+{
+    FingerprintStore store;
+    store.registerPage(fp(1), 100);
+    EXPECT_EQ(store.addReference(fp(1)), 2);
+    EXPECT_EQ(store.addReference(fp(1)), 3);
+    EXPECT_EQ(store.refCount(100), 3u);
+    EXPECT_EQ(store.popularity(fp(1)), 3);
+    EXPECT_EQ(store.stats().hits, 2u);
+}
+
+TEST(FingerprintStore, ReleaseCountsDownToGarbage)
+{
+    FingerprintStore store;
+    store.registerPage(fp(1), 100);
+    store.addReference(fp(1));
+    EXPECT_EQ(store.releaseReference(100), 1u);
+    EXPECT_TRUE(store.contains(fp(1)));
+    EXPECT_EQ(store.releaseReference(100), 0u);
+    EXPECT_FALSE(store.contains(fp(1)));
+    EXPECT_EQ(store.refCount(100), 0u);
+    EXPECT_EQ(store.stats().lastRefDrops, 1u);
+    EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(FingerprintStore, RelocateMovesIndex)
+{
+    FingerprintStore store;
+    store.registerPage(fp(1), 100);
+    store.relocate(100, 200);
+    EXPECT_EQ(*store.lookup(fp(1)), 200u);
+    EXPECT_EQ(store.refCount(200), 1u);
+    EXPECT_EQ(store.refCount(100), 0u);
+}
+
+TEST(FingerprintStore, ReRegisterAfterDropIsAllowed)
+{
+    FingerprintStore store;
+    store.registerPage(fp(1), 100);
+    store.releaseReference(100);
+    store.registerPage(fp(1), 300); // content written again
+    EXPECT_EQ(*store.lookup(fp(1)), 300u);
+}
+
+TEST(FingerprintStore, PopularitySaturates)
+{
+    FingerprintStore store;
+    store.registerPage(fp(1), 100);
+    for (int i = 0; i < 300; ++i)
+        store.addReference(fp(1));
+    EXPECT_EQ(store.popularity(fp(1)), 255);
+}
+
+TEST(FingerprintStore, UntrackedQueriesReturnZero)
+{
+    FingerprintStore store;
+    EXPECT_EQ(store.refCount(1), 0u);
+    EXPECT_EQ(store.popularity(fp(9)), 0);
+}
+
+TEST(FingerprintStoreDeath, DoubleRegisterPanics)
+{
+    FingerprintStore store;
+    store.registerPage(fp(1), 100);
+    EXPECT_DEATH(store.registerPage(fp(1), 200), "already live");
+}
+
+TEST(FingerprintStoreDeath, RegisterSamePpnTwicePanics)
+{
+    FingerprintStore store;
+    store.registerPage(fp(1), 100);
+    EXPECT_DEATH(store.registerPage(fp(2), 100), "already indexed");
+}
+
+TEST(FingerprintStoreDeath, ReleaseUntrackedPanics)
+{
+    FingerprintStore store;
+    EXPECT_DEATH((void)store.releaseReference(5), "untracked");
+}
+
+TEST(FingerprintStoreDeath, AddReferenceUnknownPanics)
+{
+    FingerprintStore store;
+    EXPECT_DEATH((void)store.addReference(fp(3)), "unknown content");
+}
+
+TEST(FingerprintStoreDeath, RelocateUntrackedPanics)
+{
+    FingerprintStore store;
+    EXPECT_DEATH(store.relocate(1, 2), "relocate");
+}
+
+} // namespace
+} // namespace zombie

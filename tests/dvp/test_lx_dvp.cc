@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for the LX-SSD prior-work baseline. The decisive behavioural
+ * difference to the paper's MQ-DVP: entries are keyed by logical page
+ * address, so rebirths of a value at a different LPN are misses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dvp/lx_dvp.hh"
+
+namespace zombie
+{
+namespace
+{
+
+Fingerprint
+fp(std::uint64_t id)
+{
+    return Fingerprint::fromValueId(id);
+}
+
+TEST(LxDvp, SameContentSameLbaHits)
+{
+    LxDvp pool(4);
+    pool.insertGarbage(fp(1), /*lpn=*/5, 100, 1);
+    const auto r = pool.lookupForWrite(fp(1), 5);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.ppn, 100u);
+    EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(LxDvp, SameContentDifferentLbaMisses)
+{
+    // The inefficiency the paper exploits: content-level rebirth at a
+    // new address cannot be recycled by an LBA-keyed pool.
+    LxDvp pool(4);
+    pool.insertGarbage(fp(1), 5, 100, 1);
+    EXPECT_FALSE(pool.lookupForWrite(fp(1), 6).hit);
+    // The entry remains for its own LBA.
+    EXPECT_TRUE(pool.lookupForWrite(fp(1), 5).hit);
+}
+
+TEST(LxDvp, DifferentContentSameLbaMisses)
+{
+    LxDvp pool(4);
+    pool.insertGarbage(fp(1), 5, 100, 1);
+    EXPECT_FALSE(pool.lookupForWrite(fp(2), 5).hit);
+    // Entry survives a content mismatch (recency refreshed instead).
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(LxDvp, SingleSlotPerLba)
+{
+    LxDvp pool(4);
+    pool.insertGarbage(fp(1), 5, 100, 1);
+    pool.insertGarbage(fp(2), 5, 101, 1); // replaces the old content
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_FALSE(pool.lookupForWrite(fp(1), 5).hit);
+    EXPECT_TRUE(pool.lookupForWrite(fp(2), 5).hit);
+}
+
+TEST(LxDvp, LruEvictionByLbaRecency)
+{
+    LxDvp pool(2);
+    pool.insertGarbage(fp(1), 1, 100, 1);
+    pool.insertGarbage(fp(2), 2, 101, 1);
+    pool.insertGarbage(fp(3), 3, 102, 1); // evicts LBA 1
+    EXPECT_FALSE(pool.lookupForWrite(fp(1), 1).hit);
+    EXPECT_TRUE(pool.lookupForWrite(fp(2), 2).hit);
+}
+
+TEST(LxDvp, ReadsRefreshRecency)
+{
+    // Inefficiency (i): read popularity keeps an address resident
+    // even though reads can never be recycled.
+    LxDvp pool(2);
+    pool.insertGarbage(fp(1), 1, 100, 1);
+    pool.insertGarbage(fp(2), 2, 101, 1);
+    pool.onHostRead(1); // LBA 1 now most recent
+    pool.insertGarbage(fp(3), 3, 102, 1); // evicts LBA 2
+    EXPECT_TRUE(pool.lookupForWrite(fp(1), 1).hit);
+    EXPECT_FALSE(pool.lookupForWrite(fp(2), 2).hit);
+}
+
+TEST(LxDvp, ContentMismatchRefreshesRecency)
+{
+    LxDvp pool(2);
+    pool.insertGarbage(fp(1), 1, 100, 1);
+    pool.insertGarbage(fp(2), 2, 101, 1);
+    // Miss on LBA 1 (different content) still refreshes it.
+    EXPECT_FALSE(pool.lookupForWrite(fp(9), 1).hit);
+    pool.insertGarbage(fp(3), 3, 102, 1); // evicts LBA 2
+    EXPECT_TRUE(pool.lookupForWrite(fp(1), 1).hit);
+}
+
+TEST(LxDvp, OnEraseRemovesEntry)
+{
+    LxDvp pool(4);
+    pool.insertGarbage(fp(1), 1, 100, 1);
+    pool.onErase(100);
+    EXPECT_FALSE(pool.lookupForWrite(fp(1), 1).hit);
+    EXPECT_EQ(pool.stats().gcEvictions, 1u);
+}
+
+TEST(LxDvp, ReplacementUpdatesPpnIndex)
+{
+    LxDvp pool(4);
+    pool.insertGarbage(fp(1), 1, 100, 1);
+    pool.insertGarbage(fp(2), 1, 101, 1); // LBA slot reused
+    pool.onErase(100);                    // stale PPN: no-op
+    EXPECT_EQ(pool.stats().gcEvictions, 0u);
+    pool.onErase(101);
+    EXPECT_EQ(pool.stats().gcEvictions, 1u);
+}
+
+TEST(LxDvp, NameAndCapacity)
+{
+    LxDvp pool(3);
+    EXPECT_EQ(pool.name(), "lx");
+    EXPECT_EQ(pool.capacity(), 3u);
+}
+
+TEST(LxDvpDeath, ZeroCapacityIsFatal)
+{
+    EXPECT_EXIT({ LxDvp pool(0); }, testing::ExitedWithCode(1),
+                "capacity");
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for GC victim selection, including the paper's
+ * popularity-aware metric (section IV-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ftl/gc_policy.hh"
+
+namespace zombie
+{
+namespace
+{
+
+Geometry
+tinyGeom()
+{
+    return Geometry(1, 1, 1, 1, 4, 8);
+}
+
+/** Fill a block and invalidate n pages with a given popularity. */
+void
+makeVictim(FlashArray &flash, std::uint64_t block, int invalid,
+           std::uint8_t pop)
+{
+    std::vector<Ppn> pages;
+    for (std::uint32_t i = 0; i < flash.geometry().pagesPerBlock(); ++i)
+        pages.push_back(flash.programPage(block));
+    for (int i = 0; i < invalid; ++i)
+        flash.invalidatePage(pages[static_cast<std::size_t>(i)], pop);
+}
+
+TEST(GreedyGc, PicksMostInvalidBlock)
+{
+    FlashArray flash(tinyGeom());
+    makeVictim(flash, 0, 2, 0);
+    makeVictim(flash, 1, 6, 0);
+    makeVictim(flash, 2, 4, 0);
+    GreedyGcPolicy policy;
+    EXPECT_EQ(policy.selectVictim(flash, {0, 1, 2}), 1u);
+}
+
+TEST(GreedyGc, FirstWinsOnTies)
+{
+    FlashArray flash(tinyGeom());
+    makeVictim(flash, 0, 3, 0);
+    makeVictim(flash, 1, 3, 0);
+    GreedyGcPolicy policy;
+    EXPECT_EQ(policy.selectVictim(flash, {0, 1}), 0u);
+    EXPECT_EQ(policy.selectVictim(flash, {1, 0}), 1u);
+}
+
+TEST(PopularityAwareGc, AvoidsPopularGarbage)
+{
+    // Two blocks with equal invalid counts; the one whose garbage is
+    // popular (likely to be revived) must be spared.
+    FlashArray flash(tinyGeom());
+    makeVictim(flash, 0, 4, 250); // popular garbage
+    makeVictim(flash, 1, 4, 1);   // cold garbage
+    PopularityAwareGcPolicy policy(1.0);
+    EXPECT_EQ(policy.selectVictim(flash, {0, 1}), 1u);
+}
+
+TEST(PopularityAwareGc, StillPrefersClearlyBetterVictims)
+{
+    // A hugely invalid block wins even if its garbage is warm.
+    FlashArray flash(tinyGeom());
+    makeVictim(flash, 0, 8, 60); // all invalid, warm
+    makeVictim(flash, 1, 1, 0);  // barely invalid, cold
+    PopularityAwareGcPolicy policy(1.0);
+    EXPECT_EQ(policy.selectVictim(flash, {0, 1}), 0u);
+}
+
+TEST(PopularityAwareGc, ScoreFormula)
+{
+    FlashArray flash(tinyGeom());
+    makeVictim(flash, 0, 2, 100); // invalid=2, popSum=200
+    PopularityAwareGcPolicy policy(2.0);
+    EXPECT_DOUBLE_EQ(policy.score(flash, 0),
+                     2.0 - 2.0 * 200.0 / 255.0);
+}
+
+TEST(PopularityAwareGc, ZeroWeightDegeneratesToGreedy)
+{
+    FlashArray flash(tinyGeom());
+    makeVictim(flash, 0, 5, 255);
+    makeVictim(flash, 1, 4, 0);
+    PopularityAwareGcPolicy policy(0.0);
+    EXPECT_EQ(policy.selectVictim(flash, {0, 1}), 0u);
+}
+
+TEST(GcPolicyFactory, BuildsBothPolicies)
+{
+    EXPECT_EQ(makeGcPolicy("greedy")->name(), "greedy");
+    EXPECT_EQ(makeGcPolicy("popularity", 3.0)->name(),
+              "popularity-aware");
+}
+
+TEST(GcPolicyFactoryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)makeGcPolicy("random"),
+                testing::ExitedWithCode(1), "unknown GC policy");
+}
+
+TEST(GcPolicyDeath, EmptyCandidatesPanics)
+{
+    FlashArray flash(tinyGeom());
+    GreedyGcPolicy greedy;
+    PopularityAwareGcPolicy pop;
+    EXPECT_DEATH((void)greedy.selectVictim(flash, {}), "no");
+    EXPECT_DEATH((void)pop.selectVictim(flash, {}), "no");
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for hot/cold write-stream separation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ftl/ftl.hh"
+
+namespace zombie
+{
+namespace
+{
+
+Fingerprint
+fp(std::uint64_t id)
+{
+    return Fingerprint::fromValueId(id);
+}
+
+Geometry
+roomyGeom()
+{
+    return Geometry(1, 1, 1, 1, 16, 8);
+}
+
+FtlConfig
+separatedConfig()
+{
+    return FtlConfig{.logicalPages = 64,
+                     .gcMinInvalid = 6,
+                     .hotColdSeparation = true,
+                     .hotThreshold = 2};
+}
+
+TEST(Streams, BlockManagerKeepsThreeWritePoints)
+{
+    FlashArray flash(roomyGeom());
+    BlockManager mgr(flash);
+    const Ppn cold = mgr.allocatePage(0, Stream::UserCold);
+    const Ppn hot = mgr.allocatePage(0, Stream::UserHot);
+    const Ppn gc = mgr.allocatePage(0, Stream::Gc);
+    const auto &geom = flash.geometry();
+    EXPECT_NE(geom.blockOfPpn(cold), geom.blockOfPpn(hot));
+    EXPECT_NE(geom.blockOfPpn(cold), geom.blockOfPpn(gc));
+    EXPECT_NE(geom.blockOfPpn(hot), geom.blockOfPpn(gc));
+    EXPECT_TRUE(mgr.isActive(geom.blockOfPpn(hot)));
+}
+
+TEST(Streams, HotStreamIsLazilyAllocated)
+{
+    FlashArray flash(roomyGeom());
+    BlockManager mgr(flash);
+    EXPECT_EQ(mgr.freeBlocks(0), 15u); // 16 minus the GC reserve
+    mgr.allocatePage(0, Stream::UserCold);
+    EXPECT_EQ(mgr.freeBlocks(0), 14u);
+    mgr.allocatePage(0, Stream::UserHot);
+    EXPECT_EQ(mgr.freeBlocks(0), 13u);
+}
+
+TEST(Streams, FrequentlyUpdatedLpnsMigrateToHotBlocks)
+{
+    FlashArray flash(roomyGeom());
+    Ftl ftl(flash, separatedConfig());
+
+    // Make LPN 0 popular via revival-free updates (no DVP attached,
+    // so popularity accrues only through the hot path decision using
+    // the byte; here pop stays 1 per write... use distinct values so
+    // every write programs). With no DVP the popularity byte is reset
+    // to 1 per write, so drive it above threshold via the mapping
+    // table directly — the unit under test is the stream choice.
+    ftl.write(0, fp(1));
+    const Ppn cold_ppn = ftl.mapping().ppnOf(0);
+
+    // Mark the LPN hot and update: the new page must land in a
+    // different (hot) block.
+    const_cast<MappingTable &>(ftl.mapping()).setPopularity(0, 10);
+    ftl.write(0, fp(2));
+    const Ppn hot_ppn = ftl.mapping().ppnOf(0);
+    EXPECT_NE(flash.geometry().blockOfPpn(cold_ppn),
+              flash.geometry().blockOfPpn(hot_ppn));
+    ftl.checkConsistency();
+}
+
+TEST(Streams, ColdWritesShareTheColdBlock)
+{
+    FlashArray flash(roomyGeom());
+    Ftl ftl(flash, separatedConfig());
+    ftl.write(0, fp(1));
+    ftl.write(1, fp(2));
+    EXPECT_EQ(flash.geometry().blockOfPpn(ftl.mapping().ppnOf(0)),
+              flash.geometry().blockOfPpn(ftl.mapping().ppnOf(1)));
+}
+
+TEST(Streams, DisabledSeparationUsesOneUserStream)
+{
+    FlashArray flash(roomyGeom());
+    FtlConfig cfg = separatedConfig();
+    cfg.hotColdSeparation = false;
+    Ftl ftl(flash, cfg);
+    ftl.write(0, fp(1));
+    const_cast<MappingTable &>(ftl.mapping()).setPopularity(0, 10);
+    ftl.write(0, fp(2));
+    ftl.write(1, fp(3));
+    // Hot update and cold write land in the same block.
+    EXPECT_EQ(flash.geometry().blockOfPpn(ftl.mapping().ppnOf(0)),
+              flash.geometry().blockOfPpn(ftl.mapping().ppnOf(1)));
+}
+
+TEST(Streams, ConsistencyUnderSeparatedWorkload)
+{
+    FlashArray flash(roomyGeom());
+    Ftl ftl(flash, separatedConfig());
+    // Hammer a small hot set and a wide cold set.
+    for (int i = 0; i < 800; ++i) {
+        const Lpn hot_lpn = static_cast<Lpn>(i % 4);
+        const Lpn cold_lpn = 8 + static_cast<Lpn>(i % 56);
+        ftl.write(hot_lpn, fp(static_cast<std::uint64_t>(i)));
+        const_cast<MappingTable &>(ftl.mapping())
+            .setPopularity(hot_lpn, 50);
+        ftl.write(cold_lpn, fp(10'000 + static_cast<std::uint64_t>(i)));
+    }
+    ftl.checkConsistency();
+    EXPECT_GT(ftl.stats().gcInvocations, 0u);
+}
+
+} // namespace
+} // namespace zombie

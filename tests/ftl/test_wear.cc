@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for wear accounting and the wear-aware GC decorator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ftl/wear.hh"
+
+namespace zombie
+{
+namespace
+{
+
+Geometry
+tinyGeom()
+{
+    return Geometry(1, 1, 1, 1, 4, 8);
+}
+
+TEST(WearSummary, FreshDriveHasNoWear)
+{
+    FlashArray flash(tinyGeom());
+    const WearSummary s = summarizeWear(flash);
+    EXPECT_EQ(s.minErase, 0u);
+    EXPECT_EQ(s.maxErase, 0u);
+    EXPECT_EQ(s.skew(), 0u);
+    EXPECT_DOUBLE_EQ(s.meanErase, 0.0);
+    EXPECT_DOUBLE_EQ(s.stddevErase, 0.0);
+}
+
+TEST(WearSummary, TracksSkewedErases)
+{
+    FlashArray flash(tinyGeom());
+    for (int i = 0; i < 6; ++i)
+        flash.eraseBlock(0);
+    for (int i = 0; i < 2; ++i)
+        flash.eraseBlock(1);
+    const WearSummary s = summarizeWear(flash);
+    EXPECT_EQ(s.minErase, 0u);
+    EXPECT_EQ(s.maxErase, 6u);
+    EXPECT_EQ(s.skew(), 6u);
+    EXPECT_DOUBLE_EQ(s.meanErase, 2.0); // (6+2+0+0)/4
+    EXPECT_GT(s.stddevErase, 0.0);
+}
+
+/** Fill a block and invalidate n pages. */
+void
+makeVictim(FlashArray &flash, std::uint64_t block, int invalid)
+{
+    std::vector<Ppn> pages;
+    for (std::uint32_t i = 0; i < flash.geometry().pagesPerBlock(); ++i)
+        pages.push_back(flash.programPage(block));
+    for (int i = 0; i < invalid; ++i)
+        flash.invalidatePage(pages[static_cast<std::size_t>(i)], 0);
+}
+
+TEST(WearAwareGc, BreaksNearTiesTowardLessWornBlock)
+{
+    FlashArray flash(tinyGeom());
+    // Block 0: slightly more garbage but much more worn.
+    for (int i = 0; i < 10; ++i)
+        flash.eraseBlock(0);
+    makeVictim(flash, 0, 6);
+    makeVictim(flash, 1, 4); // within tolerance 4, unworn
+    WearAwareGcPolicy policy(std::make_unique<GreedyGcPolicy>(), 4);
+    EXPECT_EQ(policy.selectVictim(flash, {0, 1}), 1u);
+}
+
+TEST(WearAwareGc, RespectsClearlyBetterVictims)
+{
+    FlashArray flash(tinyGeom());
+    for (int i = 0; i < 10; ++i)
+        flash.eraseBlock(0);
+    makeVictim(flash, 0, 8); // far outside tolerance
+    makeVictim(flash, 1, 1);
+    WearAwareGcPolicy policy(std::make_unique<GreedyGcPolicy>(), 4);
+    EXPECT_EQ(policy.selectVictim(flash, {0, 1}), 0u);
+}
+
+TEST(WearAwareGc, ZeroToleranceIsBasePolicy)
+{
+    FlashArray flash(tinyGeom());
+    for (int i = 0; i < 10; ++i)
+        flash.eraseBlock(0);
+    makeVictim(flash, 0, 5);
+    makeVictim(flash, 1, 4);
+    WearAwareGcPolicy policy(std::make_unique<GreedyGcPolicy>(), 0);
+    EXPECT_EQ(policy.selectVictim(flash, {0, 1}), 0u);
+}
+
+TEST(WearAwareGc, NameReflectsBasePolicy)
+{
+    WearAwareGcPolicy policy(makeGcPolicy("popularity"), 4);
+    EXPECT_EQ(policy.name(), "wear-aware(popularity-aware)");
+    EXPECT_EQ(policy.base().name(), "popularity-aware");
+}
+
+TEST(WearAwareGcDeath, NullBasePolicyPanics)
+{
+    EXPECT_DEATH({ WearAwareGcPolicy policy(nullptr, 4); },
+                 "base policy");
+}
+
+} // namespace
+} // namespace zombie

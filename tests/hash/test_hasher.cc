@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the content-hasher facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hash/hasher.hh"
+#include "hash/md5.hh"
+#include "hash/sha1.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(Hasher, AlgoStringRoundTrip)
+{
+    for (HashAlgo algo :
+         {HashAlgo::Md5, HashAlgo::Sha1, HashAlgo::Synthetic}) {
+        EXPECT_EQ(hashAlgoFromString(toString(algo)), algo);
+    }
+}
+
+TEST(HasherDeath, UnknownAlgoNameIsFatal)
+{
+    EXPECT_EXIT((void)hashAlgoFromString("crc32"),
+                testing::ExitedWithCode(1), "unknown hash");
+}
+
+TEST(Hasher, Md5DispatchMatchesDirect)
+{
+    ContentHasher h(HashAlgo::Md5);
+    const char data[] = "some page content";
+    EXPECT_EQ(h.hash(data, sizeof(data)),
+              Md5::digest(data, sizeof(data)));
+}
+
+TEST(Hasher, Sha1DispatchMatchesDirect)
+{
+    ContentHasher h(HashAlgo::Sha1);
+    const char data[] = "other page content";
+    EXPECT_EQ(h.hash(data, sizeof(data)),
+              Sha1::digest(data, sizeof(data)));
+}
+
+TEST(Hasher, SyntheticValueIdMatchesFromValueId)
+{
+    ContentHasher h(HashAlgo::Synthetic);
+    EXPECT_EQ(h.hashValueId(99), Fingerprint::fromValueId(99));
+}
+
+TEST(Hasher, ValueIdDigestsDifferAcrossAlgos)
+{
+    ContentHasher md5(HashAlgo::Md5);
+    ContentHasher sha1(HashAlgo::Sha1);
+    ContentHasher syn(HashAlgo::Synthetic);
+    const std::uint64_t id = 4242;
+    EXPECT_NE(md5.hashValueId(id), sha1.hashValueId(id));
+    EXPECT_NE(md5.hashValueId(id), syn.hashValueId(id));
+}
+
+TEST(Hasher, ValueIdIsInjectiveInPractice)
+{
+    for (HashAlgo algo :
+         {HashAlgo::Md5, HashAlgo::Sha1, HashAlgo::Synthetic}) {
+        ContentHasher h(algo);
+        EXPECT_NE(h.hashValueId(1), h.hashValueId(2)) << toString(algo);
+    }
+}
+
+TEST(Hasher, SyntheticBufferHashIsContentSensitive)
+{
+    ContentHasher h(HashAlgo::Synthetic);
+    const char a[] = "content-a";
+    const char b[] = "content-b";
+    EXPECT_NE(h.hash(a, sizeof(a)), h.hash(b, sizeof(b)));
+    EXPECT_EQ(h.hash(a, sizeof(a)), h.hash(a, sizeof(a)));
+}
+
+} // namespace
+} // namespace zombie

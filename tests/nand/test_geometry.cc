@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the geometry address codec.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/geometry.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(Geometry, TableIStructure)
+{
+    const Geometry g = Geometry::tableI(64);
+    EXPECT_EQ(g.channels(), 8u);
+    EXPECT_EQ(g.chipsPerChannel(), 8u);
+    EXPECT_EQ(g.diesPerChip(), 4u);
+    EXPECT_EQ(g.planesPerDie(), 2u);
+    EXPECT_EQ(g.blocksPerPlane(), 64u);
+    EXPECT_EQ(g.pagesPerBlock(), 256u);
+    EXPECT_EQ(g.totalChips(), 64u);
+    EXPECT_EQ(g.totalDies(), 256u);
+    EXPECT_EQ(g.totalPlanes(), 512u);
+    EXPECT_EQ(g.totalBlocks(), 512u * 64);
+    EXPECT_EQ(g.totalPages(), 512ull * 64 * 256);
+    EXPECT_EQ(g.capacityBytes(), g.totalPages() * kPageSize);
+}
+
+TEST(Geometry, EncodeDecodeRoundTripExhaustiveSmall)
+{
+    const Geometry g(2, 3, 2, 2, 4, 8);
+    for (Ppn ppn = 0; ppn < g.totalPages(); ++ppn) {
+        const PageAddress addr = g.decode(ppn);
+        EXPECT_EQ(g.encode(addr), ppn);
+    }
+}
+
+TEST(Geometry, DecodeFieldsStayInBounds)
+{
+    const Geometry g(2, 3, 2, 2, 4, 8);
+    for (Ppn ppn = 0; ppn < g.totalPages(); ++ppn) {
+        const PageAddress a = g.decode(ppn);
+        EXPECT_LT(a.channel, g.channels());
+        EXPECT_LT(a.chip, g.chipsPerChannel());
+        EXPECT_LT(a.die, g.diesPerChip());
+        EXPECT_LT(a.plane, g.planesPerDie());
+        EXPECT_LT(a.block, g.blocksPerPlane());
+        EXPECT_LT(a.page, g.pagesPerBlock());
+    }
+}
+
+TEST(Geometry, ConsecutivePpnsShareABlock)
+{
+    const Geometry g(2, 2, 1, 1, 4, 8);
+    EXPECT_EQ(g.blockOfPpn(0), g.blockOfPpn(7));
+    EXPECT_NE(g.blockOfPpn(7), g.blockOfPpn(8));
+}
+
+TEST(Geometry, BlockPlaneDieChannelConsistency)
+{
+    const Geometry g(2, 2, 2, 2, 4, 8);
+    for (Ppn ppn = 0; ppn < g.totalPages(); ppn += 3) {
+        const PageAddress a = g.decode(ppn);
+        EXPECT_EQ(g.blockOfPpn(ppn), g.blockIndex(a));
+        EXPECT_EQ(g.planeOfPpn(ppn), g.planeIndex(a));
+        EXPECT_EQ(g.planeOfBlock(g.blockOfPpn(ppn)), g.planeOfPpn(ppn));
+        EXPECT_EQ(g.channelOfPpn(ppn), a.channel);
+        // Die index decomposes as channel-major.
+        const std::uint64_t die = g.dieOfPpn(ppn);
+        EXPECT_EQ(die / (g.chipsPerChannel() * g.diesPerChip()),
+                  a.channel);
+    }
+}
+
+TEST(Geometry, FirstPpnOfBlockInvertsBlockOf)
+{
+    const Geometry g(2, 2, 2, 2, 4, 8);
+    for (std::uint64_t b = 0; b < g.totalBlocks(); ++b) {
+        const Ppn first = g.firstPpnOfBlock(b);
+        EXPECT_EQ(g.blockOfPpn(first), b);
+        EXPECT_EQ(g.decode(first).page, 0u);
+    }
+}
+
+TEST(Geometry, PagesOfOneBlockAreContiguous)
+{
+    const Geometry g = Geometry::tableI(16);
+    const std::uint64_t block = 37;
+    const Ppn first = g.firstPpnOfBlock(block);
+    for (std::uint32_t i = 0; i < g.pagesPerBlock(); ++i)
+        EXPECT_EQ(g.blockOfPpn(first + i), block);
+}
+
+TEST(GeometryDeath, ZeroDimensionIsFatal)
+{
+    EXPECT_EXIT({ Geometry g(0, 1, 1, 1, 1, 1); },
+                testing::ExitedWithCode(1), "dimension");
+    EXPECT_EXIT({ Geometry g(1, 1, 1, 1, 1, 0); },
+                testing::ExitedWithCode(1), "dimension");
+}
+
+TEST(GeometryDeath, OutOfRangeDecodePanics)
+{
+    const Geometry g(1, 1, 1, 1, 1, 8);
+    EXPECT_DEATH((void)g.decode(8), "out of bounds");
+}
+
+TEST(GeometryDeath, OutOfRangeEncodePanics)
+{
+    const Geometry g(1, 1, 1, 1, 1, 8);
+    EXPECT_DEATH((void)g.encode(PageAddress{0, 0, 0, 0, 0, 8}),
+                 "bounds");
+}
+
+} // namespace
+} // namespace zombie

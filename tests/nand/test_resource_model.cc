@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the channel/die contention model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/resource_model.hh"
+
+namespace zombie
+{
+namespace
+{
+
+/** Two channels, two chips each, one die/plane, for addressable dies. */
+Geometry
+smallGeom()
+{
+    return Geometry(2, 2, 1, 1, 4, 8);
+}
+
+TimingModel
+timing()
+{
+    return TimingModel{};
+}
+
+TEST(ResourceModel, ReadLatencyComposition)
+{
+    ResourceModel rm(smallGeom(), timing());
+    const TimingModel t = timing();
+    const Tick done = rm.scheduleOp(FlashOp::Read, 0, 0);
+    EXPECT_EQ(done, t.commandOverhead + t.readLatency + t.pageTransfer);
+}
+
+TEST(ResourceModel, ProgramLatencyComposition)
+{
+    ResourceModel rm(smallGeom(), timing());
+    const TimingModel t = timing();
+    const Tick done = rm.scheduleOp(FlashOp::Program, 0, 1000);
+    EXPECT_EQ(done, 1000 + t.commandOverhead + t.pageTransfer +
+                        t.programLatency);
+}
+
+TEST(ResourceModel, EraseLatencyComposition)
+{
+    ResourceModel rm(smallGeom(), timing());
+    const TimingModel t = timing();
+    const Tick done = rm.scheduleOp(FlashOp::Erase, 0, 0);
+    EXPECT_EQ(done, t.commandOverhead + t.eraseLatency);
+}
+
+TEST(ResourceModel, SameDieOperationsSerialize)
+{
+    ResourceModel rm(smallGeom(), timing());
+    const Tick first = rm.scheduleOp(FlashOp::Program, 0, 0);
+    const Tick second = rm.scheduleOp(FlashOp::Program, 1, 0);
+    EXPECT_GT(second, first);
+}
+
+TEST(ResourceModel, DifferentDiesRunInParallel)
+{
+    const Geometry g = smallGeom();
+    ResourceModel rm(g, timing());
+    // PPN 0 is on die 0; a PPN in another chip is on another die.
+    const Ppn other_die =
+        g.encode(PageAddress{0, 1, 0, 0, 0, 0});
+    const Tick a = rm.scheduleOp(FlashOp::Program, 0, 0);
+    const Tick b = rm.scheduleOp(FlashOp::Program, other_die, 0);
+    // Dies overlap; only the shared channel transfer (plus command
+    // cycles) serializes.
+    EXPECT_EQ(b, a + timing().pageTransfer + timing().commandOverhead);
+}
+
+TEST(ResourceModel, DifferentChannelsFullyParallel)
+{
+    const Geometry g = smallGeom();
+    ResourceModel rm(g, timing());
+    const Ppn other_channel = g.encode(PageAddress{1, 0, 0, 0, 0, 0});
+    const Tick a = rm.scheduleOp(FlashOp::Read, 0, 0);
+    const Tick b = rm.scheduleOp(FlashOp::Read, other_channel, 0);
+    EXPECT_EQ(a, b);
+}
+
+TEST(ResourceModel, EraseDoesNotHoldChannel)
+{
+    const Geometry g = smallGeom();
+    ResourceModel rm(g, timing());
+    const Ppn sibling = g.encode(PageAddress{0, 1, 0, 0, 0, 0});
+    rm.scheduleOp(FlashOp::Erase, 0, 0);
+    // A read on another die of the same channel is unaffected by the
+    // 3.8ms erase.
+    const Tick done = rm.scheduleOp(FlashOp::Read, sibling, 0);
+    EXPECT_EQ(done, timing().commandOverhead + timing().readLatency +
+                        timing().pageTransfer);
+}
+
+TEST(ResourceModel, BackloggedDieDoesNotStallItsChannel)
+{
+    // Horizon-ratchet regression test: pile work on die 0 far into
+    // the future, then check a program to die 1 (same channel) still
+    // starts promptly.
+    const Geometry g = smallGeom();
+    ResourceModel rm(g, timing());
+    for (int i = 0; i < 50; ++i)
+        rm.scheduleOp(FlashOp::Program, 0, 0);
+    ASSERT_GT(rm.dieFreeAt(0), ticksFromMs(10));
+
+    const Ppn sibling = g.encode(PageAddress{0, 1, 0, 0, 0, 0});
+    const Tick done = rm.scheduleOp(FlashOp::Program, sibling, 0);
+    EXPECT_LT(done, ticksFromMs(1));
+}
+
+TEST(ResourceModel, FutureReadTransferLeavesChannelOpen)
+{
+    // A read whose data-out lands far in the future must not reserve
+    // the (currently idle) channel for the interim.
+    const Geometry g = smallGeom();
+    ResourceModel rm(g, timing());
+    for (int i = 0; i < 50; ++i)
+        rm.scheduleOp(FlashOp::Read, 0, 0);
+    const Ppn sibling = g.encode(PageAddress{0, 1, 0, 0, 0, 0});
+    const Tick done = rm.scheduleOp(FlashOp::Read, sibling, 0);
+    EXPECT_EQ(done, timing().commandOverhead + timing().readLatency +
+                        timing().pageTransfer);
+}
+
+TEST(ResourceModel, EarliestLowerBoundsStart)
+{
+    ResourceModel rm(smallGeom(), timing());
+    const Tick done = rm.scheduleOp(FlashOp::Read, 0, ticksFromUs(500));
+    EXPECT_GE(done, ticksFromUs(500) + timing().readLatency);
+}
+
+TEST(ResourceModel, FreeAtAccessorsTrackScheduling)
+{
+    ResourceModel rm(smallGeom(), timing());
+    EXPECT_EQ(rm.dieFreeAt(0), 0u);
+    EXPECT_EQ(rm.channelFreeAt(0), 0u);
+    EXPECT_EQ(rm.dieFreeAtIndex(0), 0u);
+    const Tick done = rm.scheduleOp(FlashOp::Program, 0, 0);
+    EXPECT_EQ(rm.dieFreeAt(0), done);
+    EXPECT_EQ(rm.dieFreeAtIndex(0), done);
+    EXPECT_GT(rm.channelFreeAt(0), 0u);
+}
+
+TEST(ResourceModel, UtilizationFractionsAreSane)
+{
+    ResourceModel rm(smallGeom(), timing());
+    const Tick done = rm.scheduleOp(FlashOp::Program, 0, 0);
+    const double die_util = rm.dieUtilization(done);
+    const double chan_util = rm.channelUtilization(done);
+    EXPECT_GT(die_util, 0.0);
+    EXPECT_LE(die_util, 1.0);
+    EXPECT_GT(chan_util, 0.0);
+    EXPECT_LT(chan_util, die_util);
+    EXPECT_DOUBLE_EQ(rm.dieUtilization(0), 0.0);
+}
+
+} // namespace
+} // namespace zombie

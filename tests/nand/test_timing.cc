@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests pinning the Table I timing constants and tick helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nand/timing.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(Ticks, ConversionHelpers)
+{
+    EXPECT_EQ(ticksFromUs(1), 1'000u);
+    EXPECT_EQ(ticksFromUs(75), 75'000u);
+    EXPECT_EQ(ticksFromMs(3.8), 3'800'000u);
+    EXPECT_DOUBLE_EQ(usFromTicks(75'000), 75.0);
+    EXPECT_EQ(ticksFromUs(0.2), 200u);
+}
+
+TEST(Timing, TableIDefaults)
+{
+    const TimingModel t;
+    EXPECT_EQ(t.readLatency, ticksFromUs(75));    // Table I
+    EXPECT_EQ(t.programLatency, ticksFromUs(400)); // Table I
+    EXPECT_EQ(t.eraseLatency, ticksFromMs(3.8));   // Table I
+    EXPECT_EQ(t.hashLatency, ticksFromUs(12));     // Table I, [35]
+}
+
+TEST(Timing, LatencyAsymmetryMatchesThePaper)
+{
+    // Section I: writes are ~10-20x slower than reads; erase slower
+    // than both.
+    const TimingModel t;
+    const double ratio = static_cast<double>(t.programLatency) /
+                         static_cast<double>(t.readLatency);
+    EXPECT_GE(ratio, 4.0);
+    EXPECT_LE(ratio, 20.0);
+    EXPECT_GT(t.eraseLatency, t.programLatency);
+    EXPECT_GT(t.programLatency, t.readLatency);
+}
+
+TEST(Timing, BusTransferIsMinorAgainstArrayOps)
+{
+    const TimingModel t;
+    EXPECT_LT(t.pageTransfer, t.readLatency);
+    EXPECT_LT(t.commandOverhead, t.pageTransfer);
+    EXPECT_LT(t.cacheHit, t.readLatency);
+}
+
+TEST(Timing, ArrayLatencyDispatch)
+{
+    const TimingModel t;
+    EXPECT_EQ(t.arrayLatency(FlashOp::Read), t.readLatency);
+    EXPECT_EQ(t.arrayLatency(FlashOp::Program), t.programLatency);
+    EXPECT_EQ(t.arrayLatency(FlashOp::Erase), t.eraseLatency);
+}
+
+} // namespace
+} // namespace zombie

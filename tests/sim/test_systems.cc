@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Cross-system invariants: conservation laws every studied system
+ * (section V-A) must satisfy on the same trace, checked with a
+ * parameterized suite over all seven SystemKinds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace zombie
+{
+namespace
+{
+
+std::vector<SystemKind>
+allSystems()
+{
+    return {SystemKind::Baseline, SystemKind::MqDvp,
+            SystemKind::LruDvp, SystemKind::LxSsd, SystemKind::Dedup,
+            SystemKind::DvpDedup, SystemKind::Ideal};
+}
+
+class SystemInvariants : public testing::TestWithParam<SystemKind>
+{
+  protected:
+    static ExperimentOptions
+    opts()
+    {
+        ExperimentOptions o;
+        o.requests = 20'000;
+        o.poolCapacity = 2'000;
+        o.seed = 7;
+        return o;
+    }
+};
+
+TEST_P(SystemInvariants, EveryWriteIsProgramRevivalOrDedupHit)
+{
+    const SimResult r =
+        runSystem(Workload::Mail, GetParam(), opts());
+    // Conservation: each host write is serviced by exactly one of a
+    // flash program, a zombie revival, or a dedup remap.
+    EXPECT_EQ(r.writes,
+              r.hostPrograms + r.dvpRevivals + r.dedupHits);
+}
+
+TEST_P(SystemInvariants, FlashProgramsSplitIntoHostAndGc)
+{
+    const SimResult r =
+        runSystem(Workload::Web, GetParam(), opts());
+    EXPECT_EQ(r.flashPrograms, r.hostPrograms + r.gcRelocations);
+}
+
+TEST_P(SystemInvariants, RevivalCountersAgreeAcrossLayers)
+{
+    const SimResult r =
+        runSystem(Workload::Mail, GetParam(), opts());
+    // FTL-level revivals and flash-level Invalid->Valid transitions
+    // are independent counters of the same events.
+    EXPECT_EQ(r.dvpRevivals, r.revivals);
+    if (!usesDvp(GetParam()))
+        EXPECT_EQ(r.dvpRevivals, 0u);
+    if (!usesDedup(GetParam()))
+        EXPECT_EQ(r.dedupHits, 0u);
+}
+
+TEST_P(SystemInvariants, LatencyHistogramsCoverEveryRequest)
+{
+    const SimResult r =
+        runSystem(Workload::Trans, GetParam(), opts());
+    EXPECT_EQ(r.allLatency.count(), r.requests);
+    EXPECT_EQ(r.readLatency.count() + r.writeLatency.count(),
+              r.requests);
+    EXPECT_GT(r.allLatency.mean(), 0.0);
+    EXPECT_GE(r.allLatency.percentile(0.99),
+              r.allLatency.percentile(0.50));
+}
+
+TEST_P(SystemInvariants, NeverWritesMoreThanBaseline)
+{
+    const SimResult base =
+        runSystem(Workload::Mail, SystemKind::Baseline, opts());
+    const SimResult r =
+        runSystem(Workload::Mail, GetParam(), opts());
+    // Every content-aware system removes host programs; none adds any.
+    EXPECT_LE(r.hostPrograms, base.hostPrograms);
+}
+
+TEST_P(SystemInvariants, WearStatisticsArePopulated)
+{
+    const SimResult r =
+        runSystem(Workload::Home, GetParam(), opts());
+    EXPECT_GE(r.wear.maxErase, r.wear.minErase);
+    EXPECT_GE(r.wear.meanErase, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SystemInvariants,
+                         testing::ValuesIn(allSystems()),
+                         [](const auto &info) {
+                             std::string name = toString(info.param);
+                             for (char &c : name) {
+                                 if (c == '+' || c == '-')
+                                     c = '_';
+                             }
+                             return name;
+                         });
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for workload profiles and Table II presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/profile.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(Workload, NameRoundTrip)
+{
+    for (Workload w : allWorkloads())
+        EXPECT_EQ(workloadFromString(toString(w)), w);
+}
+
+TEST(WorkloadDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)workloadFromString("floppy"),
+                testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Workload, AllWorkloadsHasSixEntries)
+{
+    EXPECT_EQ(allWorkloads().size(), 6u);
+}
+
+TEST(TableIi, PaperValuesAreEncoded)
+{
+    // Spot-check the rows quoted verbatim from the paper.
+    EXPECT_DOUBLE_EQ(tableIi(Workload::Mail).writeRatio, 0.77);
+    EXPECT_DOUBLE_EQ(tableIi(Workload::Mail).uniqueWriteValue, 0.08);
+    EXPECT_DOUBLE_EQ(tableIi(Workload::Mail).uniqueReadValue, 0.80);
+    EXPECT_DOUBLE_EQ(tableIi(Workload::Home).writeRatio, 0.96);
+    EXPECT_DOUBLE_EQ(tableIi(Workload::Hadoop).writeRatio, 0.30);
+    EXPECT_DOUBLE_EQ(tableIi(Workload::Trans).uniqueWriteValue, 0.774);
+    EXPECT_DOUBLE_EQ(tableIi(Workload::Desktop).uniqueReadValue, 0.497);
+}
+
+TEST(Profile, PresetsValidateAndCarryWriteRatio)
+{
+    for (Workload w : allWorkloads()) {
+        const WorkloadProfile p = WorkloadProfile::preset(w, 1, 1000, 7);
+        EXPECT_DOUBLE_EQ(p.writeRatio, tableIi(w).writeRatio);
+        EXPECT_EQ(p.requests, 1000u);
+    }
+}
+
+TEST(Profile, DayVariantsDifferInSeedAndDrift)
+{
+    const WorkloadProfile d1 =
+        WorkloadProfile::preset(Workload::Mail, 1, 1000, 7);
+    const WorkloadProfile d2 =
+        WorkloadProfile::preset(Workload::Mail, 2, 1000, 7);
+    EXPECT_NE(d1.seed, d2.seed);
+    EXPECT_NE(d1.newValueProb, d2.newValueProb);
+    EXPECT_EQ(d1.name, "mail1");
+    EXPECT_EQ(d2.name, "mail2");
+}
+
+TEST(Profile, DerivedSizesScaleWithRequests)
+{
+    const WorkloadProfile small =
+        WorkloadProfile::preset(Workload::Web, 1, 10'000, 7);
+    const WorkloadProfile big =
+        WorkloadProfile::preset(Workload::Web, 1, 1'000'000, 7);
+    EXPECT_LT(small.footprintPages(), big.footprintPages());
+    EXPECT_LT(small.popularPoolSize(), big.popularPoolSize());
+    EXPECT_NEAR(static_cast<double>(big.footprintPages()) /
+                    static_cast<double>(small.footprintPages()),
+                100.0, 1.0);
+}
+
+TEST(Profile, ExpectedWritesMatchesRatio)
+{
+    const WorkloadProfile p =
+        WorkloadProfile::preset(Workload::Home, 1, 100'000, 7);
+    EXPECT_NEAR(static_cast<double>(p.expectedWrites()), 96'000.0, 1.0);
+}
+
+TEST(Profile, MinimumSizesEnforcedForTinyTraces)
+{
+    const WorkloadProfile p =
+        WorkloadProfile::preset(Workload::Desktop, 1, 10, 7);
+    EXPECT_GE(p.footprintPages(), 64u);
+    EXPECT_GE(p.popularPoolSize(), 16u);
+}
+
+TEST(ProfileDeath, ValidateRejectsBadParameters)
+{
+    WorkloadProfile p = WorkloadProfile::preset(Workload::Web, 1, 100, 7);
+    p.writeRatio = 1.5;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "writeRatio");
+
+    p = WorkloadProfile::preset(Workload::Web, 1, 100, 7);
+    p.requests = 0;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "requests");
+
+    p = WorkloadProfile::preset(Workload::Web, 1, 100, 7);
+    p.meanInterarrivalUs = 0.0;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1), "interarrival");
+
+    p = WorkloadProfile::preset(Workload::Web, 1, 100, 7);
+    p.footprintFrac = 0.0;
+    EXPECT_EXIT(p.validate(), testing::ExitedWithCode(1),
+                "footprintFrac");
+}
+
+TEST(ProfileDeath, DayMustBePositive)
+{
+    EXPECT_DEATH((void)WorkloadProfile::preset(Workload::Web, 0, 100, 7),
+                 "1-based");
+}
+
+TEST(FiuDayTraces, NineLabeledTraces)
+{
+    const auto traces = fiuDayTraces(5000, 3);
+    ASSERT_EQ(traces.size(), 9u);
+    EXPECT_EQ(traces[0].label, "m1");
+    EXPECT_EQ(traces[2].label, "m3");
+    EXPECT_EQ(traces[3].label, "h1");
+    EXPECT_EQ(traces[8].label, "w3");
+    for (const auto &t : traces)
+        EXPECT_EQ(t.profile.requests, 5000u);
+}
+
+TEST(FiuDayTraces, SeedsAreDistinct)
+{
+    const auto traces = fiuDayTraces(100, 42);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        for (std::size_t j = i + 1; j < traces.size(); ++j) {
+            if (traces[i].label[0] == traces[j].label[0])
+                EXPECT_NE(traces[i].profile.seed, traces[j].profile.seed);
+        }
+    }
+}
+
+} // namespace
+} // namespace zombie

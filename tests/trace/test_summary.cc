@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the trace summarizer on hand-crafted record streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/summary.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TraceRecord
+rec(Tick at, OpType op, Lpn lpn, std::uint64_t vid)
+{
+    TraceRecord r;
+    r.arrival = at;
+    r.op = op;
+    r.lpn = lpn;
+    r.valueId = vid;
+    r.fp = Fingerprint::fromValueId(vid);
+    return r;
+}
+
+TEST(TraceSummary, EmptyTrace)
+{
+    const TraceSummary s = summarizeTrace({});
+    EXPECT_EQ(s.total(), 0u);
+    EXPECT_DOUBLE_EQ(s.writeRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(s.uniqueWriteValueFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(s.uniqueReadValueFraction(), 0.0);
+}
+
+TEST(TraceSummary, CountsOpsAndDistincts)
+{
+    const TraceSummary s = summarizeTrace({
+        rec(10, OpType::Write, 0, 100),
+        rec(20, OpType::Write, 1, 100), // duplicate content
+        rec(30, OpType::Write, 2, 200),
+        rec(40, OpType::Read, 0, 100),
+        rec(50, OpType::Read, 2, 200),
+        rec(60, OpType::Read, 0, 100), // repeat read value
+    });
+    EXPECT_EQ(s.writes, 3u);
+    EXPECT_EQ(s.reads, 3u);
+    EXPECT_EQ(s.distinctWriteValues, 2u);
+    EXPECT_EQ(s.distinctReadValues, 2u);
+    EXPECT_EQ(s.distinctLpns, 3u);
+    EXPECT_DOUBLE_EQ(s.writeRatio(), 0.5);
+    EXPECT_NEAR(s.uniqueWriteValueFraction(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(s.uniqueReadValueFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceSummary, TracksArrivalWindow)
+{
+    const TraceSummary s = summarizeTrace({
+        rec(42, OpType::Write, 0, 1),
+        rec(99, OpType::Read, 0, 1),
+    });
+    EXPECT_EQ(s.firstArrival, 42u);
+    EXPECT_EQ(s.lastArrival, 99u);
+}
+
+TEST(TraceSummary, ReadAndWriteValueSetsAreIndependent)
+{
+    // Reading a value never makes it "written".
+    const TraceSummary s = summarizeTrace({
+        rec(1, OpType::Write, 0, 7),
+        rec(2, OpType::Read, 0, 7),
+        rec(3, OpType::Read, 0, 7),
+    });
+    EXPECT_EQ(s.distinctWriteValues, 1u);
+    EXPECT_EQ(s.distinctReadValues, 1u);
+    EXPECT_DOUBLE_EQ(s.uniqueWriteValueFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(s.uniqueReadValueFraction(), 0.5);
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Calibration test: the synthetic generator must reproduce the
+ * paper's Table II workload characteristics (write ratio and the
+ * unique-value fractions for reads and writes) within tolerance.
+ *
+ * The dead-value-pool results depend directly on these statistics,
+ * so this is the contract between the trace substitution and every
+ * downstream experiment (see DESIGN.md section 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hh"
+#include "trace/summary.hh"
+
+namespace zombie
+{
+namespace
+{
+
+class TableIiFidelity : public testing::TestWithParam<Workload>
+{
+};
+
+TEST_P(TableIiFidelity, MeasuredColumnsMatchPaper)
+{
+    const Workload w = GetParam();
+    const WorkloadProfile profile =
+        WorkloadProfile::preset(w, 1, 120'000, 42);
+    SyntheticTraceGenerator gen(profile);
+
+    TraceSummarizer summarizer;
+    TraceRecord rec;
+    while (gen.next(rec))
+        summarizer.observe(rec);
+    const TraceSummary s = summarizer.finish();
+    const TableIiRow paper = tableIi(w);
+
+    EXPECT_NEAR(s.writeRatio(), paper.writeRatio, 0.02)
+        << "write ratio for " << toString(w);
+    EXPECT_NEAR(s.uniqueWriteValueFraction(), paper.uniqueWriteValue,
+                0.10)
+        << "unique write-value fraction for " << toString(w);
+    EXPECT_NEAR(s.uniqueReadValueFraction(), paper.uniqueReadValue,
+                0.15)
+        << "unique read-value fraction for " << toString(w);
+}
+
+TEST_P(TableIiFidelity, GeneratorCountersAgreeWithSummarizer)
+{
+    // The generator's internal distinct-value accounting and the
+    // fingerprint-keyed summarizer are independent implementations;
+    // they must agree.
+    const Workload w = GetParam();
+    const WorkloadProfile profile =
+        WorkloadProfile::preset(w, 1, 30'000, 17);
+    SyntheticTraceGenerator gen(profile);
+    TraceSummarizer summarizer;
+    TraceRecord rec;
+    while (gen.next(rec))
+        summarizer.observe(rec);
+    const TraceSummary s = summarizer.finish();
+
+    EXPECT_EQ(s.writes, gen.stats().writes);
+    EXPECT_EQ(s.reads, gen.stats().reads);
+    EXPECT_EQ(s.distinctWriteValues,
+              gen.stats().freshValueWrites +
+                  gen.stats().distinctPoolValuesWritten);
+    EXPECT_EQ(s.distinctReadValues, gen.stats().distinctValuesRead);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, TableIiFidelity,
+                         testing::ValuesIn(allWorkloads()),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+} // namespace
+} // namespace zombie

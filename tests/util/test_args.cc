@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the CLI argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/args.hh"
+
+namespace zombie
+{
+namespace
+{
+
+/** argv builder for parse(). */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : storage(std::move(args))
+    {
+        for (auto &s : storage)
+            pointers.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers.size()); }
+    char **argv() { return pointers.data(); }
+
+  private:
+    std::vector<std::string> storage;
+    std::vector<char *> pointers;
+};
+
+ArgParser
+makeParser()
+{
+    ArgParser p("test program");
+    p.addOption("requests", "1000", "number of requests");
+    p.addOption("name", "mail", "workload name");
+    p.addOption("rate", "1.5", "some rate");
+    p.addFlag("verbose", "chatty output");
+    return p;
+}
+
+TEST(ArgParser, DefaultsApplyWhenUnset)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getUint("requests"), 1000u);
+    EXPECT_EQ(p.getString("name"), "mail");
+    EXPECT_DOUBLE_EQ(p.getDouble("rate"), 1.5);
+    EXPECT_FALSE(p.getFlag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog", "--requests", "42", "--name", "web"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getUint("requests"), 42u);
+    EXPECT_EQ(p.getString("name"), "web");
+}
+
+TEST(ArgParser, EqualsSeparatedValues)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog", "--requests=7", "--rate=2.25"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("requests"), 7);
+    EXPECT_DOUBLE_EQ(p.getDouble("rate"), 2.25);
+}
+
+TEST(ArgParser, FlagSetsTrue)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog", "--verbose"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(ArgParser, NegativeIntegers)
+{
+    ArgParser p("t");
+    p.addOption("delta", "0", "signed value");
+    Argv a({"prog", "--delta", "-5"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EQ(p.getInt("delta"), -5);
+}
+
+TEST(ArgParser, UsageListsOptionsAndHelp)
+{
+    ArgParser p = makeParser();
+    const std::string usage = p.usage();
+    EXPECT_NE(usage.find("--requests"), std::string::npos);
+    EXPECT_NE(usage.find("number of requests"), std::string::npos);
+    EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(ArgParserDeath, UnknownOptionIsFatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog", "--nope"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(ArgParserDeath, MissingValueIsFatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog", "--requests"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(1), "needs a value");
+}
+
+TEST(ArgParserDeath, PositionalArgumentIsFatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog", "stray"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(1), "positional");
+}
+
+TEST(ArgParserDeath, NonNumericValueIsFatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog", "--requests", "abc"});
+    p.parse(a.argc(), a.argv());
+    EXPECT_EXIT((void)p.getUint("requests"),
+                testing::ExitedWithCode(1), "unsigned integer");
+}
+
+TEST(ArgParserDeath, FlagWithValueIsFatal)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog", "--verbose=yes"});
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(1), "does not take a value");
+}
+
+TEST(ArgParserDeath, DuplicateRegistrationPanics)
+{
+    ArgParser p("t");
+    p.addOption("x", "1", "first");
+    EXPECT_DEATH(p.addOption("x", "2", "second"), "duplicate");
+}
+
+TEST(ArgParserDeath, HelpExitsZero)
+{
+    ArgParser p = makeParser();
+    Argv a({"prog", "--help"});
+    // Usage text goes to stdout (death tests match stderr), so only
+    // the exit code is asserted here.
+    EXPECT_EXIT(p.parse(a.argc(), a.argv()),
+                testing::ExitedWithCode(0), "");
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Tests for the logging / error-handling helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(Logging, LevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(before);
+}
+
+TEST(Logging, ConcatFoldsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(zombie_panic("boom ", 7), "panic: boom 7");
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(zombie_fatal("bad config ", "x"),
+                testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+TEST(LoggingDeath, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(zombie_assert(1 == 2, "math broke"),
+                 "assertion failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    zombie_assert(2 + 2 == 4, "never printed");
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Silent); // keep test output clean
+    zombie_warn("suspicious ", 1);
+    zombie_inform("status ", 2);
+    zombie_debug("verbose ", 3);
+    setLogLevel(before);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/random.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(SplitMix64, DeterministicForSeed)
+{
+    SplitMix64 a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, DeterministicForSeed)
+{
+    Xoshiro256 a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, SeedsProduceDistinctStreams)
+{
+    Xoshiro256 a(1), b(99);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a() != b();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval)
+{
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.nextDouble();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+    }
+}
+
+TEST(Xoshiro256, NextDoubleMeanIsHalf)
+{
+    Xoshiro256 rng(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBoundedStaysInRange)
+{
+    Xoshiro256 rng(3);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Xoshiro256, NextBoundedOneIsAlwaysZero)
+{
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Xoshiro256, NextBoundedCoversAllResidues)
+{
+    Xoshiro256 rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBounded(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro256, NextBoundedIsRoughlyUniform)
+{
+    Xoshiro256 rng(17);
+    const std::uint64_t buckets = 8;
+    std::uint64_t counts[8] = {};
+    const int n = 160000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(buckets)];
+    for (std::uint64_t c : counts) {
+        EXPECT_NEAR(static_cast<double>(c), n / 8.0, n * 0.01);
+    }
+}
+
+TEST(Xoshiro256, NextBoolProbabilityZeroAndOne)
+{
+    Xoshiro256 rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Xoshiro256, NextBoolMatchesProbability)
+{
+    Xoshiro256 rng(29);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(heads / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Xoshiro256, ExponentialHasRequestedMean)
+{
+    Xoshiro256 rng(31);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(20.0);
+    EXPECT_NEAR(sum / n, 20.0, 0.5);
+}
+
+TEST(Xoshiro256, ExponentialIsNonNegative)
+{
+    Xoshiro256 rng(37);
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_GE(rng.nextExponential(5.0), 0.0);
+}
+
+TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Xoshiro256::min() == 0);
+    static_assert(Xoshiro256::max() == ~0ULL);
+    Xoshiro256 rng;
+    (void)rng();
+    SUCCEED();
+}
+
+} // namespace
+} // namespace zombie

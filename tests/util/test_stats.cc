@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.hh"
+#include "util/stats.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.record(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.record(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat all, a, b;
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble() * 100.0;
+        all.record(x);
+        (i % 2 ? a : b).record(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides)
+{
+    RunningStat a, b;
+    a.record(1.0);
+    a.merge(b); // empty rhs
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a); // empty lhs
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.record(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(LatencyHistogram, EmptyPercentileIsZero)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentile(0.99), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, ExactForSmallValues)
+{
+    // Values below the sub-bucket count are recorded exactly.
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 31u);
+    EXPECT_EQ(h.percentile(0.5), 15u);
+    EXPECT_EQ(h.percentile(1.0), 31u);
+}
+
+TEST(LatencyHistogram, MeanIsExact)
+{
+    LatencyHistogram h;
+    double sum = 0.0;
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.nextBounded(1'000'000);
+        h.record(v);
+        sum += static_cast<double>(v);
+    }
+    EXPECT_DOUBLE_EQ(h.mean(), sum / 10000.0);
+}
+
+TEST(LatencyHistogram, PercentileWithinRelativeErrorBound)
+{
+    LatencyHistogram h;
+    std::vector<double> exact;
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t v = 100 + rng.nextBounded(10'000'000);
+        h.record(v);
+        exact.push_back(static_cast<double>(v));
+    }
+    std::sort(exact.begin(), exact.end());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double approx = static_cast<double>(h.percentile(q));
+        const double truth = percentileOfSorted(exact, q);
+        EXPECT_NEAR(approx / truth, 1.0, 0.04)
+            << "quantile " << q;
+    }
+}
+
+TEST(LatencyHistogram, PercentileNeverExceedsMax)
+{
+    LatencyHistogram h;
+    h.record(1'000'000);
+    h.record(5);
+    EXPECT_LE(h.percentile(1.0), 1'000'000u);
+    EXPECT_LE(h.percentile(0.99), 1'000'000u);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording)
+{
+    LatencyHistogram a, b, all;
+    Xoshiro256 rng(4);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t v = rng.nextBounded(1 << 20);
+        all.record(v);
+        (i % 3 ? a : b).record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    EXPECT_EQ(a.percentile(0.99), all.percentile(0.99));
+    EXPECT_EQ(a.maxValue(), all.maxValue());
+}
+
+TEST(LatencyHistogram, ResetClears)
+{
+    LatencyHistogram h;
+    h.record(12345);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Cdf, BuildFromDistinctSamples)
+{
+    auto cdf = buildCdf({3.0, 1.0, 2.0});
+    ASSERT_EQ(cdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+    EXPECT_NEAR(cdf[0].fraction, 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(cdf[2].x, 3.0);
+    EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(Cdf, DuplicatesCollapseIntoOnePoint)
+{
+    auto cdf = buildCdf({1.0, 1.0, 1.0, 5.0});
+    ASSERT_EQ(cdf.size(), 2u);
+    EXPECT_DOUBLE_EQ(cdf[0].x, 1.0);
+    EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.75);
+    EXPECT_DOUBLE_EQ(cdf[1].fraction, 1.0);
+}
+
+TEST(Cdf, EmptyInput)
+{
+    EXPECT_TRUE(buildCdf({}).empty());
+}
+
+TEST(Cdf, ThinKeepsEndpointsAndIsMonotone)
+{
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i)
+        samples.push_back(static_cast<double>(i));
+    auto cdf = buildCdf(samples);
+    auto thin = thinCdf(cdf, 10);
+    ASSERT_EQ(thin.size(), 10u);
+    EXPECT_DOUBLE_EQ(thin.front().x, cdf.front().x);
+    EXPECT_DOUBLE_EQ(thin.back().x, cdf.back().x);
+    for (std::size_t i = 1; i < thin.size(); ++i)
+        EXPECT_LE(thin[i - 1].fraction, thin[i].fraction);
+}
+
+TEST(Cdf, ThinNoOpWhenSmall)
+{
+    auto cdf = buildCdf({1.0, 2.0});
+    EXPECT_EQ(thinCdf(cdf, 10).size(), 2u);
+}
+
+TEST(PercentileOfSorted, InterpolatesBetweenPoints)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentileOfSorted(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(v, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(percentileOfSorted(v, 1.0), 10.0);
+}
+
+TEST(PercentileOfSorted, EmptyReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(percentileOfSorted({}, 0.5), 0.0);
+}
+
+TEST(StatSet, SetGetAddHas)
+{
+    StatSet s;
+    s.set("a.b", 1.5);
+    s.add("a.b", 0.5);
+    s.add("fresh", 2.0);
+    EXPECT_DOUBLE_EQ(s.get("a.b"), 2.0);
+    EXPECT_DOUBLE_EQ(s.get("fresh"), 2.0);
+    EXPECT_TRUE(s.has("a.b"));
+    EXPECT_FALSE(s.has("missing"));
+}
+
+TEST(StatSet, FormatContainsAllNames)
+{
+    StatSet s;
+    s.set("alpha", 1);
+    s.set("beta.gamma", 2);
+    const std::string text = s.format();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("beta.gamma"), std::string::npos);
+}
+
+TEST(StatSetDeath, GetUnknownPanics)
+{
+    StatSet s;
+    EXPECT_DEATH((void)s.get("nope"), "unknown stat");
+}
+
+} // namespace
+} // namespace zombie

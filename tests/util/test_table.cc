@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/table.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"writes", "123"});
+    t.addRow({"erases", "4"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("| writes"), std::string::npos);
+    EXPECT_NE(out.find("| 123"), std::string::npos);
+    EXPECT_NE(out.find("| erases"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAlignToWidestCell)
+{
+    TextTable t({"c"});
+    t.addRow({"a-much-longer-cell"});
+    const std::string out = t.render();
+    // The header row must be padded to the widest cell's width.
+    const std::string header_line = "| c                  |";
+    EXPECT_NE(out.find(header_line), std::string::npos) << out;
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(3.0, 0), "3");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, PctFormatsFraction)
+{
+    EXPECT_EQ(TextTable::pct(0.295), "29.5%");
+    EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, EmptyTableStillRenders)
+{
+    TextTable t({"only-header"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("only-header"), std::string::npos);
+}
+
+TEST(TextTableDeath, RowArityMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"just-one"}), "arity");
+}
+
+TEST(TextTableDeath, EmptyHeaderPanics)
+{
+    EXPECT_DEATH({ TextTable t(std::vector<std::string>{}); },
+                 "at least one column");
+}
+
+TEST(SectionBanner, ContainsTitle)
+{
+    const std::string banner = sectionBanner("Figure 9");
+    EXPECT_NE(banner.find("Figure 9"), std::string::npos);
+    EXPECT_NE(banner.find("===="), std::string::npos);
+}
+
+} // namespace
+} // namespace zombie
