@@ -47,6 +47,10 @@ standardArgs(const std::string &description,
                    "dead-value pool entries as a fraction of the "
                    "trace length (0.02 ~ the paper's 200K entries "
                    "at day-trace scale)");
+    args.addOption("queue-depth", "1",
+                   "host-interface queue depth (NCQ-style dispatch "
+                   "contexts; 1 reproduces the classic serialized "
+                   "dispatcher)");
     args.addOption("csv", "", "also write the series to this CSV file");
     return args;
 }

@@ -18,14 +18,10 @@ main(int argc, char **argv)
         "Figure 11: mean latency improvement (incl. LX-SSD)",
         "250000");
     args.parse(argc, argv);
-    const std::uint64_t requests = args.getUint("requests");
 
     banner("Figure 11", "mean latency improvement");
 
-    ExperimentOptions base;
-    base.requests = requests;
-    base.seed = args.getUint("seed");
-    base.poolCapacity = scaledPool(requests, args.getDouble("pool-frac"));
+    ExperimentOptions base = standardOptions(args);
 
     const auto rows = runAcrossWorkloads(
         std::vector<std::string>{"dvp", "lx-ssd"},

@@ -17,14 +17,10 @@ main(int argc, char **argv)
     ArgParser args = standardArgs(
         "Figure 12: tail (p99) latency improvement", "250000");
     args.parse(argc, argv);
-    const std::uint64_t requests = args.getUint("requests");
 
     banner("Figure 12", "p99 latency improvement");
 
-    ExperimentOptions base;
-    base.requests = requests;
-    base.seed = args.getUint("seed");
-    base.poolCapacity = scaledPool(requests, args.getDouble("pool-frac"));
+    ExperimentOptions base = standardOptions(args);
 
     const auto rows = runAcrossWorkloads(
         std::vector<std::string>{"dvp"},

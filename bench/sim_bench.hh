@@ -36,6 +36,20 @@ scaledPool(std::uint64_t requests, double frac)
 /** The fraction standing in for the paper's 200K-entry default. */
 inline constexpr double kDefaultPoolFrac = 0.02;
 
+/** ExperimentOptions filled from the standardArgs() options. */
+inline ExperimentOptions
+standardOptions(const ArgParser &args)
+{
+    ExperimentOptions opts;
+    opts.requests = args.getUint("requests");
+    opts.seed = args.getUint("seed");
+    opts.poolCapacity =
+        scaledPool(opts.requests, args.getDouble("pool-frac"));
+    opts.queueDepth =
+        static_cast<std::uint32_t>(args.getUint("queue-depth"));
+    return opts;
+}
+
 /** Results for one workload across several systems. */
 struct WorkloadRow
 {

@@ -34,6 +34,9 @@ main(int argc, char **argv)
                    "baseline|dvp|lru|lx|dedup|dvp+dedup|ideal");
     args.addOption("pool", "5000", "dead-value pool entries");
     args.addOption("op", "0.15", "over-provisioning fraction");
+    args.addOption("queue-depth", "1",
+                   "host-interface queue depth (NCQ dispatch "
+                   "contexts)");
     args.parse(argc, argv);
 
     const SystemKind system =
@@ -64,6 +67,8 @@ main(int argc, char **argv)
     SsdConfig cfg = SsdConfig::forFootprint(max_lpn + 1, system,
                                             args.getDouble("op"));
     cfg.mq.capacity = args.getUint("pool");
+    cfg.queueDepth =
+        static_cast<std::uint32_t>(args.getUint("queue-depth"));
 
     std::printf("%s", sectionBanner("replaying " + label + " on " +
                                     toString(system)).c_str());

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Build and test both configurations: the standard RelWithDebInfo
+# tree (tier-1 gate) and the ASan+UBSan tree. Run from the repo root:
+#
+#   scripts/check.sh            # both configs
+#   scripts/check.sh default    # just the standard build
+#   scripts/check.sh asan-ubsan # just the sanitizer build
+set -eu
+
+cd "$(dirname "$0")/.."
+
+presets="${1:-default asan-ubsan}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in $presets; do
+    echo "==> configure [$preset]"
+    cmake --preset "$preset"
+    echo "==> build [$preset]"
+    cmake --build --preset "$preset" -j "$jobs"
+    echo "==> ctest [$preset]"
+    ctest --preset "$preset" -j "$jobs"
+done
+
+echo "==> all checks passed"

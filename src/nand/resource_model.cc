@@ -13,7 +13,8 @@ ResourceModel::ResourceModel(const Geometry &geometry,
       channelBusyUntil(geom.channels(), 0),
       dieBusyUntil(geom.totalDies(), 0),
       channelBusyTotal(geom.channels(), 0),
-      dieBusyTotal(geom.totalDies(), 0)
+      dieBusyTotal(geom.totalDies(), 0),
+      dieOutstanding(geom.totalDies())
 {
 }
 
@@ -76,7 +77,44 @@ ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest)
         break;
       }
     }
+    noteDieIssue(die, earliest, completion);
     return completion;
+}
+
+void
+ResourceModel::noteDieIssue(std::uint64_t die, Tick issued,
+                            Tick completion)
+{
+    // Ops already complete when this one was issued have retired;
+    // what remains is the backlog the new op queued behind (die ops
+    // serialize, so completions stay sorted no matter where the
+    // window is cut). Observation only: no busy-until horizon moves
+    // here.
+    std::deque<Tick> &out = dieOutstanding[die];
+    while (!out.empty() && out.front() <= issued)
+        out.pop_front();
+    out.push_back(completion);
+    if (out.size() > maxBacklog)
+        maxBacklog = out.size();
+}
+
+std::uint32_t
+ResourceModel::dieBacklog(std::uint64_t die) const
+{
+    zombie_assert(die < dieOutstanding.size(),
+                  "die index out of bounds");
+    return static_cast<std::uint32_t>(dieOutstanding[die].size());
+}
+
+std::uint32_t
+ResourceModel::pendingAt(std::uint64_t die, Tick now) const
+{
+    zombie_assert(die < dieOutstanding.size(),
+                  "die index out of bounds");
+    const std::deque<Tick> &out = dieOutstanding[die];
+    // Completions are sorted; count the suffix strictly after now.
+    const auto it = std::upper_bound(out.begin(), out.end(), now);
+    return static_cast<std::uint32_t>(out.end() - it);
 }
 
 Tick

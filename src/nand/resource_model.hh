@@ -21,6 +21,7 @@
 #define ZOMBIE_NAND_RESOURCE_MODEL_HH
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "nand/geometry.hh"
@@ -50,6 +51,32 @@ class ResourceModel
     /** Busy-until of a die by flat index (dynamic write allocation). */
     Tick dieFreeAtIndex(std::uint64_t die) const;
 
+    /**
+     * Pending-queue accounting (admission backlog signals). The
+     * model keeps, per die, the completion ticks of issued ops that
+     * were still outstanding when the die last accepted work. This
+     * is pure observation: it never advances a busy-until horizon,
+     * so it cannot violate the horizon-ratchet rule above.
+     */
+
+    /**
+     * Ops issued to @p die and not yet complete as of the die's most
+     * recent issue point (its schedule backlog, including the op
+     * then executing). 0 before the first issue.
+     */
+    std::uint32_t dieBacklog(std::uint64_t die) const;
+
+    /**
+     * Ops on @p die still incomplete at @p now. Exact for @p now at
+     * or beyond the die's most recent issue point; earlier than that
+     * it is a lower bound (ops already retired from the backlog
+     * window are no longer counted).
+     */
+    std::uint32_t pendingAt(std::uint64_t die, Tick now) const;
+
+    /** High-water mark of any die's backlog over the run. */
+    std::uint64_t maxDieBacklog() const { return maxBacklog; }
+
     /** Fraction of [0, horizon] each resource class was busy. */
     double channelUtilization(Tick horizon) const;
     double dieUtilization(Tick horizon) const;
@@ -57,12 +84,24 @@ class ResourceModel
     const TimingModel &timing() const { return times; }
 
   private:
+    /** Record one issued op's (issue-point, completion) pair. */
+    void noteDieIssue(std::uint64_t die, Tick issued, Tick completion);
+
     Geometry geom;
     TimingModel times;
     std::vector<Tick> channelBusyUntil;
     std::vector<Tick> dieBusyUntil;
     std::vector<Tick> channelBusyTotal;
     std::vector<Tick> dieBusyTotal;
+
+    /**
+     * Per-die completion ticks of outstanding ops, sorted (die ops
+     * serialize, so completions arrive in nondecreasing order); the
+     * front is pruned at each issue against the new op's issue
+     * point.
+     */
+    std::vector<std::deque<Tick>> dieOutstanding;
+    std::uint64_t maxBacklog = 0;
 };
 
 } // namespace zombie

@@ -170,6 +170,8 @@ SsdConfig::describe() const
         << " MiB physical, OP "
         << static_cast<int>(std::lround(overProvisioning() * 100))
         << "%, gc=" << resolvedGcPolicy();
+    if (queueDepth != 1)
+        oss << ", qd=" << queueDepth;
     if (usesDvp(system))
         oss << ", pool=" << mq.capacity << " entries";
     oss << ")";
@@ -187,6 +189,11 @@ SsdConfig::validate() const
         zombie_fatal("SsdConfig: prefillFraction out of [0,1]");
     if (gcPagesPerStep == 0)
         zombie_fatal("SsdConfig: gcPagesPerStep must be > 0");
+    if (queueDepth == 0)
+        zombie_fatal("SsdConfig: queueDepth must be >= 1");
+    if (queueDepth > 65536)
+        zombie_fatal("SsdConfig: queueDepth ", queueDepth,
+                     " exceeds the 65536-tag ceiling");
     if (gcPolicy != "auto" && gcPolicy != "greedy" &&
         gcPolicy != "popularity") {
         zombie_fatal("SsdConfig: bad gcPolicy '", gcPolicy, "'");

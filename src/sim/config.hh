@@ -70,6 +70,15 @@ struct SsdConfig
      */
     std::uint64_t readCacheEntries = 4096;
 
+    /**
+     * Host-interface queue depth: NCQ-style command tags, i.e. how
+     * many commands the controller front-end holds concurrently
+     * (see sim/controller.hh). 1 — the default — reproduces the
+     * historical in-order dispatcher byte-for-byte; deeper queues
+     * admit bursts concurrently.
+     */
+    std::uint32_t queueDepth = 1;
+
     /** Hot/cold write-stream separation (see FtlConfig). */
     bool hotColdSeparation = false;
     std::uint8_t hotThreshold = 2;

@@ -1,0 +1,150 @@
+#include "sim/controller.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+FlashIssue
+FlashScheduler::issue(const HostOpResult &result, Tick t)
+{
+    // User steps chain: a command's next step starts no earlier than
+    // the previous step's completion, including completions served
+    // from controller RAM.
+    Tick step_start = t;
+    Tick completion = t;
+    for (const FlashStep &step : result.userSteps) {
+        if (step.op == FlashOp::Read && readCache.access(step.ppn)) {
+            completion = step_start + res.timing().cacheHit;
+        } else {
+            if (step.op == FlashOp::Program)
+                readCache.invalidate(step.ppn);
+            completion = res.scheduleOp(step.op, step.ppn, step_start);
+        }
+        step_start = completion;
+    }
+
+    // GC work starts when the FTL triggers it (issue time) and piles
+    // onto its dies/channels; later arrivals to those dies queue
+    // behind the collection. Steps on one die serialize through its
+    // busy-until in issue order; planes collect in parallel.
+    Tick gc_tail = completion;
+    for (const FlashStep &step : result.gcSteps) {
+        if (step.op == FlashOp::Program)
+            readCache.invalidate(step.ppn);
+        gc_tail = std::max(gc_tail,
+                           res.scheduleOp(step.op, step.ppn, t));
+    }
+    return FlashIssue{completion, gc_tail};
+}
+
+Controller::Controller(const SsdConfig &config, Ftl &ftl_,
+                       ResourceModel &resources, ReadCache &cache,
+                       EventEngine &events)
+    : cfg(config), ftl(ftl_), engine(events),
+      flash(resources, cache), depth(config.queueDepth),
+      ctxFreeAt(std::max<std::uint32_t>(1, config.queueDepth), 0)
+{
+    zombie_assert(depth >= 1, "controller needs at least one tag");
+}
+
+void
+Controller::submit(const TraceRecord &rec)
+{
+    if (submitted == 0)
+        cstats.firstArrival = rec.arrival;
+    const HostCommand cmd{rec, submitted++};
+    engine.schedule(rec.arrival, [this, cmd](Tick now) {
+        queue.push(cmd);
+        tryDispatch(now);
+    });
+}
+
+void
+Controller::tryDispatch(Tick now)
+{
+    while (!queue.empty()) {
+        // Earliest-free context; stable lowest-index tie-break.
+        std::uint32_t best = 0;
+        for (std::uint32_t k = 1; k < depth; ++k) {
+            if (ctxFreeAt[k] < ctxFreeAt[best])
+                best = k;
+        }
+        if (ctxFreeAt[best] > now)
+            return; // every tag busy; retried at next dispatch-done
+        const HostCommand cmd = queue.pop(now);
+        ctxFreeAt[best] = now + cfg.timing.ftlOverhead;
+        engine.schedule(ctxFreeAt[best], [this, cmd](Tick when) {
+            onDispatched(cmd, when);
+        });
+    }
+}
+
+void
+Controller::onDispatched(const HostCommand &cmd, Tick now)
+{
+    // The hash engine (12us, Table I) is pipelined hardware: it adds
+    // latency to each write's path without limiting throughput.
+    Tick t = now;
+    if (cmd.rec.isWrite() && usesHashEngine(cfg.system))
+        t += cfg.timing.hashLatency;
+
+    // Dispatch-done events preserve submission order, so the FTL's
+    // state transitions stay in trace order at every queue depth.
+    const HostOpResult result = cmd.rec.isWrite()
+                                    ? ftl.write(cmd.rec.lpn, cmd.rec.fp)
+                                    : ftl.read(cmd.rec.lpn);
+    const FlashIssue issued = flash.issue(result, t);
+
+    cstats.lastCompletion =
+        std::max(cstats.lastCompletion,
+                 std::max(issued.completion, issued.gcTail));
+
+    const Tick latency = issued.completion - cmd.rec.arrival;
+    if (cmd.rec.isWrite()) {
+        ++cstats.writes;
+        cstats.writeLatency.record(latency);
+    } else {
+        ++cstats.reads;
+        cstats.readLatency.record(latency);
+    }
+    cstats.allLatency.record(latency);
+
+    const std::uint64_t idx = cmd.idx;
+    engine.schedule(issued.completion,
+                    [this, idx](Tick) { onCompletion(idx); });
+
+    // This command's tag is free again: admit the next waiter.
+    tryDispatch(now);
+}
+
+void
+Controller::onCompletion(std::uint64_t idx)
+{
+    ++completed;
+    if (idx == nextInOrder) {
+        ++nextInOrder;
+        auto it = completedAhead.begin();
+        while (it != completedAhead.end() && *it == nextInOrder) {
+            ++nextInOrder;
+            it = completedAhead.erase(it);
+        }
+    } else {
+        // An earlier-submitted command is still in flight on a
+        // slower die: this completion overtook it.
+        ++cstats.oooCompletions;
+        completedAhead.insert(idx);
+    }
+}
+
+void
+Controller::drain()
+{
+    engine.run();
+    zombie_assert(outstanding() == 0,
+                  "drained engine left commands in flight");
+}
+
+} // namespace zombie

@@ -1,0 +1,54 @@
+#include "sim/event.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+void
+EventEngine::schedule(Tick when, Handler handler)
+{
+    zombie_assert(when >= current,
+                  "event scheduled in the past (", when, " < ",
+                  current, ")");
+    heap.push(Item{when, nextSeq++, std::move(handler)});
+}
+
+void
+EventEngine::step()
+{
+    zombie_assert(!heap.empty(), "step() on an empty event queue");
+    // priority_queue::top() is const; the handler is moved out before
+    // pop, which is safe because the heap is not reordered by reads.
+    Item item = std::move(const_cast<Item &>(heap.top()));
+    heap.pop();
+    current = item.when;
+    ++fired;
+    item.fn(item.when);
+}
+
+void
+EventEngine::run()
+{
+    while (!heap.empty())
+        step();
+}
+
+void
+EventEngine::runUntil(Tick until)
+{
+    while (!heap.empty() && heap.top().when <= until)
+        step();
+    current = std::max(current, until);
+}
+
+Tick
+EventEngine::nextAt() const
+{
+    zombie_assert(!heap.empty(), "nextAt() on an empty event queue");
+    return heap.top().when;
+}
+
+} // namespace zombie

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic discrete-event engine for the controller pipeline.
+ *
+ * The simulator's timing layer is event-driven: host arrivals,
+ * dispatch completions and flash completions are handlers scheduled
+ * at absolute ticks. Events fire in tick order; events that share a
+ * tick fire in the order they were scheduled (a stable FIFO
+ * tie-break via a monotone sequence number), so a run is a pure
+ * function of the inputs and same-seed runs stay byte-identical.
+ *
+ * Handlers may schedule further events at or after the tick being
+ * dispatched; scheduling strictly in the past is a model bug and
+ * panics.
+ */
+
+#ifndef ZOMBIE_SIM_EVENT_HH
+#define ZOMBIE_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Tick-ordered event queue with stable FIFO tie-breaking. */
+class EventEngine
+{
+  public:
+    using Handler = std::function<void(Tick)>;
+
+    /** Enqueue @p handler to fire at @p when (>= now()). */
+    void schedule(Tick when, Handler handler);
+
+    /** Fire the earliest pending event. Panics when empty. */
+    void step();
+
+    /** Fire events until none remain. */
+    void run();
+
+    /** Fire events up to and including @p until. */
+    void runUntil(Tick until);
+
+    bool empty() const { return heap.empty(); }
+    std::size_t pending() const { return heap.size(); }
+
+    /** Tick of the event currently or most recently dispatched. */
+    Tick now() const { return current; }
+
+    /** Tick of the earliest pending event. Panics when empty. */
+    Tick nextAt() const;
+
+    /** Total events dispatched over the engine's lifetime. */
+    std::uint64_t dispatched() const { return fired; }
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        Handler fn;
+    };
+
+    /** Min-heap order: earliest tick first, then schedule order. */
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap;
+    Tick current = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t fired = 0;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_SIM_EVENT_HH

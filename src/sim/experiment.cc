@@ -15,6 +15,7 @@ runSystemOnProfile(const WorkloadProfile &profile, SystemKind system,
     cfg.mq.capacity = opts.poolCapacity;
     cfg.mq.numQueues = opts.mqQueues;
     cfg.gcPolicy = opts.gcPolicy;
+    cfg.queueDepth = opts.queueDepth;
     if (opts.tweak)
         opts.tweak(cfg);
 

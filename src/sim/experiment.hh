@@ -32,6 +32,9 @@ struct ExperimentOptions
     std::string gcPolicy = "auto";
     std::uint32_t mqQueues = 8;
 
+    /** Host-interface queue depth (SsdConfig::queueDepth). */
+    std::uint32_t queueDepth = 1;
+
     /** Optional hook to tweak the SsdConfig before construction. */
     std::function<void(SsdConfig &)> tweak;
 };

@@ -1,0 +1,38 @@
+#include "sim/host_queue.hh"
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+double
+HostQueueStats::meanAdmissionWaitUs() const
+{
+    if (submitted == 0)
+        return 0.0;
+    return usFromTicks(admissionWait) / static_cast<double>(submitted);
+}
+
+void
+HostQueue::push(const HostCommand &cmd)
+{
+    fifo.push_back(cmd);
+    ++qstats.submitted;
+    if (fifo.size() > qstats.maxWaiting)
+        qstats.maxWaiting = fifo.size();
+}
+
+HostCommand
+HostQueue::pop(Tick now)
+{
+    zombie_assert(!fifo.empty(), "pop() on an empty host queue");
+    HostCommand cmd = fifo.front();
+    fifo.pop_front();
+    if (now > cmd.rec.arrival) {
+        ++qstats.blockedAdmissions;
+        qstats.admissionWait += now - cmd.rec.arrival;
+    }
+    return cmd;
+}
+
+} // namespace zombie

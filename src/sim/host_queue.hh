@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Host-side submission queue feeding the controller pipeline.
+ *
+ * Models the NCQ-style boundary between host and device: the host
+ * submits commands in arrival order; the device admits a command as
+ * soon as one of its `queueDepth` command tags is free (see
+ * Controller). Commands that arrive while every tag is busy wait
+ * here, and the queue tracks how often and for how long admission
+ * blocked — the backlog signal deep host queues are about.
+ *
+ * The queue itself is unbounded (the trace is open-loop: the host
+ * never drops requests); `queueDepth` bounds what is *in* the
+ * controller, not what is waiting to enter it.
+ */
+
+#ifndef ZOMBIE_SIM_HOST_QUEUE_HH
+#define ZOMBIE_SIM_HOST_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "trace/record.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** One host command in flight through the controller. */
+struct HostCommand
+{
+    TraceRecord rec;
+
+    /** Submission index: position in the host's request stream. */
+    std::uint64_t idx = 0;
+};
+
+/** Admission counters exposed through SimResult. */
+struct HostQueueStats
+{
+    std::uint64_t submitted = 0;
+
+    /** Commands that found every controller tag busy on arrival. */
+    std::uint64_t blockedAdmissions = 0;
+
+    /** Total ticks commands spent waiting for a free tag. */
+    Tick admissionWait = 0;
+
+    /** High-water mark of commands waiting for admission. */
+    std::uint64_t maxWaiting = 0;
+
+    /** Mean per-command wait for a tag, in microseconds. */
+    double meanAdmissionWaitUs() const;
+};
+
+/** FIFO of submitted-but-not-yet-admitted commands. */
+class HostQueue
+{
+  public:
+    /** Host submits one command (arrival order). */
+    void push(const HostCommand &cmd);
+
+    /** Admit the head command at @p now; charges blocked-wait stats. */
+    HostCommand pop(Tick now);
+
+    bool empty() const { return fifo.empty(); }
+    std::size_t waiting() const { return fifo.size(); }
+    const HostCommand &front() const { return fifo.front(); }
+
+    const HostQueueStats &stats() const { return qstats; }
+
+  private:
+    std::deque<HostCommand> fifo;
+    HostQueueStats qstats;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_SIM_HOST_QUEUE_HH

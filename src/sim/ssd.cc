@@ -40,6 +40,7 @@ SimResult::toStatSet() const
     StatSet s;
     s.set("requests", static_cast<double>(requests));
     s.set("reads", static_cast<double>(reads));
+    s.set("reads.unmapped", static_cast<double>(unmappedReads));
     s.set("writes", static_cast<double>(writes));
     s.set("flash.programs", static_cast<double>(flashPrograms));
     s.set("flash.host_programs", static_cast<double>(hostPrograms));
@@ -56,6 +57,14 @@ SimResult::toStatSet() const
     s.set("latency.all.p99_us",
           static_cast<double>(allLatency.percentile(0.99)) / 1000.0);
     s.set("makespan_ms", static_cast<double>(makespan) / 1e6);
+    s.set("ctrl.queue_depth", static_cast<double>(queueDepth));
+    s.set("ctrl.blocked_admissions",
+          static_cast<double>(hostQueue.blockedAdmissions));
+    s.set("ctrl.admission_wait_mean_us",
+          hostQueue.meanAdmissionWaitUs());
+    s.set("ctrl.max_waiting", static_cast<double>(hostQueue.maxWaiting));
+    s.set("ctrl.ooo_completions", static_cast<double>(oooCompletions));
+    s.set("nand.max_die_backlog", static_cast<double>(maxDieBacklog));
     s.set("wear.max_erase", static_cast<double>(wear.maxErase));
     s.set("wear.mean_erase", wear.meanErase);
     s.set("wear.skew", static_cast<double>(wear.skew()));
@@ -118,7 +127,7 @@ Ssd::makePool(const SsdConfig &cfg)
 }
 
 Ssd::Ssd(SsdConfig config)
-    : cfg(std::move(config)),
+    : cfg((config.validate(), std::move(config))),
       flashArray(cfg.geom),
       pool(makePool(cfg)),
       store(usesDedup(cfg.system) ? std::make_unique<FingerprintStore>()
@@ -133,9 +142,9 @@ Ssd::Ssd(SsdConfig config)
                      .hotColdSeparation = cfg.hotColdSeparation,
                      .hotThreshold = cfg.hotThreshold}),
       resources(cfg.geom, cfg.timing),
-      cache(cfg.readCacheEntries)
+      cache(cfg.readCacheEntries),
+      controller_(cfg, ftl_, resources, cache, engine)
 {
-    cfg.validate();
     if (pool)
         ftl_.attachDvp(pool.get());
     if (store)
@@ -174,59 +183,15 @@ Ssd::beginMeasurement()
 void
 Ssd::process(const TraceRecord &rec)
 {
-    if (!measuring) {
+    if (!measuring)
         beginMeasurement();
-        firstArrival = rec.arrival;
-    }
+    controller_.submit(rec);
+}
 
-    // Controller dispatch: in-order, serializing on the FTL overhead.
-    // The hash engine (12us, Table I) is pipelined hardware: it adds
-    // latency to each write's path without limiting throughput.
-    const Tick dispatched = std::max(rec.arrival, dispatchFreeAt);
-    dispatchFreeAt = dispatched + cfg.timing.ftlOverhead;
-    Tick t = dispatchFreeAt;
-    if (rec.isWrite() && usesHashEngine(cfg.system))
-        t += cfg.timing.hashLatency;
-
-    HostOpResult result =
-        rec.isWrite() ? ftl_.write(rec.lpn, rec.fp) : ftl_.read(rec.lpn);
-
-    Tick completion = t;
-    for (const FlashStep &step : result.userSteps) {
-        if (step.op == FlashOp::Read && cache.access(step.ppn)) {
-            // Served from controller RAM; no flash operation.
-            completion = t + cfg.timing.cacheHit;
-            continue;
-        }
-        if (step.op == FlashOp::Program)
-            cache.invalidate(step.ppn);
-        completion = resources.scheduleOp(step.op, step.ppn, t);
-    }
-
-    // GC work starts when the FTL triggers it (dispatch time) and
-    // piles onto its dies/channels; later arrivals to those dies
-    // queue behind the collection. Steps on one die serialize through
-    // its busy-until in issue order; planes collect in parallel.
-    Tick gc_tail = completion;
-    for (const FlashStep &step : result.gcSteps) {
-        if (step.op == FlashOp::Program)
-            cache.invalidate(step.ppn);
-        gc_tail = std::max(gc_tail,
-                           resources.scheduleOp(step.op, step.ppn, t));
-    }
-
-    lastCompletion = std::max(lastCompletion, std::max(completion,
-                                                       gc_tail));
-
-    const Tick latency = completion - rec.arrival;
-    if (rec.isWrite()) {
-        ++writes;
-        writeLat.record(latency);
-    } else {
-        ++reads;
-        readLat.record(latency);
-    }
-    allLat.record(latency);
+void
+Ssd::drain()
+{
+    controller_.drain();
 }
 
 void
@@ -236,16 +201,20 @@ Ssd::run(const std::vector<TraceRecord> &records)
         prefill();
     for (const auto &rec : records)
         process(rec);
+    drain();
 }
 
 SimResult
-Ssd::result() const
+Ssd::result()
 {
+    drain();
+
+    const ControllerStats &cs = controller_.stats();
     SimResult r;
     r.system = toString(cfg.system);
-    r.requests = reads + writes;
-    r.reads = reads;
-    r.writes = writes;
+    r.requests = cs.reads + cs.writes;
+    r.reads = cs.reads;
+    r.writes = cs.writes;
 
     const FlashCounters &fc = flashArray.counters();
     const FtlStats &fs = ftl_.stats();
@@ -260,12 +229,17 @@ Ssd::result() const
     r.dedupHits = fs.dedupHits - ftlBase.dedupHits;
     r.unmappedReads = fs.unmappedReads - ftlBase.unmappedReads;
 
-    r.readLatency = readLat;
-    r.writeLatency = writeLat;
-    r.allLatency = allLat;
-    r.makespan = lastCompletion > firstArrival
-                     ? lastCompletion - firstArrival
+    r.readLatency = cs.readLatency;
+    r.writeLatency = cs.writeLatency;
+    r.allLatency = cs.allLatency;
+    r.makespan = cs.lastCompletion > cs.firstArrival
+                     ? cs.lastCompletion - cs.firstArrival
                      : 0;
+
+    r.queueDepth = controller_.queueDepth();
+    r.hostQueue = controller_.hostStats();
+    r.oooCompletions = cs.oooCompletions;
+    r.maxDieBacklog = resources.maxDieBacklog();
 
     r.wear = ftl_.wearSummary();
     r.readCache = cache.stats();

@@ -1,16 +1,14 @@
 /**
  * @file
- * The simulated SSD: functional FTL + transaction-level timing.
+ * The simulated SSD: functional FTL + event-driven timing pipeline.
  *
- * Timing model (SSDSim-style, section V-A): requests are dispatched
- * in arrival order through the controller, which charges FTL overhead
- * plus — for content-aware systems — the 12us hash-engine latency on
- * the write path ("we modeled its impact on the queuing latency of
- * the incoming write requests"). Flash operations then contend for
- * channel buses and dies via busy-until scheduling; GC steps triggered
- * by a write are scheduled right behind it on the same resources, so
- * subsequent requests to those dies queue behind the collection —
- * the paper's source of tail latency.
+ * Ssd is thin wiring: it owns the functional components (FTL, flash
+ * array, content engines), the timing components (EventEngine,
+ * ResourceModel, read cache) and the Controller pipeline that
+ * connects them (see sim/controller.hh for the stage-by-stage
+ * model). Requests are submitted through the host interface and
+ * serviced when the engine drains; Ssd assembles the run's
+ * SimResult from the controller, FTL and flash-array counters.
  */
 
 #ifndef ZOMBIE_SIM_SSD_HH
@@ -28,6 +26,9 @@
 #include "nand/flash_array.hh"
 #include "nand/resource_model.hh"
 #include "sim/config.hh"
+#include "sim/controller.hh"
+#include "sim/event.hh"
+#include "sim/host_queue.hh"
 #include "sim/read_cache.hh"
 #include "trace/record.hh"
 #include "util/stats.hh"
@@ -64,6 +65,12 @@ struct SimResult
 
     Tick makespan = 0;
 
+    /** Controller-pipeline observations. */
+    std::uint32_t queueDepth = 1;
+    HostQueueStats hostQueue;
+    std::uint64_t oooCompletions = 0;
+    std::uint64_t maxDieBacklog = 0;
+
     /** Erase-count statistics at end of run (device lifetime). */
     WearSummary wear;
 
@@ -97,18 +104,28 @@ class Ssd
      */
     void prefill();
 
-    /** Service one timed request. */
+    /**
+     * Submit one timed request to the host interface. Requests are
+     * serviced when the pipeline drains (drain(), run() or
+     * result()).
+     */
     void process(const TraceRecord &rec);
 
     /** Service a whole trace (prefill() first if configured). */
     void run(const std::vector<TraceRecord> &records);
 
-    SimResult result() const;
+    /** Run the event engine until every submitted request completed. */
+    void drain();
+
+    /** Drains, then assembles the run's statistics. */
+    SimResult result();
 
     const SsdConfig &config() const { return cfg; }
     const Ftl &ftl() const { return ftl_; }
     const ResourceModel &resourceModel() const { return resources; }
     const FlashArray &flash() const { return flashArray; }
+    const Controller &pipeline() const { return controller_; }
+    const EventEngine &events() const { return engine; }
     DeadValuePool *dvp() { return pool.get(); }
     FingerprintStore *dedupStore() { return store.get(); }
 
@@ -120,22 +137,15 @@ class Ssd
     Ftl ftl_;
     ResourceModel resources;
     ReadCache cache;
+    EventEngine engine;
+    Controller controller_;
 
     bool prefilled = false;
     bool measuring = false;
-    Tick dispatchFreeAt = 0;
-    Tick firstArrival = 0;
-    Tick lastCompletion = 0;
 
     /** Counter snapshots taken when measurement starts. */
     FlashCounters flashBase;
     FtlStats ftlBase;
-
-    std::uint64_t reads = 0;
-    std::uint64_t writes = 0;
-    LatencyHistogram readLat;
-    LatencyHistogram writeLat;
-    LatencyHistogram allLat;
 
     void beginMeasurement();
     static std::unique_ptr<DeadValuePool> makePool(const SsdConfig &);

@@ -144,6 +144,61 @@ TEST(ResourceModel, FreeAtAccessorsTrackScheduling)
     EXPECT_GT(rm.channelFreeAt(0), 0u);
 }
 
+TEST(ResourceModel, PendingAccountingTracksBacklog)
+{
+    const Geometry g = smallGeom();
+    ResourceModel rm(g, timing());
+    EXPECT_EQ(rm.dieBacklog(0), 0u);
+    EXPECT_EQ(rm.maxDieBacklog(), 0u);
+
+    // Three back-to-back programs on die 0: each later issue finds
+    // every earlier op still incomplete.
+    Tick last = 0;
+    for (int i = 0; i < 3; ++i)
+        last = rm.scheduleOp(FlashOp::Program, 0, 0);
+    EXPECT_EQ(rm.dieBacklog(0), 3u);
+    EXPECT_EQ(rm.maxDieBacklog(), 3u);
+    EXPECT_EQ(rm.dieBacklog(1), 0u);
+
+    // At the final completion nothing is pending; one tick earlier
+    // the last op still is.
+    EXPECT_EQ(rm.pendingAt(0, last), 0u);
+    EXPECT_EQ(rm.pendingAt(0, last - 1), 1u);
+}
+
+TEST(ResourceModel, PendingAccountingIsObservationOnly)
+{
+    // The horizon-ratchet rule: backlog bookkeeping must not move
+    // any busy-until state. Two identical schedules, one interleaved
+    // with accounting queries, end in identical resource states.
+    const Geometry g = smallGeom();
+    ResourceModel probed(g, timing());
+    ResourceModel plain(g, timing());
+    const Ppn sibling = g.encode(PageAddress{0, 1, 0, 0, 0, 0});
+    for (int i = 0; i < 4; ++i) {
+        plain.scheduleOp(FlashOp::Program, 0, 0);
+        probed.scheduleOp(FlashOp::Program, 0, 0);
+        (void)probed.dieBacklog(0);
+        (void)probed.pendingAt(0, ticksFromUs(1));
+    }
+    EXPECT_EQ(probed.dieFreeAt(0), plain.dieFreeAt(0));
+    EXPECT_EQ(probed.channelFreeAt(0), plain.channelFreeAt(0));
+    EXPECT_EQ(probed.scheduleOp(FlashOp::Program, sibling, 0),
+              plain.scheduleOp(FlashOp::Program, sibling, 0));
+}
+
+TEST(ResourceModel, BacklogWindowPrunesCompletedOps)
+{
+    // An op issued long after the die went idle sees an empty
+    // backlog: completed work retires from the window.
+    ResourceModel rm(smallGeom(), timing());
+    const Tick first = rm.scheduleOp(FlashOp::Program, 0, 0);
+    EXPECT_EQ(rm.dieBacklog(0), 1u);
+    rm.scheduleOp(FlashOp::Program, 0, first + ticksFromMs(1));
+    EXPECT_EQ(rm.dieBacklog(0), 1u);
+    EXPECT_EQ(rm.maxDieBacklog(), 1u);
+}
+
 TEST(ResourceModel, UtilizationFractionsAreSane)
 {
     ResourceModel rm(smallGeom(), timing());

@@ -176,7 +176,14 @@ TEST(Ssd, StatSetExportContainsKeyMetrics)
     EXPECT_TRUE(s.has("flash.programs"));
     EXPECT_TRUE(s.has("latency.all.p99_us"));
     EXPECT_TRUE(s.has("dvp.hit_rate"));
+    EXPECT_TRUE(s.has("reads.unmapped"));
+    EXPECT_TRUE(s.has("ctrl.blocked_admissions"));
+    EXPECT_TRUE(s.has("ctrl.ooo_completions"));
+    EXPECT_TRUE(s.has("nand.max_die_backlog"));
     EXPECT_EQ(s.get("requests"), 2000.0);
+    EXPECT_EQ(s.get("ctrl.queue_depth"), 1.0);
+    EXPECT_EQ(s.get("reads.unmapped"),
+              static_cast<double>(r.unmappedReads));
 }
 
 TEST(Ssd, ComparisonHelpersMatchManualMath)
