@@ -28,6 +28,7 @@ main(int argc, char **argv)
     args.parse(argc, argv);
     const std::uint64_t requests = args.getUint("requests");
     const Workload w = workloadFromString(args.getString("workload"));
+    const unsigned jobs = benchJobs(args);
 
     ExperimentOptions base;
     base.requests = requests;
@@ -42,18 +43,29 @@ main(int argc, char **argv)
 
     banner("Ablation 1/5",
            "MQ queue count under a tight pool (1 = plain LRU queue)");
-    std::fprintf(stderr, "  running baseline...\n");
-    const SimResult baseline = runSystem(w, SystemKind::Baseline, base);
+    // Cell 0 is the shared baseline; cells 1..n sweep the queue
+    // count. All are independent sims, so they run concurrently.
+    const std::vector<std::uint32_t> queue_counts{1, 2, 4, 8, 16};
+    const auto sweep1 = parallelMap(
+        jobs, queue_counts.size() + 1, [&](std::size_t i) {
+            if (i == 0) {
+                std::fprintf(stderr, "  running baseline...\n");
+                return runSystem(w, SystemKind::Baseline, base);
+            }
+            ExperimentOptions opts = tight;
+            opts.mqQueues = queue_counts[i - 1];
+            std::fprintf(stderr, "  running %u queues...\n",
+                         opts.mqQueues);
+            return runSystem(w, SystemKind::MqDvp, opts);
+        });
+    const SimResult &baseline = sweep1.front();
     {
         TextTable table({"queues", "write reduction", "dvp hit rate",
                          "mean latency improvement"});
-        for (const std::uint32_t queues : {1u, 2u, 4u, 8u, 16u}) {
-            ExperimentOptions opts = tight;
-            opts.mqQueues = queues;
-            std::fprintf(stderr, "  running %u queues...\n", queues);
-            const SimResult r = runSystem(w, SystemKind::MqDvp, opts);
+        for (std::size_t i = 0; i < queue_counts.size(); ++i) {
+            const SimResult &r = sweep1[i + 1];
             table.addRow(
-                {std::to_string(queues),
+                {std::to_string(queue_counts[i]),
                  TextTable::pct(writeReduction(r, baseline)),
                  TextTable::pct(r.dvpStats.hitRate()),
                  TextTable::pct(
@@ -69,14 +81,21 @@ main(int argc, char **argv)
         TextTable table({"gc policy", "write reduction",
                          "pool entries lost to GC",
                          "mean latency improvement"});
-        for (const std::string policy : {"greedy", "popularity"}) {
-            ExperimentOptions opts = base;
-            opts.gcPolicy = policy;
-            std::fprintf(stderr, "  running gc=%s...\n",
-                         policy.c_str());
-            const SimResult r = runSystem(w, SystemKind::MqDvp, opts);
+        const std::vector<std::string> policies{"greedy",
+                                               "popularity"};
+        const auto sweep = parallelMap(
+            jobs, policies.size(), [&](std::size_t i) {
+                ExperimentOptions opts = base;
+                opts.gcPolicy = policies[i];
+                std::fprintf(stderr, "  running gc=%s...\n",
+                             policies[i].c_str());
+                return runSystem(w, SystemKind::MqDvp, opts);
+            });
+        for (std::size_t i = 0; i < policies.size(); ++i) {
+            const SimResult &r = sweep[i];
             table.addRow(
-                {policy, TextTable::pct(writeReduction(r, baseline)),
+                {policies[i],
+                 TextTable::pct(writeReduction(r, baseline)),
                  std::to_string(r.dvpStats.gcEvictions),
                  TextTable::pct(
                      meanLatencyImprovement(r, baseline))});
@@ -91,17 +110,20 @@ main(int argc, char **argv)
     {
         TextTable table({"promotion", "write reduction",
                          "dvp hit rate"});
-        for (const bool direct : {false, true}) {
+        const auto sweep = parallelMap(jobs, 2, [&](std::size_t i) {
+            const bool direct = i == 1;
             ExperimentOptions opts = base;
             opts.tweak = [direct](SsdConfig &cfg) {
                 cfg.mq.directPromotion = direct;
             };
             std::fprintf(stderr, "  running direct=%d...\n", direct);
-            const SimResult r = runSystem(w, SystemKind::MqDvp, opts);
+            return runSystem(w, SystemKind::MqDvp, opts);
+        });
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
             table.addRow(
-                {direct ? "direct-to-target" : "one-queue-at-a-time",
-                 TextTable::pct(writeReduction(r, baseline)),
-                 TextTable::pct(r.dvpStats.hitRate())});
+                {i == 1 ? "direct-to-target" : "one-queue-at-a-time",
+                 TextTable::pct(writeReduction(sweep[i], baseline)),
+                 TextTable::pct(sweep[i].dvpStats.hitRate())});
         }
         std::printf("%s", table.render().c_str());
         paperShape("the paper promotes one queue per access; jumping "
@@ -119,7 +141,8 @@ main(int argc, char **argv)
             scaledPool(requests, kDefaultPoolFrac / 8.0);
         TextTable table({"pool", "final capacity", "write reduction",
                          "dvp hit rate"});
-        for (const bool adaptive : {false, true}) {
+        const auto sweep = parallelMap(jobs, 2, [&](std::size_t i) {
+            const bool adaptive = i == 1;
             ExperimentOptions opts = base;
             opts.poolCapacity = small_pool;
             opts.tweak = [adaptive, small_pool](SsdConfig &cfg) {
@@ -130,13 +153,16 @@ main(int argc, char **argv)
             };
             std::fprintf(stderr, "  running adaptive=%d...\n",
                          adaptive);
-            const SimResult r = runSystem(w, SystemKind::MqDvp, opts);
+            return runSystem(w, SystemKind::MqDvp, opts);
+        });
+        for (std::size_t i = 0; i < sweep.size(); ++i) {
+            const bool adaptive = i == 1;
             table.addRow(
                 {adaptive ? "adaptive" : "fixed (undersized)",
                  adaptive ? "(grown on demand)"
                           : std::to_string(small_pool),
-                 TextTable::pct(writeReduction(r, baseline)),
-                 TextTable::pct(r.dvpStats.hitRate())});
+                 TextTable::pct(writeReduction(sweep[i], baseline)),
+                 TextTable::pct(sweep[i].dvpStats.hitRate())});
         }
         std::printf("%s", table.render().c_str());
         paperShape("an undersized fixed pool loses revivals to "
@@ -151,17 +177,19 @@ main(int argc, char **argv)
         // comparison runs at moderate utilization where neither
         // variant is at the exhaustion cliff; the baseline is
         // recomputed with the same preconditioning for fairness.
-        ExperimentOptions hc_base = base;
-        hc_base.tweak = [](SsdConfig &cfg) {
-            cfg.prefillFraction = 0.55;
-        };
-        std::fprintf(stderr, "  running hot/cold baseline...\n");
-        const SimResult hc_baseline =
-            runSystem(w, SystemKind::Baseline, hc_base);
-        TextTable table({"streams", "write reduction",
-                         "gc relocations per erase",
-                         "mean latency improvement"});
-        for (const bool separated : {false, true}) {
+        // Cell 0 is the section's own preconditioned baseline; cells
+        // 1..2 are the single-stream / separated variants.
+        const auto sweep = parallelMap(jobs, 3, [&](std::size_t i) {
+            if (i == 0) {
+                ExperimentOptions hc_base = base;
+                hc_base.tweak = [](SsdConfig &cfg) {
+                    cfg.prefillFraction = 0.55;
+                };
+                std::fprintf(stderr,
+                             "  running hot/cold baseline...\n");
+                return runSystem(w, SystemKind::Baseline, hc_base);
+            }
+            const bool separated = i == 2;
             ExperimentOptions opts = base;
             opts.tweak = [separated](SsdConfig &cfg) {
                 cfg.prefillFraction = 0.55;
@@ -169,13 +197,20 @@ main(int argc, char **argv)
             };
             std::fprintf(stderr, "  running hot/cold=%d...\n",
                          separated);
-            const SimResult r = runSystem(w, SystemKind::MqDvp, opts);
+            return runSystem(w, SystemKind::MqDvp, opts);
+        });
+        const SimResult &hc_baseline = sweep.front();
+        TextTable table({"streams", "write reduction",
+                         "gc relocations per erase",
+                         "mean latency improvement"});
+        for (std::size_t i = 1; i < sweep.size(); ++i) {
+            const SimResult &r = sweep[i];
             const double reloc_per_erase =
                 r.flashErases ? static_cast<double>(r.gcRelocations) /
                                     static_cast<double>(r.flashErases)
                               : 0.0;
             table.addRow(
-                {separated ? "hot/cold separated" : "single stream",
+                {i == 2 ? "hot/cold separated" : "single stream",
                  TextTable::pct(writeReduction(r, hc_baseline)),
                  TextTable::num(reloc_per_erase, 1),
                  TextTable::pct(

@@ -23,24 +23,38 @@ main(int argc, char **argv)
     args.parse(argc, argv);
     const std::uint64_t requests = args.getUint("requests");
     const Workload w = workloadFromString(args.getString("workload"));
+    const unsigned jobs = benchJobs(args);
 
     banner("Ablation", "drive utilization (preconditioning) sweep");
+
+    // 4 prefill levels x {Baseline, MqDvp} = 8 independent cells;
+    // even cells are baselines, odd cells the matching DVP run.
+    const std::vector<double> prefills{0.40, 0.55, 0.70, 0.85};
+    const auto cells = parallelMap(
+        jobs, prefills.size() * 2, [&](std::size_t i) {
+            const double prefill = prefills[i / 2];
+            const SystemKind kind =
+                i % 2 == 0 ? SystemKind::Baseline : SystemKind::MqDvp;
+            ExperimentOptions opts;
+            opts.requests = requests;
+            opts.seed = args.getUint("seed");
+            opts.poolCapacity =
+                scaledPool(requests, args.getDouble("pool-frac"));
+            opts.tweak = [prefill](SsdConfig &cfg) {
+                cfg.prefillFraction = prefill;
+            };
+            std::fprintf(stderr, "  running prefill=%.2f %s...\n",
+                         prefill,
+                         i % 2 == 0 ? "baseline" : "mq-dvp");
+            return runSystem(w, kind, opts);
+        });
 
     TextTable table({"prefill", "base WA", "base mean (us)",
                      "write reduction", "erase reduction",
                      "latency improvement", "pool lost to GC"});
-    for (const double prefill : {0.40, 0.55, 0.70, 0.85}) {
-        ExperimentOptions opts;
-        opts.requests = requests;
-        opts.seed = args.getUint("seed");
-        opts.poolCapacity = scaledPool(requests, args.getDouble("pool-frac"));
-        opts.tweak = [prefill](SsdConfig &cfg) {
-            cfg.prefillFraction = prefill;
-        };
-        std::fprintf(stderr, "  running prefill=%.2f...\n", prefill);
-        const SimResult base =
-            runSystem(w, SystemKind::Baseline, opts);
-        const SimResult dvp = runSystem(w, SystemKind::MqDvp, opts);
+    for (std::size_t i = 0; i < prefills.size(); ++i) {
+        const SimResult &base = cells[i * 2];
+        const SimResult &dvp = cells[i * 2 + 1];
 
         const double wa =
             base.writes
@@ -48,7 +62,7 @@ main(int argc, char **argv)
                       static_cast<double>(base.writes)
                 : 0.0;
         table.addRow(
-            {TextTable::pct(prefill, 0), TextTable::num(wa, 2),
+            {TextTable::pct(prefills[i], 0), TextTable::num(wa, 2),
              TextTable::num(base.allLatency.mean() / 1e3, 1),
              TextTable::pct(writeReduction(dvp, base)),
              TextTable::pct(eraseReduction(dvp, base)),

@@ -16,6 +16,7 @@
 
 #include "util/args.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace zombie::bench
 {
@@ -52,7 +53,21 @@ standardArgs(const std::string &description,
                    "contexts; 1 reproduces the classic serialized "
                    "dispatcher)");
     args.addOption("csv", "", "also write the series to this CSV file");
+    args.addOption("jobs", "1",
+                   "experiment cells to run concurrently (0 = one "
+                   "per hardware thread); results are byte-identical "
+                   "for any value");
+    args.addOption("wall-json", "",
+                   "also write the wall-clock side channel (per-cell "
+                   "wall time and requests/sec) to this JSON file");
     return args;
+}
+
+/** The --jobs request resolved to a worker count. */
+inline unsigned
+benchJobs(const ArgParser &args)
+{
+    return ThreadPool::resolveJobs(args.getUint("jobs"));
 }
 
 } // namespace zombie::bench

@@ -38,7 +38,8 @@ main(int argc, char **argv)
         labels.push_back(label);
     labels.push_back("ideal");
 
-    const auto rows = runAcrossWorkloads(
+    const unsigned jobs = benchJobs(args);
+    const auto rows = runAcrossWorkloadsParallel(
         labels,
         [&](const std::string &label, ExperimentOptions &opts) {
             if (label == "ideal")
@@ -49,7 +50,7 @@ main(int argc, char **argv)
             }
             return SystemKind::MqDvp;
         },
-        base);
+        base, jobs);
     maybeWriteCsv(args, rows);
 
     TextTable table({"workload", "baseline writes", "100K-eq",
@@ -78,5 +79,7 @@ main(int argc, char **argv)
         "most; desktop/trans least. Gains grow from the 100K- to the "
         "200K-equivalent pool and flatten beyond it, approaching the "
         "ideal infinite pool.");
+    reportWallClock(rows, jobs);
+    maybeWriteWallJson(args, rows, jobs);
     return 0;
 }

@@ -26,13 +26,14 @@ main(int argc, char **argv)
     base.seed = args.getUint("seed");
     base.poolCapacity = scaledPool(requests, args.getDouble("pool-frac"));
 
-    const auto rows = runAcrossWorkloads(
+    const unsigned jobs = benchJobs(args);
+    const auto rows = runAcrossWorkloadsParallel(
         std::vector<std::string>{"dvp", "ideal"},
         [&](const std::string &label, ExperimentOptions &) {
             return label == "ideal" ? SystemKind::Ideal
                                     : SystemKind::MqDvp;
         },
-        base);
+        base, jobs);
     maybeWriteCsv(args, rows);
 
     TextTable table({"workload", "baseline erases", "dvp erases",
@@ -59,5 +60,7 @@ main(int argc, char **argv)
         "erase reductions track the Figure 9 write reductions — "
         "revived garbage pages no longer need to be erased; mail "
         "benefits most.");
+    reportWallClock(rows, jobs);
+    maybeWriteWallJson(args, rows, jobs);
     return 0;
 }

@@ -23,13 +23,14 @@ main(int argc, char **argv)
 
     ExperimentOptions base = standardOptions(args);
 
-    const auto rows = runAcrossWorkloads(
+    const unsigned jobs = benchJobs(args);
+    const auto rows = runAcrossWorkloadsParallel(
         std::vector<std::string>{"dvp", "lx-ssd"},
         [&](const std::string &label, ExperimentOptions &) {
             return label == "lx-ssd" ? SystemKind::LxSsd
                                      : SystemKind::MqDvp;
         },
-        base);
+        base, jobs);
     maybeWriteCsv(args, rows);
 
     TextTable table({"workload", "baseline mean (us)", "dvp mean (us)",
@@ -60,5 +61,7 @@ main(int argc, char **argv)
         "desktop the minimum); LX-SSD trails the MQ dead-value pool "
         "everywhere because its LBA-keyed recency pool cannot catch "
         "cross-address rebirths.");
+    reportWallClock(rows, jobs);
+    maybeWriteWallJson(args, rows, jobs);
     return 0;
 }

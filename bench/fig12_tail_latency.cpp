@@ -22,12 +22,13 @@ main(int argc, char **argv)
 
     ExperimentOptions base = standardOptions(args);
 
-    const auto rows = runAcrossWorkloads(
+    const unsigned jobs = benchJobs(args);
+    const auto rows = runAcrossWorkloadsParallel(
         std::vector<std::string>{"dvp"},
         [&](const std::string &, ExperimentOptions &) {
             return SystemKind::MqDvp;
         },
-        base);
+        base, jobs);
     maybeWriteCsv(args, rows);
 
     TextTable table({"workload", "baseline p99 (us)", "dvp p99 (us)",
@@ -69,5 +70,7 @@ main(int argc, char **argv)
         "tail improvements are similar in shape to the Figure 11 mean "
         "improvements: fewer programs and erases mean fewer episodes "
         "of GC-induced queueing behind a busy die.");
+    reportWallClock(rows, jobs);
+    maybeWriteWallJson(args, rows, jobs);
     return 0;
 }

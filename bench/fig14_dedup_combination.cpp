@@ -26,7 +26,8 @@ main(int argc, char **argv)
     base.seed = args.getUint("seed");
     base.poolCapacity = scaledPool(requests, args.getDouble("pool-frac"));
 
-    const auto rows = runAcrossWorkloads(
+    const unsigned jobs = benchJobs(args);
+    const auto rows = runAcrossWorkloadsParallel(
         std::vector<std::string>{"dedup", "dvp", "dvp+dedup"},
         [&](const std::string &label, ExperimentOptions &) {
             if (label == "dedup")
@@ -35,7 +36,7 @@ main(int argc, char **argv)
                 return SystemKind::MqDvp;
             return SystemKind::DvpDedup;
         },
-        base);
+        base, jobs);
     maybeWriteCsv(args, rows);
 
     TextTable table({"workload", "dedup writes", "dvp writes",
@@ -73,5 +74,7 @@ main(int argc, char **argv)
         "less than either alone, because dedup only covers live "
         "duplicates while the dead-value pool covers content whose "
         "copies are all garbage (the Figure 13 window).");
+    reportWallClock(rows, jobs);
+    maybeWriteWallJson(args, rows, jobs);
     return 0;
 }

@@ -26,7 +26,8 @@ main(int argc, char **argv)
     base.seed = args.getUint("seed");
     base.poolCapacity = scaledPool(requests, args.getDouble("pool-frac"));
 
-    const auto rows = runAcrossWorkloads(
+    const unsigned jobs = benchJobs(args);
+    const auto rows = runAcrossWorkloadsParallel(
         std::vector<std::string>{"dvp", "dedup", "dvp+dedup"},
         [&](const std::string &label, ExperimentOptions &) {
             if (label == "dedup")
@@ -35,7 +36,7 @@ main(int argc, char **argv)
                 return SystemKind::MqDvp;
             return SystemKind::DvpDedup;
         },
-        base);
+        base, jobs);
     maybeWriteCsv(args, rows);
 
     TextTable table({"workload", "dvp", "dedup", "dvp+dedup",
@@ -64,5 +65,7 @@ main(int argc, char **argv)
         "dedup already improves latency substantially (up to ~58.5%% "
         "in the paper); adding the dead-value pool improves it "
         "further on every workload.");
+    reportWallClock(rows, jobs);
+    maybeWriteWallJson(args, rows, jobs);
     return 0;
 }

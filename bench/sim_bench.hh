@@ -11,6 +11,7 @@
 #ifndef ZOMBIE_BENCH_SIM_BENCH_HH
 #define ZOMBIE_BENCH_SIM_BENCH_HH
 
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -19,6 +20,7 @@
 #include "bench_common.hh"
 #include "sim/experiment.hh"
 #include "util/csv.hh"
+#include "util/thread_pool.hh"
 
 namespace zombie::bench
 {
@@ -56,49 +58,106 @@ struct WorkloadRow
     Workload workload;
     SimResult baseline;
     std::map<std::string, SimResult> systems;
+
+    /**
+     * Wall-clock side channel: host seconds each cell took, keyed by
+     * system label ("baseline" included). Never feeds back into any
+     * simulated-time number — it exists purely so the harness can
+     * report its own requests/sec (DESIGN.md section 7.9).
+     */
+    std::map<std::string, double> wallSeconds;
 };
 
 /**
- * Run @p variants (label -> (system, options tweak)) over all six
- * workloads, printing progress to stderr.
+ * Run @p labels (label -> (system, options tweak)) over all six
+ * workloads with @p jobs cells in flight, assembling the rows in
+ * fixed (workload, label) order. Every cell is an independent,
+ * seed-deterministic simulation, so the tables and CSV output are
+ * byte-identical for any jobs value; only the per-cell wall clock
+ * (a side channel) varies run to run.
  */
+template <typename ConfigureFn>
+std::vector<WorkloadRow>
+runAcrossWorkloadsParallel(const std::vector<std::string> &labels,
+                           ConfigureFn &&configure,
+                           const ExperimentOptions &base_opts,
+                           unsigned jobs)
+{
+    struct Cell
+    {
+        Workload workload;
+        std::string label;
+        SystemKind kind;
+        ExperimentOptions opts;
+    };
+    std::vector<Cell> cells;
+    for (const Workload w : allWorkloads()) {
+        cells.push_back(
+            {w, "baseline", SystemKind::Baseline, base_opts});
+        for (const std::string &label : labels) {
+            ExperimentOptions opts = base_opts;
+            const SystemKind kind = configure(label, opts);
+            cells.push_back({w, label, kind, std::move(opts)});
+        }
+    }
+
+    std::fprintf(stderr, "  running %zu cells, %u at a time...\n",
+                 cells.size(), jobs);
+    struct CellResult
+    {
+        SimResult result;
+        double wallSeconds;
+    };
+    auto results =
+        parallelMap(jobs, cells.size(), [&cells](std::size_t i) {
+            const Cell &cell = cells[i];
+            std::fprintf(stderr, "  running %-8s %s...\n",
+                         toString(cell.workload).c_str(),
+                         cell.label.c_str());
+            const auto start = std::chrono::steady_clock::now();
+            SimResult r =
+                runSystem(cell.workload, cell.kind, cell.opts);
+            const std::chrono::duration<double> wall =
+                std::chrono::steady_clock::now() - start;
+            return CellResult{std::move(r), wall.count()};
+        });
+
+    std::vector<WorkloadRow> rows;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].label == "baseline") {
+            rows.emplace_back();
+            rows.back().workload = cells[i].workload;
+            rows.back().baseline = std::move(results[i].result);
+        } else {
+            rows.back().systems.emplace(
+                cells[i].label, std::move(results[i].result));
+        }
+        rows.back().wallSeconds.emplace(cells[i].label,
+                                        results[i].wallSeconds);
+    }
+    return rows;
+}
+
+/** Serial convenience wrapper (historical entry point). */
 template <typename ConfigureFn>
 std::vector<WorkloadRow>
 runAcrossWorkloads(const std::vector<std::string> &labels,
                    ConfigureFn &&configure,
                    const ExperimentOptions &base_opts)
 {
-    std::vector<WorkloadRow> rows;
-    for (const Workload w : allWorkloads()) {
-        WorkloadRow row;
-        row.workload = w;
-        std::fprintf(stderr, "  running %-8s baseline...\n",
-                     toString(w).c_str());
-        row.baseline =
-            runSystem(w, SystemKind::Baseline, base_opts);
-        for (const std::string &label : labels) {
-            ExperimentOptions opts = base_opts;
-            const SystemKind kind = configure(label, opts);
-            std::fprintf(stderr, "  running %-8s %s...\n",
-                         toString(w).c_str(), label.c_str());
-            row.systems.emplace(label, runSystem(w, kind, opts));
-        }
-        rows.push_back(std::move(row));
-    }
-    return rows;
+    return runAcrossWorkloadsParallel(
+        labels, std::forward<ConfigureFn>(configure), base_opts, 1);
 }
 
 /**
- * Optional CSV export: when --csv was given, write one row per
- * workload x system with the core metrics, for plotting.
+ * Write one CSV row per workload x system with the core metrics.
+ * Cell order and formatting are part of the byte-identity contract
+ * pinned by tests/sim/test_parallel_harness.cc.
  */
 inline void
-maybeWriteCsv(const ArgParser &args,
-              const std::vector<WorkloadRow> &rows)
+writeCsvRows(const std::string &path,
+             const std::vector<WorkloadRow> &rows)
 {
-    const std::string path = args.getString("csv");
-    if (path.empty())
-        return;
     CsvWriter csv(path,
                   {"workload", "system", "flash_programs",
                    "flash_erases", "mean_latency_us", "p99_latency_us",
@@ -119,7 +178,105 @@ maybeWriteCsv(const ArgParser &args,
         for (const auto &[label, result] : row.systems)
             emit(row.workload, result);
     }
+}
+
+/**
+ * Optional CSV export: when --csv was given, write one row per
+ * workload x system with the core metrics, for plotting.
+ */
+inline void
+maybeWriteCsv(const ArgParser &args,
+              const std::vector<WorkloadRow> &rows)
+{
+    const std::string path = args.getString("csv");
+    if (path.empty())
+        return;
+    writeCsvRows(path, rows);
     std::printf("\nwrote CSV to %s\n", path.c_str());
+}
+
+/**
+ * Wall-clock side channel, printed to stderr so the simulated-time
+ * tables on stdout stay byte-identical across runs and --jobs
+ * values: per-cell host wall time and simulated requests/sec.
+ */
+inline void
+reportWallClock(const std::vector<WorkloadRow> &rows, unsigned jobs)
+{
+    std::fprintf(stderr,
+                 "\nwall-clock side channel (host time, jobs=%u; "
+                 "simulated-time results above are unaffected):\n",
+                 jobs);
+    double total = 0.0;
+    auto emit = [&total](Workload w, const std::string &label,
+                         const SimResult &r, double seconds) {
+        const double rate =
+            seconds > 0.0 ? static_cast<double>(r.requests) / seconds
+                          : 0.0;
+        std::fprintf(stderr, "  %-8s %-10s %8.2f s %12.0f req/s\n",
+                     toString(w).c_str(), label.c_str(), seconds,
+                     rate);
+        total += seconds;
+    };
+    for (const auto &row : rows) {
+        emit(row.workload, "baseline", row.baseline,
+             row.wallSeconds.at("baseline"));
+        for (const auto &[label, result] : row.systems)
+            emit(row.workload, label, result,
+                 row.wallSeconds.at(label));
+    }
+    std::fprintf(stderr, "  %-8s %-10s %8.2f s (sum of cells)\n", "",
+                 "total", total);
+}
+
+/**
+ * Optional --wall-json export consumed by scripts/bench_report.sh:
+ * one record per cell with wall seconds and requests/sec.
+ */
+inline void
+maybeWriteWallJson(const ArgParser &args,
+                   const std::vector<WorkloadRow> &rows,
+                   unsigned jobs)
+{
+    const std::string path = args.getString("wall-json");
+    if (path.empty())
+        return;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write wall-json %s\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"jobs\": %u,\n"
+                    "  \"cells\": [\n",
+                 args.programName().c_str(), jobs);
+    bool first = true;
+    auto emit = [f, &first](Workload w, const std::string &label,
+                            const SimResult &r, double seconds) {
+        const double rate =
+            seconds > 0.0 ? static_cast<double>(r.requests) / seconds
+                          : 0.0;
+        std::fprintf(f,
+                     "%s    {\"workload\": \"%s\", \"system\": "
+                     "\"%s\", \"wall_s\": %.6f, \"requests\": %llu, "
+                     "\"reqs_per_s\": %.1f}",
+                     first ? "" : ",\n", toString(w).c_str(),
+                     label.c_str(), seconds,
+                     static_cast<unsigned long long>(r.requests),
+                     rate);
+        first = false;
+    };
+    for (const auto &row : rows) {
+        emit(row.workload, "baseline", row.baseline,
+             row.wallSeconds.at("baseline"));
+        for (const auto &[label, result] : row.systems)
+            emit(row.workload, label, result,
+                 row.wallSeconds.at(label));
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote wall-clock JSON to %s\n",
+                 path.c_str());
 }
 
 /** Mean of a column of improvement fractions. */

@@ -26,18 +26,29 @@ main(int argc, char **argv)
 
     bench::banner("Table II", "workload characteristics");
 
+    // Each workload's trace generation + summarization is an
+    // independent, seed-deterministic cell; run them concurrently
+    // and emit the rows in fixed workload order.
+    const std::vector<Workload> workloads = allWorkloads();
+    const auto summaries = parallelMap(
+        bench::benchJobs(args), workloads.size(),
+        [&workloads, requests, seed](std::size_t i) {
+            const WorkloadProfile profile = WorkloadProfile::preset(
+                workloads[i], 1, requests, seed);
+            SyntheticTraceGenerator gen(profile);
+            TraceSummarizer summarizer;
+            TraceRecord rec;
+            while (gen.next(rec))
+                summarizer.observe(rec);
+            return summarizer.finish();
+        });
+
     TextTable table({"trace", "WR% paper", "WR% meas",
                      "uniqW% paper", "uniqW% meas", "uniqR% paper",
                      "uniqR% meas"});
-    for (const Workload w : allWorkloads()) {
-        const WorkloadProfile profile =
-            WorkloadProfile::preset(w, 1, requests, seed);
-        SyntheticTraceGenerator gen(profile);
-        TraceSummarizer summarizer;
-        TraceRecord rec;
-        while (gen.next(rec))
-            summarizer.observe(rec);
-        const TraceSummary s = summarizer.finish();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload w = workloads[i];
+        const TraceSummary &s = summaries[i];
         const TableIiRow paper = tableIi(w);
 
         table.addRow({toString(w),

@@ -1,0 +1,75 @@
+#!/bin/sh
+# Harness-throughput report: run the six full-simulation figure
+# benches with the wall-clock side channel enabled and merge the
+# per-cell records into results/BENCH_throughput.json (per-workload
+# mean requests/sec plus totals). Simulated-time results are
+# untouched; this measures the *harness*, so it is the number to
+# watch when changing hot paths (DESIGN.md section 7.9).
+#
+#   scripts/bench_report.sh
+#   REQUESTS=100000 JOBS=0 scripts/bench_report.sh   # bigger, parallel
+#
+# Plain shell + awk only; no python/jq dependency.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bindir="${BINDIR:-build}"
+requests="${REQUESTS:-50000}"
+jobs="${JOBS:-1}"
+outdir="${OUTDIR:-results}"
+
+benches="fig09_write_reduction fig10_erase_reduction \
+fig11_mean_latency fig12_tail_latency fig14_dedup_combination \
+fig15_dedup_latency"
+
+mkdir -p "$outdir/wall"
+
+for bench in $benches; do
+    echo "==> $bench (requests=$requests jobs=$jobs)"
+    "$bindir/bench/$bench" --requests "$requests" --jobs "$jobs" \
+        --wall-json "$outdir/wall/$bench.json" >/dev/null
+done
+
+report="$outdir/BENCH_throughput.json"
+
+# Merge every per-bench cell record; emit per-workload means in the
+# fixed workload order the benches use.
+awk -v requests="$requests" -v jobs="$jobs" '
+/"workload":/ {
+    w = $0; sub(/.*"workload": "/, "", w); sub(/".*/, "", w)
+    s = $0; sub(/.*"wall_s": /, "", s); sub(/,.*/, "", s)
+    r = $0; sub(/.*"reqs_per_s": /, "", r); sub(/[^0-9.].*/, "", r)
+    count[w] += 1
+    rate[w] += r
+    wall[w] += s
+    cells += 1
+    total += s
+}
+END {
+    n = split("web home mail hadoop trans desktop", order, " ")
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/bench_report.sh\",\n"
+    printf "  \"requests_per_cell\": %d,\n", requests
+    printf "  \"jobs\": %d,\n", jobs
+    printf "  \"cells\": %d,\n", cells
+    printf "  \"total_wall_s\": %.3f,\n", total
+    printf "  \"workloads\": [\n"
+    first = 1
+    for (i = 1; i <= n; i++) {
+        w = order[i]
+        if (!(w in count))
+            continue
+        if (!first)
+            printf ",\n"
+        first = 0
+        printf "    {\"workload\": \"%s\", \"cells\": %d, " \
+               "\"mean_reqs_per_s\": %.1f, \"wall_s\": %.3f}", \
+               w, count[w], rate[w] / count[w], wall[w]
+    }
+    printf "\n  ]\n}\n"
+}
+' "$outdir"/wall/*.json > "$report"
+
+echo "==> wrote $report"
+cat "$report"

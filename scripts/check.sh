@@ -5,12 +5,23 @@
 #   scripts/check.sh            # both configs
 #   scripts/check.sh default    # just the standard build
 #   scripts/check.sh asan-ubsan # just the sanitizer build
+#   scripts/check.sh tsan       # thread sanitizer (parallel harness)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 presets="${1:-default asan-ubsan}"
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+# Build tree per configure preset (CMakePresets.json binaryDir).
+bindir_for() {
+    case "$1" in
+        default) echo build ;;
+        asan-ubsan) echo build-asan ;;
+        tsan) echo build-tsan ;;
+        *) echo "build-$1" ;;
+    esac
+}
 
 for preset in $presets; do
     echo "==> configure [$preset]"
@@ -19,6 +30,21 @@ for preset in $presets; do
     cmake --build --preset "$preset" -j "$jobs"
     echo "==> ctest [$preset]"
     ctest --preset "$preset" -j "$jobs"
+
+    # Smoke-run every bench at a tiny request count with the parallel
+    # harness engaged (--jobs 2), so harness regressions and data
+    # races surface here (especially under the tsan preset). The
+    # micro_* benches take no arguments and are skipped.
+    bindir="$(bindir_for "$preset")"
+    echo "==> smoke benches [$preset]"
+    for bench in "$bindir"/bench/*; do
+        [ -f "$bench" ] && [ -x "$bench" ] || continue
+        case "$(basename "$bench")" in
+            micro_*) continue ;;
+        esac
+        echo "  -> $(basename "$bench")"
+        "$bench" --requests 2000 --jobs 2 >/dev/null
+    done
 done
 
 echo "==> all checks passed"

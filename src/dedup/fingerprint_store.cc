@@ -1,9 +1,19 @@
 #include "dedup/fingerprint_store.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace zombie
 {
+
+FingerprintStore::FingerprintStore(std::uint64_t expected_pages)
+{
+    const std::uint64_t expected =
+        std::min<std::uint64_t>(expected_pages, 1u << 22);
+    byFp.reserve(expected);
+    byPpn.reserve(expected);
+}
 
 std::optional<Ppn>
 FingerprintStore::lookup(const Fingerprint &fp)

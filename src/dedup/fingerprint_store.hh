@@ -46,6 +46,13 @@ class FingerprintStore
 {
   public:
     /**
+     * @param expected_pages expected number of live fingerprints;
+     * pre-sizes the hash tables so steady-state inserts never rehash
+     * (0 leaves the tables to grow on demand).
+     */
+    explicit FingerprintStore(std::uint64_t expected_pages = 0);
+
+    /**
      * Look up live content; counts a dedup lookup. @return the PPN
      * holding this content, or nullopt.
      */

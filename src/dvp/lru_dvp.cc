@@ -11,6 +11,11 @@ LruDvp::LruDvp(std::uint64_t entry_capacity) : cap(entry_capacity)
 {
     if (cap == 0)
         zombie_fatal("LRU-DVP capacity must be > 0");
+    // Pre-size the hash tables for a full pool to avoid warm-up
+    // rehash churn (the pool runs at capacity almost immediately).
+    const std::uint64_t expected = std::min<std::uint64_t>(cap, 1u << 20);
+    index.reserve(expected);
+    ppnIndex.reserve(expected);
 }
 
 void

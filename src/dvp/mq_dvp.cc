@@ -26,6 +26,14 @@ MqDvp::MqDvp(MqDvpConfig config) : cfg(config)
     }
     queues.resize(cfg.numQueues);
     entries.reserve(std::min<std::uint64_t>(cfg.capacity, 1u << 20));
+
+    // Size the hash tables for a full pool up front: warm-up rehash
+    // churn otherwise dominates the first capacity's worth of
+    // inserts. ppnIndex usually tracks about one dead PPN per entry.
+    const std::uint64_t expected =
+        std::min<std::uint64_t>(cfg.capacity, 1u << 20);
+    index.reserve(expected);
+    ppnIndex.reserve(expected);
 }
 
 std::uint32_t

@@ -44,6 +44,20 @@ BlockManager::BlockManager(FlashArray &array)
         for (std::uint32_t ch = 0; ch < geom.channels(); ++ch)
             planeOrder.push_back(ch * planes_per_channel + offset);
     }
+
+    // Victim index: each plane's list can hold at most every block of
+    // the plane, so one up-front reserve makes all later maintenance
+    // allocation-free. Seed from the array's current state (usually
+    // empty, but an already-written array is legal) and subscribe to
+    // its garbage transitions.
+    candidates.resize(planes);
+    for (auto &list : candidates)
+        list.reserve(geom.blocksPerPlane());
+    inCandidates.assign(geom.totalBlocks(), false);
+    for (std::uint64_t b = 0; b < geom.totalBlocks(); ++b)
+        updateCandidate(b);
+    flash.setBlockListener(
+        [this](std::uint64_t block) { updateCandidate(block); });
 }
 
 std::uint64_t
@@ -114,8 +128,14 @@ BlockManager::allocatePage(std::uint64_t plane, Stream stream)
                        ? gcActive[plane]
                        : (stream == Stream::UserHot ? hotActive[plane]
                                                     : userActive[plane]);
-    if (active == kNoBlock || !flash.blockHasRoom(active))
+    if (active == kNoBlock || !flash.blockHasRoom(active)) {
+        const std::uint64_t retired = active;
         active = popFree(plane, stream == Stream::Gc);
+        // The write point rolled over: the retired block just became
+        // inactive, which may make it a victim candidate.
+        if (retired != kNoBlock)
+            updateCandidate(retired);
+    }
     return flash.programPage(active);
 }
 
@@ -164,6 +184,7 @@ BlockManager::releaseBlock(std::uint64_t block_index)
         gcReserve[plane] = block_index;
     else
         freeLists[plane].push_back(block_index);
+    updateCandidate(block_index);
 }
 
 bool
@@ -175,25 +196,32 @@ BlockManager::isActive(std::uint64_t block_index) const
            gcActive[plane] == block_index;
 }
 
-std::vector<std::uint64_t>
+void
+BlockManager::updateCandidate(std::uint64_t block_index)
+{
+    const BlockInfo &info = flash.block(block_index);
+    // Only fully written blocks are collected; partially written
+    // inactive blocks do not exist by construction.
+    const bool want = info.invalidCount > 0 &&
+                      info.writePtr == geom.pagesPerBlock() &&
+                      !isActive(block_index);
+    if (want == static_cast<bool>(inCandidates[block_index]))
+        return;
+    inCandidates[block_index] = want;
+    auto &list = candidates[geom.planeOfBlock(block_index)];
+    const auto it =
+        std::lower_bound(list.begin(), list.end(), block_index);
+    if (want)
+        list.insert(it, block_index);
+    else
+        list.erase(it);
+}
+
+const std::vector<std::uint64_t> &
 BlockManager::victimCandidates(std::uint64_t plane) const
 {
-    std::vector<std::uint64_t> candidates;
-    const std::uint64_t first = plane * geom.blocksPerPlane();
-    for (std::uint32_t b = 0; b < geom.blocksPerPlane(); ++b) {
-        const std::uint64_t block = first + b;
-        if (isActive(block))
-            continue;
-        const BlockInfo &info = flash.block(block);
-        if (info.invalidCount == 0)
-            continue;
-        // Only fully written blocks are collected; partially written
-        // inactive blocks do not exist by construction.
-        if (info.writePtr != geom.pagesPerBlock())
-            continue;
-        candidates.push_back(block);
-    }
-    return candidates;
+    zombie_assert(plane < candidates.size(), "plane out of bounds");
+    return candidates[plane];
 }
 
 } // namespace zombie

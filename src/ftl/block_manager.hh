@@ -39,6 +39,11 @@ class BlockManager
 
     explicit BlockManager(FlashArray &array);
 
+    // The manager registers itself as the array's block listener
+    // (capturing `this`), so it must stay at one address for life.
+    BlockManager(const BlockManager &) = delete;
+    BlockManager &operator=(const BlockManager &) = delete;
+
     /** Load probe: busy-until tick of the die owning a plane. */
     using PlaneLoadProbe = std::function<Tick(std::uint64_t plane)>;
 
@@ -86,12 +91,21 @@ class BlockManager
     /** True if @p block_index is a write point (never a GC victim). */
     bool isActive(std::uint64_t block_index) const;
 
-    /** Victim candidates on @p plane: full, inactive, some garbage. */
-    std::vector<std::uint64_t>
+    /**
+     * Victim candidates on @p plane: full, inactive, some garbage.
+     * Served from the incremental per-plane index (ascending block
+     * order, O(candidates), no allocation, no plane rescan); the
+     * index is kept in sync by the FlashArray block listener plus
+     * the write-point transitions this class performs itself.
+     */
+    const std::vector<std::uint64_t> &
     victimCandidates(std::uint64_t plane) const;
 
   private:
     std::uint64_t popFree(std::uint64_t plane, bool for_gc);
+
+    /** Re-evaluate one block's membership in the victim index. */
+    void updateCandidate(std::uint64_t block_index);
 
     FlashArray &flash;
     const Geometry &geom;
@@ -109,6 +123,15 @@ class BlockManager
     std::vector<std::uint64_t> planeOrder; //!< channel-first striping
     std::uint64_t rrCursor = 0;
     PlaneLoadProbe loadProbe;
+
+    /**
+     * Incremental victim index: per plane, the sorted block indices
+     * satisfying the candidate predicate (full, inactive, some
+     * garbage), plus a per-block membership bit so the hot
+     * invalidate path updates in O(1) when nothing changes.
+     */
+    std::vector<std::vector<std::uint64_t>> candidates; //!< per plane
+    std::vector<bool> inCandidates;                     //!< per block
 };
 
 } // namespace zombie

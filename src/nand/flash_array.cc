@@ -93,6 +93,7 @@ FlashArray::invalidatePage(Ppn ppn, std::uint8_t popularity)
     --validPages;
     ++invalidPages;
     ++stats.invalidations;
+    notifyBlock(geom.blockOfPpn(ppn));
 }
 
 void
@@ -113,6 +114,7 @@ FlashArray::revivePage(Ppn ppn)
     --invalidPages;
     ++validPages;
     ++stats.revivals;
+    notifyBlock(geom.blockOfPpn(ppn));
 }
 
 void
@@ -142,6 +144,7 @@ FlashArray::eraseBlock(std::uint64_t block_index)
     blk.garbagePopularity = 0;
     ++blk.eraseCount;
     ++stats.erases;
+    notifyBlock(block_index);
 }
 
 std::uint32_t

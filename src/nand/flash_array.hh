@@ -19,6 +19,7 @@
 #define ZOMBIE_NAND_FLASH_ARRAY_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "nand/geometry.hh"
@@ -64,6 +65,25 @@ class FlashArray
     explicit FlashArray(const Geometry &geom);
 
     const Geometry &geometry() const { return geom; }
+
+    /**
+     * Observer for block-level garbage transitions. Invoked with the
+     * block index after every invalidate, revive and erase — the
+     * three operations that can change whether a block is a GC victim
+     * candidate from the array's side. The BlockManager uses this to
+     * keep its incremental victim index in sync without rescanning
+     * planes (programs are not reported: they only affect candidacy
+     * through the write-point roll-over, which the BlockManager
+     * observes directly).
+     */
+    using BlockListener = std::function<void(std::uint64_t block)>;
+
+    /** Install @p listener (replaces any previous one). */
+    void
+    setBlockListener(BlockListener listener)
+    {
+        onBlockChange = std::move(listener);
+    }
 
     PageState state(Ppn ppn) const;
 
@@ -115,7 +135,16 @@ class FlashArray
     std::uint32_t maxEraseCount() const;
 
   private:
+    /** Report a garbage transition on @p block_index, if observed. */
+    void
+    notifyBlock(std::uint64_t block_index)
+    {
+        if (onBlockChange)
+            onBlockChange(block_index);
+    }
+
     Geometry geom;
+    BlockListener onBlockChange;
     std::vector<PageState> pageState;
     std::vector<std::uint8_t> garbagePop;
     std::vector<BlockInfo> blocks;

@@ -126,16 +126,16 @@ Controller::onCompletion(std::uint64_t idx)
     ++completed;
     if (idx == nextInOrder) {
         ++nextInOrder;
-        auto it = completedAhead.begin();
-        while (it != completedAhead.end() && *it == nextInOrder) {
+        while (!completedAhead.empty() &&
+               completedAhead.top() == nextInOrder) {
             ++nextInOrder;
-            it = completedAhead.erase(it);
+            completedAhead.pop();
         }
     } else {
         // An earlier-submitted command is still in flight on a
         // slower die: this completion overtook it.
         ++cstats.oooCompletions;
-        completedAhead.insert(idx);
+        completedAhead.push(idx);
     }
 }
 

@@ -130,8 +130,9 @@ Ssd::Ssd(SsdConfig config)
     : cfg((config.validate(), std::move(config))),
       flashArray(cfg.geom),
       pool(makePool(cfg)),
-      store(usesDedup(cfg.system) ? std::make_unique<FingerprintStore>()
-                                  : nullptr),
+      store(usesDedup(cfg.system)
+                ? std::make_unique<FingerprintStore>(cfg.logicalPages)
+                : nullptr),
       ftl_(flashArray,
            FtlConfig{.logicalPages = cfg.logicalPages,
                      .gcSoftWater = cfg.gcSoftWater,

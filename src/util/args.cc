@@ -133,6 +133,14 @@ ArgParser::getFlag(const std::string &name) const
 }
 
 std::string
+ArgParser::programName() const
+{
+    const auto slash = program.find_last_of('/');
+    return slash == std::string::npos ? program
+                                      : program.substr(slash + 1);
+}
+
+std::string
 ArgParser::usage() const
 {
     std::ostringstream oss;

@@ -43,6 +43,9 @@ class ArgParser
 
     std::string usage() const;
 
+    /** Basename of argv[0] (available after parse()). */
+    std::string programName() const;
+
   private:
     struct Option
     {

@@ -1,0 +1,58 @@
+#include "util/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    zombie_assert(workers >= 1, "thread pool needs at least one "
+                                "worker");
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    available.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            available.wait(lock, [this] {
+                return stopping || !tasks.empty();
+            });
+            if (tasks.empty())
+                return; // stopping and drained
+            task = std::move(tasks.front());
+            tasks.pop_front();
+        }
+        task();
+    }
+}
+
+unsigned
+ThreadPool::resolveJobs(std::uint64_t requested)
+{
+    if (requested == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw ? hw : 1;
+    }
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(requested, 1u << 10));
+}
+
+} // namespace zombie

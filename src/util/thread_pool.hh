@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fixed-size worker pool for embarrassingly parallel host-side work.
+ *
+ * The pool exists for the *experiment harness*, not the simulator:
+ * every (workload x system) cell of the paper's evaluation grid is an
+ * independent, seed-deterministic simulation, so cells can run on
+ * worker threads while each simulation itself stays single-threaded
+ * and wall-clock free. Nothing in here may leak into simulated time
+ * (see DESIGN.md section 7.9).
+ *
+ * submit() returns a std::future; exceptions thrown by a task are
+ * captured and rethrown from future::get(). parallelMap() is the
+ * harness primitive: run fn(0..n-1) on a temporary pool and return
+ * the results in index order, so callers' output is byte-identical
+ * for any worker count.
+ */
+
+#ifndef ZOMBIE_UTIL_THREAD_POOL_HH
+#define ZOMBIE_UTIL_THREAD_POOL_HH
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace zombie
+{
+
+/** Fixed worker count, FIFO task queue, futures-based results. */
+class ThreadPool
+{
+  public:
+    /** @param workers number of worker threads (>= 1). */
+    explicit ThreadPool(unsigned workers);
+
+    /** Joins the workers after draining the queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned
+    workerCount() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+
+    /**
+     * Queue @p fn for execution on a worker. The returned future
+     * yields fn's result, or rethrows what fn threw.
+     */
+    template <typename Fn, typename R = std::invoke_result_t<Fn &>>
+    std::future<R>
+    submit(Fn fn)
+    {
+        auto task =
+            std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            tasks.push_back([task] { (*task)(); });
+        }
+        available.notify_one();
+        return result;
+    }
+
+    /**
+     * Translate a --jobs style request into a worker count:
+     * 0 means one per hardware thread, anything else is taken
+     * literally (minimum 1).
+     */
+    static unsigned resolveJobs(std::uint64_t requested);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads;
+    std::deque<std::function<void()>> tasks;
+    std::mutex mutex;
+    std::condition_variable available;
+    bool stopping = false;
+};
+
+/**
+ * Run fn(i) for every i in [0, n) and return the results in index
+ * order. With jobs <= 1 the calls run inline (no threads, exactly
+ * the historical serial behaviour); otherwise min(jobs, n) workers
+ * execute them concurrently. The first exception any call threw is
+ * rethrown after the pool drains. @p fn must be safe to invoke from
+ * multiple threads when jobs > 1.
+ */
+template <typename Fn>
+auto
+parallelMap(unsigned jobs, std::size_t n, Fn &&fn)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using R = std::invoke_result_t<Fn &, std::size_t>;
+    std::vector<R> results;
+    results.reserve(n);
+    if (jobs <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            results.push_back(fn(i));
+        return results;
+    }
+
+    ThreadPool pool(static_cast<unsigned>(
+        std::min<std::size_t>(jobs, n)));
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        futures.push_back(pool.submit([&fn, i] { return fn(i); }));
+    for (auto &f : futures)
+        results.push_back(f.get());
+    return results;
+}
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_THREAD_POOL_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Equivalence tests for the incremental victim index: after any
+ * randomized mix of writes, invalidations, revivals and erases, each
+ * plane's victimCandidates() must match a brute-force rescan applying
+ * the candidate predicate (the pre-index implementation).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ftl/block_manager.hh"
+#include "util/random.hh"
+
+namespace zombie
+{
+namespace
+{
+
+/** 2 channels x 2 chips, 1 die, 1 plane -> 4 planes of 6 blocks. */
+Geometry
+testGeom()
+{
+    return Geometry(2, 2, 1, 1, 6, 8);
+}
+
+/** The original full-plane rescan the index replaced. */
+std::vector<std::uint64_t>
+rescanCandidates(const FlashArray &flash, const BlockManager &mgr,
+                 std::uint64_t plane)
+{
+    const Geometry &geom = flash.geometry();
+    std::vector<std::uint64_t> found;
+    for (std::uint64_t b = 0; b < geom.totalBlocks(); ++b) {
+        if (geom.planeOfBlock(b) != plane)
+            continue;
+        const BlockInfo &info = flash.block(b);
+        if (info.invalidCount > 0 &&
+            info.writePtr == geom.pagesPerBlock() &&
+            !mgr.isActive(b)) {
+            found.push_back(b);
+        }
+    }
+    return found;
+}
+
+void
+expectIndexMatchesRescan(const FlashArray &flash,
+                         const BlockManager &mgr)
+{
+    const Geometry &geom = flash.geometry();
+    for (std::uint64_t p = 0; p < geom.totalPlanes(); ++p) {
+        const auto &indexed = mgr.victimCandidates(p);
+        EXPECT_TRUE(std::is_sorted(indexed.begin(), indexed.end()));
+        EXPECT_EQ(indexed, rescanCandidates(flash, mgr, p))
+            << "plane " << p;
+    }
+}
+
+TEST(VictimIndex, EmptyDriveHasNoCandidates)
+{
+    FlashArray flash(testGeom());
+    BlockManager mgr(flash);
+    expectIndexMatchesRescan(flash, mgr);
+    for (std::uint64_t p = 0; p < testGeom().totalPlanes(); ++p)
+        EXPECT_TRUE(mgr.victimCandidates(p).empty());
+}
+
+TEST(VictimIndex, BlockEntersIndexOnlyWhenFullInactiveAndDirty)
+{
+    FlashArray flash(testGeom());
+    BlockManager mgr(flash);
+    const Geometry &geom = flash.geometry();
+
+    // Fill the first active block on plane 0; invalidate one page.
+    std::vector<Ppn> pages;
+    for (std::uint32_t i = 0; i < geom.pagesPerBlock(); ++i)
+        pages.push_back(mgr.allocatePage(0, false));
+    const std::uint64_t block = geom.blockOfPpn(pages.front());
+
+    // Full but still the active write point: not a candidate.
+    flash.invalidatePage(pages[0], 1);
+    EXPECT_TRUE(mgr.isActive(block));
+    EXPECT_TRUE(mgr.victimCandidates(0).empty());
+
+    // The next allocation rolls the write point to a new block, which
+    // retires this one into the index.
+    mgr.allocatePage(0, false);
+    EXPECT_FALSE(mgr.isActive(block));
+    ASSERT_EQ(mgr.victimCandidates(0).size(), 1u);
+    EXPECT_EQ(mgr.victimCandidates(0).front(), block);
+    expectIndexMatchesRescan(flash, mgr);
+}
+
+TEST(VictimIndex, ReviveOfLastGarbagePageRemovesCandidate)
+{
+    FlashArray flash(testGeom());
+    BlockManager mgr(flash);
+    const Geometry &geom = flash.geometry();
+
+    std::vector<Ppn> pages;
+    for (std::uint32_t i = 0; i < geom.pagesPerBlock(); ++i)
+        pages.push_back(mgr.allocatePage(0, false));
+    flash.invalidatePage(pages[3], 2);
+    mgr.allocatePage(0, false); // retire the block
+    ASSERT_EQ(mgr.victimCandidates(0).size(), 1u);
+
+    flash.revivePage(pages[3]);
+    EXPECT_TRUE(mgr.victimCandidates(0).empty());
+    expectIndexMatchesRescan(flash, mgr);
+}
+
+TEST(VictimIndex, EraseRemovesCandidate)
+{
+    FlashArray flash(testGeom());
+    BlockManager mgr(flash);
+    const Geometry &geom = flash.geometry();
+
+    std::vector<Ppn> pages;
+    for (std::uint32_t i = 0; i < geom.pagesPerBlock(); ++i)
+        pages.push_back(mgr.allocatePage(0, false));
+    for (const Ppn p : pages)
+        flash.invalidatePage(p, 1);
+    mgr.allocatePage(0, false); // retire the block
+    const std::uint64_t victim = geom.blockOfPpn(pages.front());
+    ASSERT_EQ(mgr.victimCandidates(0).front(), victim);
+
+    flash.eraseBlock(victim);
+    mgr.releaseBlock(victim);
+    EXPECT_TRUE(mgr.victimCandidates(0).empty());
+    expectIndexMatchesRescan(flash, mgr);
+}
+
+TEST(VictimIndex, RandomizedOpsMatchFullRescan)
+{
+    FlashArray flash(testGeom());
+    BlockManager mgr(flash);
+    const Geometry &geom = flash.geometry();
+    Xoshiro256 rng(20260805);
+
+    std::vector<Ppn> valid;
+    std::vector<Ppn> garbage;
+    auto dropBlockPages = [&geom](std::vector<Ppn> &list,
+                                  std::uint64_t block) {
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&](Ppn p) {
+                                      return geom.blockOfPpn(p) ==
+                                             block;
+                                  }),
+                   list.end());
+    };
+
+    for (int step = 0; step < 4000; ++step) {
+        const std::uint64_t plane =
+            rng.nextBounded(geom.totalPlanes());
+        switch (rng.nextBounded(8)) {
+          case 0:
+          case 1:
+          case 2: // host write
+            if (mgr.streamHasRoom(plane, Stream::UserCold) ||
+                mgr.freeBlocks(plane) > 0) {
+                valid.push_back(mgr.allocatePage(plane, false));
+            }
+            break;
+          case 3:
+          case 4:
+          case 5: // out-of-place update / trim
+            if (!valid.empty()) {
+                const std::size_t i = rng.nextBounded(valid.size());
+                const Ppn p = valid[i];
+                valid[i] = valid.back();
+                valid.pop_back();
+                flash.invalidatePage(
+                    p, static_cast<std::uint8_t>(rng.nextBounded(8)));
+                garbage.push_back(p);
+            }
+            break;
+          case 6: // dead-value-pool revival
+            if (!garbage.empty()) {
+                const std::size_t i = rng.nextBounded(garbage.size());
+                const Ppn p = garbage[i];
+                garbage[i] = garbage.back();
+                garbage.pop_back();
+                flash.revivePage(p);
+                valid.push_back(p);
+            }
+            break;
+          case 7: // GC: relocate-by-invalidate, erase, release
+            if (!mgr.victimCandidates(plane).empty()) {
+                const auto &cands = mgr.victimCandidates(plane);
+                const std::uint64_t victim =
+                    cands[rng.nextBounded(cands.size())];
+                for (const Ppn p : valid) {
+                    if (geom.blockOfPpn(p) == victim)
+                        flash.invalidatePage(p, 0);
+                }
+                dropBlockPages(valid, victim);
+                dropBlockPages(garbage, victim);
+                flash.eraseBlock(victim);
+                mgr.releaseBlock(victim);
+            }
+            break;
+        }
+        expectIndexMatchesRescan(flash, mgr);
+        if (HasFailure())
+            FAIL() << "diverged at step " << step;
+    }
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the experiment-harness thread pool: index-ordered
+ * parallelMap results, exception propagation through futures, and
+ * --jobs resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "util/thread_pool.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(2);
+    EXPECT_EQ(pool.workerCount(), 2u);
+    auto a = pool.submit([] { return 40 + 2; });
+    auto b = pool.submit([] { return std::string("zombie"); });
+    EXPECT_EQ(a.get(), 42);
+    EXPECT_EQ(b.get(), "zombie");
+}
+
+TEST(ThreadPool, DrainsQueueBeforeJoining)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&done] { ++done; });
+        // Destructor must finish every queued task before joining.
+    }
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(1);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The worker survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ParallelMap, ResultsInIndexOrder)
+{
+    const auto squares =
+        parallelMap(4, 100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(squares.size(), 100u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelMap, SameResultsForAnyJobsValue)
+{
+    auto fn = [](std::size_t i) { return 31 * i + 7; };
+    const auto serial = parallelMap(1, 50, fn);
+    const auto wide = parallelMap(8, 50, fn);
+    EXPECT_EQ(serial, wide);
+}
+
+TEST(ParallelMap, SingleJobRunsInline)
+{
+    // jobs <= 1 must reproduce the historical serial behaviour: every
+    // call on the calling thread, in order.
+    const auto caller = std::this_thread::get_id();
+    std::size_t last = 0;
+    const auto r = parallelMap(1, 10, [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        EXPECT_GE(i, last);
+        last = i;
+        return i;
+    });
+    EXPECT_EQ(r.size(), 10u);
+}
+
+TEST(ParallelMap, PropagatesTaskException)
+{
+    auto fn = [](std::size_t i) -> int {
+        if (i == 3)
+            throw std::runtime_error("cell failed");
+        return static_cast<int>(i);
+    };
+    EXPECT_THROW(parallelMap(4, 8, fn), std::runtime_error);
+    EXPECT_THROW(parallelMap(1, 8, fn), std::runtime_error);
+}
+
+TEST(ParallelMap, HandlesEmptyAndSingletonRanges)
+{
+    const auto none =
+        parallelMap(4, 0, [](std::size_t) { return 1; });
+    EXPECT_TRUE(none.empty());
+    const auto one =
+        parallelMap(4, 1, [](std::size_t i) { return i + 5; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 5u);
+}
+
+TEST(ResolveJobs, ZeroMeansHardwareConcurrency)
+{
+    const unsigned resolved = ThreadPool::resolveJobs(0);
+    EXPECT_GE(resolved, 1u);
+}
+
+TEST(ResolveJobs, LiteralValuesPassThrough)
+{
+    EXPECT_EQ(ThreadPool::resolveJobs(1), 1u);
+    EXPECT_EQ(ThreadPool::resolveJobs(6), 6u);
+}
+
+TEST(ResolveJobs, ClampsAbsurdRequests)
+{
+    EXPECT_LE(ThreadPool::resolveJobs(1ULL << 40), 1024u);
+}
+
+} // namespace
+} // namespace zombie
