@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the typed event engine: raw
+ * schedule/dispatch throughput and the heap behaviour under the
+ * controller-like pattern of chained rescheduling. These are the
+ * per-event constants behind the simulator's events/sec figure.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "sim/event.hh"
+#include "util/alloc_counter.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace zombie;
+
+/** Sink that counts dispatches and optionally chains a future event. */
+struct CountingSink : public EventSink
+{
+    EventEngine *engine = nullptr;
+    std::uint64_t count = 0;
+    std::uint64_t chain = 0; //!< events each dispatch reschedules
+
+    void
+    event(Tick now, EventKind, std::uint32_t, std::uint64_t arg) override
+    {
+        ++count;
+        if (chain && arg) {
+            engine->schedule(now + 3, EventKind::FlashDone, 0,
+                             arg - 1);
+        }
+    }
+};
+
+/** Fill the heap with n events at scattered ticks, then drain it. */
+void
+BM_ScheduleDrain(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    EventEngine engine;
+    CountingSink sink;
+    engine.setSink(&sink);
+    engine.reserve(n);
+    Xoshiro256 rng(11);
+
+    for (auto _ : state) {
+        const Tick base = engine.now();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            engine.schedule(base + 1 + rng.nextBounded(1024),
+                            EventKind::FlashDone, 0, 0);
+        }
+        engine.run();
+        benchmark::DoNotOptimize(sink.count);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+/**
+ * Controller-like pattern: a small window of in-flight events, each
+ * dispatch rescheduling the next — the heap stays shallow and hot.
+ */
+void
+BM_ChainedDispatch(benchmark::State &state)
+{
+    const auto window = static_cast<std::uint64_t>(state.range(0));
+    const std::uint64_t hops = 1024;
+    EventEngine engine;
+    CountingSink sink;
+    sink.engine = &engine;
+    sink.chain = 1;
+    engine.setSink(&sink);
+    engine.reserve(window);
+
+    for (auto _ : state) {
+        const Tick base = engine.now();
+        for (std::uint64_t w = 0; w < window; ++w)
+            engine.schedule(base + 1 + w, EventKind::FlashDone, 0,
+                            hops);
+        engine.run();
+        benchmark::DoNotOptimize(sink.count);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * window * hops));
+}
+
+/** Steady-state allocation count per drained batch (must be zero). */
+void
+BM_SteadyStateAllocs(benchmark::State &state)
+{
+    const std::uint64_t n = 4096;
+    EventEngine engine;
+    CountingSink sink;
+    engine.setSink(&sink);
+    engine.reserve(n);
+    Xoshiro256 rng(13);
+
+    // Warm the heap to its high-water mark.
+    for (std::uint64_t i = 0; i < n; ++i)
+        engine.schedule(1 + rng.nextBounded(64), EventKind::Admit);
+    engine.run();
+
+    std::uint64_t allocs = 0;
+    for (auto _ : state) {
+        const Tick base = engine.now();
+        const std::uint64_t before = heapAllocCount();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            engine.schedule(base + 1 + rng.nextBounded(64),
+                            EventKind::Admit);
+        }
+        engine.run();
+        allocs += heapAllocCount() - before;
+    }
+    state.counters["allocs_per_batch"] =
+        benchmark::Counter(static_cast<double>(allocs) /
+                           static_cast<double>(state.iterations()));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+} // namespace
+
+BENCHMARK(BM_ScheduleDrain)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_ChainedDispatch)->Arg(1)->Arg(32);
+BENCHMARK(BM_SteadyStateAllocs);
+
+BENCHMARK_MAIN();

@@ -19,6 +19,7 @@
 
 #include "bench_common.hh"
 #include "sim/experiment.hh"
+#include "util/alloc_counter.hh"
 #include "util/csv.hh"
 #include "util/thread_pool.hh"
 
@@ -66,6 +67,15 @@ struct WorkloadRow
      * report its own requests/sec (DESIGN.md section 7.9).
      */
     std::map<std::string, double> wallSeconds;
+
+    /**
+     * Heap allocations (operator-new calls) observed during each
+     * cell, keyed like wallSeconds. The counter is process-wide, so
+     * with --jobs > 1 concurrent cells bleed into each other's
+     * deltas; the number is exact only at --jobs 1. Side channel
+     * only — never feeds back into simulated time.
+     */
+    std::map<std::string, std::uint64_t> heapAllocs;
 };
 
 /**
@@ -107,6 +117,7 @@ runAcrossWorkloadsParallel(const std::vector<std::string> &labels,
     {
         SimResult result;
         double wallSeconds;
+        std::uint64_t heapAllocs;
     };
     auto results =
         parallelMap(jobs, cells.size(), [&cells](std::size_t i) {
@@ -114,12 +125,14 @@ runAcrossWorkloadsParallel(const std::vector<std::string> &labels,
             std::fprintf(stderr, "  running %-8s %s...\n",
                          toString(cell.workload).c_str(),
                          cell.label.c_str());
+            const std::uint64_t allocs0 = heapAllocCount();
             const auto start = std::chrono::steady_clock::now();
             SimResult r =
                 runSystem(cell.workload, cell.kind, cell.opts);
             const std::chrono::duration<double> wall =
                 std::chrono::steady_clock::now() - start;
-            return CellResult{std::move(r), wall.count()};
+            return CellResult{std::move(r), wall.count(),
+                              heapAllocCount() - allocs0};
         });
 
     std::vector<WorkloadRow> rows;
@@ -134,6 +147,8 @@ runAcrossWorkloadsParallel(const std::vector<std::string> &labels,
         }
         rows.back().wallSeconds.emplace(cells[i].label,
                                         results[i].wallSeconds);
+        rows.back().heapAllocs.emplace(cells[i].label,
+                                       results[i].heapAllocs);
     }
     return rows;
 }
@@ -213,9 +228,14 @@ reportWallClock(const std::vector<WorkloadRow> &rows, unsigned jobs)
         const double rate =
             seconds > 0.0 ? static_cast<double>(r.requests) / seconds
                           : 0.0;
-        std::fprintf(stderr, "  %-8s %-10s %8.2f s %12.0f req/s\n",
+        const double erate =
+            seconds > 0.0 ? static_cast<double>(r.events) / seconds
+                          : 0.0;
+        std::fprintf(stderr,
+                     "  %-8s %-10s %8.2f s %12.0f req/s "
+                     "%12.0f ev/s\n",
                      toString(w).c_str(), label.c_str(), seconds,
-                     rate);
+                     rate, erate);
         total += seconds;
     };
     for (const auto &row : rows) {
@@ -231,7 +251,9 @@ reportWallClock(const std::vector<WorkloadRow> &rows, unsigned jobs)
 
 /**
  * Optional --wall-json export consumed by scripts/bench_report.sh:
- * one record per cell with wall seconds and requests/sec.
+ * one record per cell with wall seconds, requests/sec, engine
+ * events/sec and the heap-allocation count (exact at --jobs 1; see
+ * WorkloadRow::heapAllocs for the concurrency caveat).
  */
 inline void
 maybeWriteWallJson(const ArgParser &args,
@@ -252,26 +274,37 @@ maybeWriteWallJson(const ArgParser &args,
                  args.programName().c_str(), jobs);
     bool first = true;
     auto emit = [f, &first](Workload w, const std::string &label,
-                            const SimResult &r, double seconds) {
+                            const SimResult &r, double seconds,
+                            std::uint64_t allocs) {
         const double rate =
             seconds > 0.0 ? static_cast<double>(r.requests) / seconds
+                          : 0.0;
+        const double erate =
+            seconds > 0.0 ? static_cast<double>(r.events) / seconds
                           : 0.0;
         std::fprintf(f,
                      "%s    {\"workload\": \"%s\", \"system\": "
                      "\"%s\", \"wall_s\": %.6f, \"requests\": %llu, "
-                     "\"reqs_per_s\": %.1f}",
+                     "\"reqs_per_s\": %.1f, \"events\": %llu, "
+                     "\"events_per_s\": %.1f, "
+                     "\"heap_allocs\": %llu}",
                      first ? "" : ",\n", toString(w).c_str(),
                      label.c_str(), seconds,
                      static_cast<unsigned long long>(r.requests),
-                     rate);
+                     rate,
+                     static_cast<unsigned long long>(r.events),
+                     erate,
+                     static_cast<unsigned long long>(allocs));
         first = false;
     };
     for (const auto &row : rows) {
         emit(row.workload, "baseline", row.baseline,
-             row.wallSeconds.at("baseline"));
+             row.wallSeconds.at("baseline"),
+             row.heapAllocs.at("baseline"));
         for (const auto &[label, result] : row.systems)
             emit(row.workload, label, result,
-                 row.wallSeconds.at(label));
+                 row.wallSeconds.at(label),
+                 row.heapAllocs.at(label));
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);

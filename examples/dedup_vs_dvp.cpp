@@ -34,9 +34,16 @@ struct Scenario
         }
     }
 
+    HostOpResult
+    write(Lpn lpn, const Fingerprint &f)
+    {
+        return ftl.write(lpn, f, steps);
+    }
+
     FlashArray flash;
     FingerprintStore store;
     Ftl ftl;
+    FlashStepBuffer steps;
     std::unique_ptr<MqDvp> pool;
 };
 
@@ -60,21 +67,21 @@ run(const char *title, bool with_dvp)
     const Fingerprint y = Fingerprint::fromValueId(0xF);
 
     std::printf("t0  W1 writes 'D' to LPN 0:  %s\n",
-                outcome(s.ftl.write(0, d)));
+                outcome(s.write(0, d)));
     std::printf("t1  W2 writes 'D' to LPN 1:  %s\n",
-                outcome(s.ftl.write(1, d)));
+                outcome(s.write(1, d)));
     std::printf("t2  W3 writes 'D' to LPN 2:  %s\n",
-                outcome(s.ftl.write(2, d)));
+                outcome(s.write(2, d)));
     std::printf("t3  LPNs 0..2 are overwritten; 'D' turns into "
                 "garbage:\n");
     std::printf("      update LPN 0:          %s\n",
-                outcome(s.ftl.write(0, x)));
+                outcome(s.write(0, x)));
     std::printf("      update LPN 1:          %s\n",
-                outcome(s.ftl.write(1, y)));
+                outcome(s.write(1, y)));
     std::printf("      update LPN 2:          %s\n",
-                outcome(s.ftl.write(2, Fingerprint::fromValueId(0x10))));
+                outcome(s.write(2, Fingerprint::fromValueId(0x10))));
     std::printf("t4  W4 writes 'D' to LPN 3:  %s\n",
-                outcome(s.ftl.write(3, d)));
+                outcome(s.write(3, d)));
 
     std::printf("flash programs performed: %llu\n",
                 static_cast<unsigned long long>(

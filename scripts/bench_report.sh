@@ -40,11 +40,14 @@ awk -v requests="$requests" -v jobs="$jobs" '
     w = $0; sub(/.*"workload": "/, "", w); sub(/".*/, "", w)
     s = $0; sub(/.*"wall_s": /, "", s); sub(/,.*/, "", s)
     r = $0; sub(/.*"reqs_per_s": /, "", r); sub(/[^0-9.].*/, "", r)
+    e = $0; sub(/.*"events": /, "", e); sub(/[^0-9].*/, "", e)
     count[w] += 1
     rate[w] += r
     wall[w] += s
+    events[w] += e
     cells += 1
     total += s
+    events_total += e
 }
 END {
     n = split("web home mail hadoop trans desktop", order, " ")
@@ -54,6 +57,9 @@ END {
     printf "  \"jobs\": %d,\n", jobs
     printf "  \"cells\": %d,\n", cells
     printf "  \"total_wall_s\": %.3f,\n", total
+    printf "  \"total_events\": %d,\n", events_total
+    printf "  \"events_per_s\": %.1f,\n", \
+        (total > 0 ? events_total / total : 0)
     printf "  \"workloads\": [\n"
     first = 1
     for (i = 1; i <= n; i++) {
@@ -64,12 +70,18 @@ END {
             printf ",\n"
         first = 0
         printf "    {\"workload\": \"%s\", \"cells\": %d, " \
-               "\"mean_reqs_per_s\": %.1f, \"wall_s\": %.3f}", \
-               w, count[w], rate[w] / count[w], wall[w]
+               "\"mean_reqs_per_s\": %.1f, \"wall_s\": %.3f, " \
+               "\"events_per_s\": %.1f}", \
+               w, count[w], rate[w] / count[w], wall[w], \
+               (wall[w] > 0 ? events[w] / wall[w] : 0)
     }
     printf "\n  ]\n}\n"
 }
 ' "$outdir"/wall/*.json > "$report"
 
-echo "==> wrote $report"
+# The repo root keeps a copy so the headline harness-throughput
+# number is visible without digging into results/.
+cp "$report" BENCH_throughput.json
+
+echo "==> wrote $report (and ./BENCH_throughput.json)"
 cat "$report"

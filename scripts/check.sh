@@ -33,17 +33,27 @@ for preset in $presets; do
 
     # Smoke-run every bench at a tiny request count with the parallel
     # harness engaged (--jobs 2), so harness regressions and data
-    # races surface here (especially under the tsan preset). The
+    # races surface here (especially under the tsan preset), and
+    # byte-diff stdout against the committed goldens: the simulated
+    # results are deterministic, so any drift — across presets,
+    # optimization levels or hot-path rewrites — is a bug. The
     # micro_* benches take no arguments and are skipped.
     bindir="$(bindir_for "$preset")"
+    golden=tests/golden/smoke
     echo "==> smoke benches [$preset]"
     for bench in "$bindir"/bench/*; do
         [ -f "$bench" ] && [ -x "$bench" ] || continue
-        case "$(basename "$bench")" in
+        name="$(basename "$bench")"
+        case "$name" in
             micro_*) continue ;;
         esac
-        echo "  -> $(basename "$bench")"
-        "$bench" --requests 2000 --jobs 2 >/dev/null
+        echo "  -> $name"
+        "$bench" --requests 2000 --jobs 2 > "$bindir/$name.smoke.txt"
+        if [ -f "$golden/$name.txt" ]; then
+            diff -u "$golden/$name.txt" "$bindir/$name.smoke.txt"
+        else
+            echo "     (no golden: $golden/$name.txt)" >&2
+        fi
     done
 done
 

@@ -54,16 +54,21 @@ BlockManager::BlockManager(FlashArray &array)
     for (auto &list : candidates)
         list.reserve(geom.blocksPerPlane());
     inCandidates.assign(geom.totalBlocks(), false);
+    planeEpochs.assign(planes, 0);
     for (std::uint64_t b = 0; b < geom.totalBlocks(); ++b)
         updateCandidate(b);
-    flash.setBlockListener(
-        [this](std::uint64_t block) { updateCandidate(block); });
+    // Every notified transition changes a victim score or candidate
+    // set, so the plane epoch bumps even when membership is stable.
+    flash.setBlockListener([this](std::uint64_t block) {
+        ++planeEpochs[geom.planeOfBlock(block)];
+        updateCandidate(block);
+    });
 }
 
 std::uint64_t
 BlockManager::nextUserPlane()
 {
-    if (!loadProbe) {
+    if (!dieLoad && !loadProbe) {
         const std::uint64_t plane = planeOrder[rrCursor];
         rrCursor = (rrCursor + 1) % planeOrder.size();
         return plane;
@@ -85,7 +90,9 @@ BlockManager::nextUserPlane()
                                flash.blockHasRoom(hotActive[plane]));
         if (best_has_room && !has_room)
             continue;
-        const Tick load = loadProbe(plane);
+        const Tick load = dieLoad
+                              ? dieLoad[plane / dieLoadPlanesPerDie]
+                              : loadProbe(plane);
         if ((has_room && !best_has_room) || load < best_load) {
             best = plane;
             best_load = load;
@@ -102,13 +109,26 @@ BlockManager::setLoadProbe(PlaneLoadProbe probe)
     loadProbe = std::move(probe);
 }
 
+void
+BlockManager::setDieLoadView(const Tick *die_busy,
+                             std::uint32_t planes_per_die)
+{
+    zombie_assert(!die_busy || planes_per_die > 0,
+                  "die-load view needs planes per die");
+    dieLoad = die_busy;
+    dieLoadPlanesPerDie = planes_per_die;
+}
+
 std::uint64_t
 BlockManager::popFree(std::uint64_t plane, bool for_gc)
 {
+    ++planeEpochs[plane];
     auto &stack = freeLists[plane];
     if (!stack.empty()) {
         const std::uint64_t block = stack.back();
         stack.pop_back();
+        if (stack.empty())
+            ++zeroFreePlanes;
         return block;
     }
     // GC may dip into its reserve so collection always progresses.
@@ -151,13 +171,6 @@ BlockManager::streamHasRoom(std::uint64_t plane, Stream stream) const
 }
 
 std::uint32_t
-BlockManager::freeBlocks(std::uint64_t plane) const
-{
-    zombie_assert(plane < freeLists.size(), "plane out of bounds");
-    return static_cast<std::uint32_t>(freeLists[plane].size());
-}
-
-std::uint32_t
 BlockManager::minFreeBlocks() const
 {
     std::uint32_t lo = ~0u;
@@ -173,6 +186,7 @@ BlockManager::releaseBlock(std::uint64_t block_index)
     const std::uint64_t plane = geom.planeOfBlock(block_index);
     zombie_assert(flash.block(block_index).writePtr == 0,
                   "releasing a non-erased block ", block_index);
+    ++planeEpochs[plane];
     if (userActive[plane] == block_index)
         userActive[plane] = kNoBlock;
     if (hotActive[plane] == block_index)
@@ -180,10 +194,13 @@ BlockManager::releaseBlock(std::uint64_t block_index)
     if (gcActive[plane] == block_index)
         gcActive[plane] = kNoBlock;
     // Refill the GC reserve before feeding the general pool.
-    if (gcReserve[plane] == kNoBlock)
+    if (gcReserve[plane] == kNoBlock) {
         gcReserve[plane] = block_index;
-    else
+    } else {
+        if (freeLists[plane].empty())
+            --zeroFreePlanes;
         freeLists[plane].push_back(block_index);
+    }
     updateCandidate(block_index);
 }
 

@@ -18,6 +18,7 @@
 
 #include "nand/flash_array.hh"
 #include "nand/geometry.hh"
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -58,6 +59,16 @@ class BlockManager
     void setLoadProbe(PlaneLoadProbe probe);
 
     /**
+     * Allocation-free fast path for dynamic allocation: read die
+     * busy-until ticks straight from @p die_busy (the resource
+     * model's table, one entry per die, never reallocated), where
+     * plane p belongs to die p / @p planes_per_die. Overrides any
+     * std::function probe; pass nullptr to remove.
+     */
+    void setDieLoadView(const Tick *die_busy,
+                        std::uint32_t planes_per_die);
+
+    /**
      * Program one page on @p plane through the given write stream.
      * Panics if the plane is out of free blocks — the GC
      * policy/thresholds must prevent that.
@@ -80,10 +91,33 @@ class BlockManager
     }
 
     /** Blocks currently on @p plane's free stack. */
-    std::uint32_t freeBlocks(std::uint64_t plane) const;
+    std::uint32_t
+    freeBlocks(std::uint64_t plane) const
+    {
+        zombie_assert(plane < freeLists.size(), "plane out of bounds");
+        return static_cast<std::uint32_t>(freeLists[plane].size());
+    }
+
+    /** Whether any plane's free stack is empty (emergency GC). */
+    bool anyPlaneOutOfFreeBlocks() const { return zeroFreePlanes > 0; }
 
     /** Smallest free-stack depth across all planes. */
     std::uint32_t minFreeBlocks() const;
+
+    /**
+     * Version counter of @p plane's GC-relevant state. Bumped by
+     * every change to candidate membership or scores (the array's
+     * invalidate/revive/erase notifications), every free-stack pop
+     * and every block release, so a pure function of those inputs
+     * (the victim gate) can be memoized against it.
+     */
+    std::uint64_t
+    planeEpoch(std::uint64_t plane) const
+    {
+        zombie_assert(plane < planeEpochs.size(),
+                      "plane out of bounds");
+        return planeEpochs[plane];
+    }
 
     /** Return an erased block to its plane's free stack. */
     void releaseBlock(std::uint64_t block_index);
@@ -123,6 +157,16 @@ class BlockManager
     std::vector<std::uint64_t> planeOrder; //!< channel-first striping
     std::uint64_t rrCursor = 0;
     PlaneLoadProbe loadProbe;
+
+    /** Raw die busy-until view (fast path; overrides loadProbe). */
+    const Tick *dieLoad = nullptr;
+    std::uint32_t dieLoadPlanesPerDie = 1;
+
+    /** Per-plane GC-state version counters (see planeEpoch). */
+    std::vector<std::uint64_t> planeEpochs;
+
+    /** Planes whose free stack is empty right now. */
+    std::uint64_t zeroFreePlanes = 0;
 
     /**
      * Incremental victim index: per plane, the sorted block indices

@@ -16,7 +16,8 @@ Ftl::Ftl(FlashArray &flash_array, FtlConfig config)
                        makeGcPolicy(cfg.gcPolicy, cfg.gcPopWeight),
                        cfg.wearTolerance)
                  : makeGcPolicy(cfg.gcPolicy, cfg.gcPopWeight)),
-      gcJobs(array.geometry().totalPlanes())
+      gcJobs(array.geometry().totalPlanes()),
+      gcGateFailEpoch(array.geometry().totalPlanes(), ~0ULL)
 {
     if (cfg.gcPagesPerStep == 0)
         zombie_fatal("gcPagesPerStep must be > 0");
@@ -49,6 +50,12 @@ void
 Ftl::setPlaneLoadProbe(BlockManager::PlaneLoadProbe probe)
 {
     blockMgr.setLoadProbe(std::move(probe));
+}
+
+void
+Ftl::setDieLoadView(const Tick *die_busy, std::uint32_t planes_per_die)
+{
+    blockMgr.setDieLoadView(die_busy, planes_per_die);
 }
 
 void
@@ -107,15 +114,16 @@ Ftl::mapNewContent(Lpn lpn, Ppn ppn, const Fingerprint &fp,
 }
 
 HostOpResult
-Ftl::write(Lpn lpn, const Fingerprint &fp)
+Ftl::write(Lpn lpn, const Fingerprint &fp, FlashStepBuffer &steps)
 {
     zombie_assert(lpn < cfg.logicalPages, "write beyond logical space");
+    steps.clear();
     HostOpResult result;
     ++fstats.hostWrites;
 
     // Collect before allocating so a plane can never be asked for a
     // user block while it still has reclaimable garbage pending.
-    advanceGcAll(result);
+    advanceGcAll(steps);
 
     const bool was_mapped = map.isMapped(lpn);
 
@@ -183,13 +191,14 @@ Ftl::write(Lpn lpn, const Fingerprint &fp)
     mapNewContent(lpn, ppn, fp, 1);
     if (store)
         store->registerPage(fp, ppn);
-    result.userSteps.push_back(FlashStep{FlashOp::Program, ppn});
+    steps.userSteps.push_back(FlashStep{FlashOp::Program, ppn});
     return result;
 }
 
 HostOpResult
-Ftl::read(Lpn lpn)
+Ftl::read(Lpn lpn, FlashStepBuffer &steps)
 {
+    steps.clear();
     HostOpResult result;
     ++fstats.hostReads;
 
@@ -201,15 +210,16 @@ Ftl::read(Lpn lpn)
 
     const Ppn ppn = map.ppnOf(lpn);
     array.readPage(ppn);
-    result.userSteps.push_back(FlashStep{FlashOp::Read, ppn});
+    steps.userSteps.push_back(FlashStep{FlashOp::Read, ppn});
     if (pool)
         pool->onHostRead(lpn);
     return result;
 }
 
 HostOpResult
-Ftl::trim(Lpn lpn)
+Ftl::trim(Lpn lpn, FlashStepBuffer &steps)
 {
+    steps.clear();
     HostOpResult result;
     ++fstats.trims;
     if (lpn >= cfg.logicalPages || !map.isMapped(lpn)) {
@@ -219,7 +229,7 @@ Ftl::trim(Lpn lpn)
     invalidateLpn(lpn);
     map.unmap(lpn);
     map.setPopularity(lpn, 0);
-    advanceGcAll(result);
+    advanceGcAll(steps);
     return result;
 }
 
@@ -230,17 +240,20 @@ Ftl::wearSummary() const
 }
 
 void
-Ftl::advanceGcAll(HostOpResult &result)
+Ftl::advanceGcAll(FlashStepBuffer &steps)
 {
     const std::uint64_t planes = array.geometry().totalPlanes();
 
     // Emergency: a plane with no free block left drains its victim in
     // one shot (the GC reserve guarantees relocation space) so the
     // next user allocation cannot strand. In practice the paced tiers
-    // below keep planes from ever reaching this point.
-    for (std::uint64_t p = 0; p < planes; ++p) {
-        if (blockMgr.freeBlocks(p) == 0)
-            advanceGc(p, array.geometry().pagesPerBlock(), result);
+    // below keep planes from ever reaching this point, which is why
+    // the scan is gated on the manager's zero-free count.
+    if (blockMgr.anyPlaneOutOfFreeBlocks()) {
+        for (std::uint64_t p = 0; p < planes; ++p) {
+            if (blockMgr.freeBlocks(p) == 0)
+                advanceGc(p, array.geometry().pagesPerBlock(), steps);
+        }
     }
 
     // Paced background collection: planes at/below the mandatory
@@ -251,14 +264,14 @@ Ftl::advanceGcAll(HostOpResult &result)
         const std::uint64_t p = (gcCursor + i) % planes;
         if (gcJobs[p].active() ||
             blockMgr.freeBlocks(p) <= cfg.gcLowWater) {
-            budget -= advanceGc(p, budget, result);
+            budget -= advanceGc(p, budget, steps);
         }
     }
     for (std::uint64_t i = 0; i < planes && budget > 0; ++i) {
         const std::uint64_t p = (gcCursor + i) % planes;
         if (!gcJobs[p].active() &&
             blockMgr.freeBlocks(p) <= cfg.gcSoftWater) {
-            budget -= advanceGc(p, budget, result);
+            budget -= advanceGc(p, budget, steps);
         }
     }
     gcCursor = (gcCursor + 1) % planes;
@@ -267,9 +280,19 @@ Ftl::advanceGcAll(HostOpResult &result)
 bool
 Ftl::startGcJob(std::uint64_t plane)
 {
-    const auto candidates = blockMgr.victimCandidates(plane);
-    if (candidates.empty())
+    // Gate memoization: every input of the decision below (candidate
+    // membership, per-block garbage/wear scores, the free-block
+    // count) bumps the plane's epoch, so an unchanged epoch replays
+    // the cached "no" without re-scoring the candidates.
+    const std::uint64_t epoch = blockMgr.planeEpoch(plane);
+    if (epoch == gcGateFailEpoch[plane])
         return false;
+
+    const auto &candidates = blockMgr.victimCandidates(plane);
+    if (candidates.empty()) {
+        gcGateFailEpoch[plane] = epoch;
+        return false;
+    }
     const std::uint64_t victim = policy->selectVictim(array, candidates);
 
     // Thin garbage is not worth hundreds of relocations per erase;
@@ -277,6 +300,7 @@ Ftl::startGcJob(std::uint64_t plane)
     // concentrate rather than collecting a poor victim.
     if (array.block(victim).invalidCount < cfg.gcMinInvalid &&
         blockMgr.freeBlocks(plane) > cfg.gcLowWater) {
+        gcGateFailEpoch[plane] = epoch;
         return false;
     }
 
@@ -299,12 +323,12 @@ Ftl::startGcJob(std::uint64_t plane)
 }
 
 void
-Ftl::relocatePage(std::uint64_t plane, Ppn src, HostOpResult &result)
+Ftl::relocatePage(std::uint64_t plane, Ppn src, FlashStepBuffer &steps)
 {
     array.readPage(src);
-    result.gcSteps.push_back(FlashStep{FlashOp::Read, src});
+    steps.gcSteps.push_back(FlashStep{FlashOp::Read, src});
     const Ppn dst = blockMgr.allocatePage(plane, true);
-    result.gcSteps.push_back(FlashStep{FlashOp::Program, dst});
+    steps.gcSteps.push_back(FlashStep{FlashOp::Program, dst});
     ++fstats.gcRelocations;
 
     if (store) {
@@ -331,7 +355,7 @@ Ftl::relocatePage(std::uint64_t plane, Ppn src, HostOpResult &result)
 
 std::uint32_t
 Ftl::advanceGc(std::uint64_t plane, std::uint32_t budget,
-               HostOpResult &result)
+               FlashStepBuffer &steps)
 {
     GcJob &job = gcJobs[plane];
     if (!job.active() && !startGcJob(plane))
@@ -344,7 +368,7 @@ Ftl::advanceGc(std::uint64_t plane, std::uint32_t budget,
     while (moved < budget && job.nextPage < geom.pagesPerBlock()) {
         const Ppn src = first + job.nextPage;
         if (array.state(src) == PageState::Valid) {
-            relocatePage(plane, src, result);
+            relocatePage(plane, src, steps);
             ++moved;
         }
         ++job.nextPage;
@@ -355,7 +379,7 @@ Ftl::advanceGc(std::uint64_t plane, std::uint32_t budget,
         // pages invalidated mid-job were never (re)inserted into the
         // pool, so nothing dangles.
         array.eraseBlock(job.victim);
-        result.gcSteps.push_back(FlashStep{FlashOp::Erase, first});
+        steps.gcSteps.push_back(FlashStep{FlashOp::Erase, first});
         blockMgr.releaseBlock(job.victim);
         job.reset();
     }

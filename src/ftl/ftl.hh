@@ -110,19 +110,46 @@ struct FlashStep
     Ppn ppn;
 };
 
-/** Outcome of a host read/write at the FTL level. */
+/**
+ * Caller-owned scratch holding one host operation's flash steps.
+ *
+ * Ownership rule (DESIGN.md section 7.10): the caller owns the
+ * storage and reuses one buffer across commands; the FTL clears it
+ * on entry to write()/read()/trim() and appends its steps. clear()
+ * keeps capacity, so after the buffer has grown to the largest
+ * result ever produced (bounded by one block's worth of GC work),
+ * the request path performs no further heap allocation.
+ */
+struct FlashStepBuffer
+{
+    /** Flash steps of the user operation itself (0 or 1 step). */
+    std::vector<FlashStep> userSteps;
+
+    /** Collateral GC steps (relocation reads/programs + erases). */
+    std::vector<FlashStep> gcSteps;
+
+    void
+    clear()
+    {
+        userSteps.clear();
+        gcSteps.clear();
+    }
+
+    void
+    reserve(std::size_t user, std::size_t gc)
+    {
+        userSteps.reserve(user);
+        gcSteps.reserve(gc);
+    }
+};
+
+/** Outcome of a host read/write at the FTL level (flags only). */
 struct HostOpResult
 {
     bool ok = true;            //!< false: read of an unmapped LPN
     bool shortCircuit = false; //!< no program was needed
     bool dvpRevival = false;   //!< a dead page was revived
     bool dedupHit = false;     //!< absorbed by a live duplicate
-
-    /** Flash steps of the user operation itself (0 or 1 step). */
-    std::vector<FlashStep> userSteps;
-
-    /** Collateral GC steps (relocation reads/programs + erases). */
-    std::vector<FlashStep> gcSteps;
 };
 
 /** FTL-level counters. */
@@ -154,11 +181,19 @@ class Ftl
     /** Enable dynamic write allocation (see BlockManager). */
     void setPlaneLoadProbe(BlockManager::PlaneLoadProbe probe);
 
-    /** Service a host write of content @p fp to @p lpn. */
-    HostOpResult write(Lpn lpn, const Fingerprint &fp);
+    /** Allocation-free dynamic write allocation (see BlockManager). */
+    void setDieLoadView(const Tick *die_busy,
+                        std::uint32_t planes_per_die);
+
+    /**
+     * Service a host write of content @p fp to @p lpn, appending the
+     * flash work to the caller-owned @p steps (cleared on entry).
+     */
+    HostOpResult write(Lpn lpn, const Fingerprint &fp,
+                       FlashStepBuffer &steps);
 
     /** Service a host read of @p lpn. */
-    HostOpResult read(Lpn lpn);
+    HostOpResult read(Lpn lpn, FlashStepBuffer &steps);
 
     /**
      * Trim (discard) @p lpn: the mapping is dropped and the physical
@@ -167,7 +202,7 @@ class Ftl
      * same content revives it, extending the paper's mechanism to
      * the discard path. No-op on unmapped LPNs.
      */
-    HostOpResult trim(Lpn lpn);
+    HostOpResult trim(Lpn lpn, FlashStepBuffer &steps);
 
     /** Drive-wide erase-count statistics. */
     WearSummary wearSummary() const;
@@ -200,17 +235,17 @@ class Ftl
     void invalidateLpn(Lpn lpn);
     void mapNewContent(Lpn lpn, Ppn ppn, const Fingerprint &fp,
                        std::uint8_t pop);
-    void advanceGcAll(HostOpResult &result);
+    void advanceGcAll(FlashStepBuffer &steps);
 
     /**
      * Advance @p plane's collection by at most @p budget relocations.
      * @return relocations performed.
      */
     std::uint32_t advanceGc(std::uint64_t plane, std::uint32_t budget,
-                            HostOpResult &result);
+                            FlashStepBuffer &steps);
     bool startGcJob(std::uint64_t plane);
     void relocatePage(std::uint64_t plane, Ppn src,
-                      HostOpResult &result);
+                      FlashStepBuffer &steps);
     bool inGcVictim(Ppn ppn) const;
 
     FlashArray &array;
@@ -227,6 +262,17 @@ class Ftl
     /** One incremental GC job per plane. */
     std::vector<GcJob> gcJobs;
     std::uint64_t gcCursor = 0;
+
+    /**
+     * Victim-gate memoization: the BlockManager epoch at which
+     * startGcJob last declined to open a job on each plane. The gate
+     * decision is a pure function of plane state the epoch versions
+     * (candidate membership and scores, free-block count), so while
+     * the epoch is unchanged the answer is still "no" — the paced GC
+     * tiers would otherwise re-score the same candidates on every
+     * host write near the soft watermark.
+     */
+    std::vector<std::uint64_t> gcGateFailEpoch;
 
     FtlStats fstats;
 };

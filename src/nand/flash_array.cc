@@ -16,40 +16,6 @@ FlashArray::FlashArray(const Geometry &geometry)
 {
 }
 
-PageState
-FlashArray::state(Ppn ppn) const
-{
-    zombie_assert(ppn < pageState.size(), "PPN out of bounds");
-    return pageState[ppn];
-}
-
-std::uint8_t
-FlashArray::garbagePopularity(Ppn ppn) const
-{
-    zombie_assert(state(ppn) == PageState::Invalid,
-                  "garbage popularity queried on non-garbage page");
-    return garbagePop[ppn];
-}
-
-const BlockInfo &
-FlashArray::block(std::uint64_t block_index) const
-{
-    zombie_assert(block_index < blocks.size(), "block index out of bounds");
-    return blocks[block_index];
-}
-
-bool
-FlashArray::blockHasRoom(std::uint64_t block_index) const
-{
-    return block(block_index).writePtr < geom.pagesPerBlock();
-}
-
-std::uint32_t
-FlashArray::freePagesInBlock(std::uint64_t block_index) const
-{
-    return geom.pagesPerBlock() - block(block_index).writePtr;
-}
-
 Ppn
 FlashArray::programPage(std::uint64_t block_index)
 {

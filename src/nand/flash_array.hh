@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "nand/geometry.hh"
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -85,12 +86,33 @@ class FlashArray
         onBlockChange = std::move(listener);
     }
 
-    PageState state(Ppn ppn) const;
+    // The page/block accessors below are on the GC scoring and write
+    // allocation hot paths (hundreds of calls per host request), so
+    // they are defined inline.
+
+    PageState
+    state(Ppn ppn) const
+    {
+        zombie_assert(ppn < pageState.size(), "PPN out of bounds");
+        return pageState[ppn];
+    }
 
     /** Popularity recorded when the page was invalidated. */
-    std::uint8_t garbagePopularity(Ppn ppn) const;
+    std::uint8_t
+    garbagePopularity(Ppn ppn) const
+    {
+        zombie_assert(state(ppn) == PageState::Invalid,
+                      "garbage popularity queried on non-garbage page");
+        return garbagePop[ppn];
+    }
 
-    const BlockInfo &block(std::uint64_t block_index) const;
+    const BlockInfo &
+    block(std::uint64_t block_index) const
+    {
+        zombie_assert(block_index < blocks.size(),
+                      "block index out of bounds");
+        return blocks[block_index];
+    }
 
     /**
      * Program the next free page of @p block_index. Panics if the
@@ -99,8 +121,17 @@ class FlashArray
      */
     Ppn programPage(std::uint64_t block_index);
 
-    bool blockHasRoom(std::uint64_t block_index) const;
-    std::uint32_t freePagesInBlock(std::uint64_t block_index) const;
+    bool
+    blockHasRoom(std::uint64_t block_index) const
+    {
+        return block(block_index).writePtr < geom.pagesPerBlock();
+    }
+
+    std::uint32_t
+    freePagesInBlock(std::uint64_t block_index) const
+    {
+        return geom.pagesPerBlock() - block(block_index).writePtr;
+    }
 
     /** Count a host/GC read of a valid page. */
     void readPage(Ppn ppn);

@@ -16,6 +16,15 @@ ResourceModel::ResourceModel(const Geometry &geometry,
       dieBusyTotal(geom.totalDies(), 0),
       dieOutstanding(geom.totalDies())
 {
+    // A die's backlog window peaks when paced GC stacks a few
+    // blocks' worth of relocation ops behind the host stream; two
+    // blocks of read/program pairs bounds every observed workload
+    // with a wide margin. Reserving up front keeps the steady-state
+    // request path allocation-free (DESIGN.md section 7.10); a
+    // pathological backlog beyond this merely regrows the ring.
+    const std::size_t window = 4ul * geom.pagesPerBlock();
+    for (RingBuffer<Tick> &out : dieOutstanding)
+        out.reserve(window);
 }
 
 Tick
@@ -90,7 +99,7 @@ ResourceModel::noteDieIssue(std::uint64_t die, Tick issued,
     // serialize, so completions stay sorted no matter where the
     // window is cut). Observation only: no busy-until horizon moves
     // here.
-    std::deque<Tick> &out = dieOutstanding[die];
+    RingBuffer<Tick> &out = dieOutstanding[die];
     while (!out.empty() && out.front() <= issued)
         out.pop_front();
     out.push_back(completion);
@@ -111,10 +120,18 @@ ResourceModel::pendingAt(std::uint64_t die, Tick now) const
 {
     zombie_assert(die < dieOutstanding.size(),
                   "die index out of bounds");
-    const std::deque<Tick> &out = dieOutstanding[die];
-    // Completions are sorted; count the suffix strictly after now.
-    const auto it = std::upper_bound(out.begin(), out.end(), now);
-    return static_cast<std::uint32_t>(out.end() - it);
+    const RingBuffer<Tick> &out = dieOutstanding[die];
+    // Completions are sorted; count the suffix strictly after now
+    // (upper_bound over the ring by index).
+    std::size_t lo = 0, hi = out.size();
+    while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (out[mid] <= now)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return static_cast<std::uint32_t>(out.size() - lo);
 }
 
 Tick

@@ -21,11 +21,11 @@
 #define ZOMBIE_NAND_RESOURCE_MODEL_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "nand/geometry.hh"
 #include "nand/timing.hh"
+#include "util/ring.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -50,6 +50,15 @@ class ResourceModel
 
     /** Busy-until of a die by flat index (dynamic write allocation). */
     Tick dieFreeAtIndex(std::uint64_t die) const;
+
+    /**
+     * Raw view of the per-die busy-until table, one entry per die in
+     * flat die order. The table is sized at construction and never
+     * reallocates, so the pointer stays valid for the model's
+     * lifetime; the BlockManager reads it directly on the write
+     * allocation path instead of probing through a std::function.
+     */
+    const Tick *dieBusyTable() const { return dieBusyUntil.data(); }
 
     /**
      * Pending-queue accounting (admission backlog signals). The
@@ -98,9 +107,10 @@ class ResourceModel
      * Per-die completion ticks of outstanding ops, sorted (die ops
      * serialize, so completions arrive in nondecreasing order); the
      * front is pruned at each issue against the new op's issue
-     * point.
+     * point. Flat rings: the sliding window stops exercising the
+     * allocator once each ring reaches its backlog high-water mark.
      */
-    std::vector<std::deque<Tick>> dieOutstanding;
+    std::vector<RingBuffer<Tick>> dieOutstanding;
     std::uint64_t maxBacklog = 0;
 };
 

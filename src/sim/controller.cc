@@ -8,14 +8,14 @@ namespace zombie
 {
 
 FlashIssue
-FlashScheduler::issue(const HostOpResult &result, Tick t)
+FlashScheduler::issue(const FlashStepBuffer &steps, Tick t)
 {
     // User steps chain: a command's next step starts no earlier than
     // the previous step's completion, including completions served
     // from controller RAM.
     Tick step_start = t;
     Tick completion = t;
-    for (const FlashStep &step : result.userSteps) {
+    for (const FlashStep &step : steps.userSteps) {
         if (step.op == FlashOp::Read && readCache.access(step.ppn)) {
             completion = step_start + res.timing().cacheHit;
         } else {
@@ -31,7 +31,7 @@ FlashScheduler::issue(const HostOpResult &result, Tick t)
     // behind the collection. Steps on one die serialize through its
     // busy-until in issue order; planes collect in parallel.
     Tick gc_tail = completion;
-    for (const FlashStep &step : result.gcSteps) {
+    for (const FlashStep &step : steps.gcSteps) {
         if (step.op == FlashOp::Program)
             readCache.invalidate(step.ppn);
         gc_tail = std::max(gc_tail,
@@ -48,6 +48,19 @@ Controller::Controller(const SsdConfig &config, Ftl &ftl_,
       ctxFreeAt(std::max<std::uint32_t>(1, config.queueDepth), 0)
 {
     zombie_assert(depth >= 1, "controller needs at least one tag");
+    engine.setSink(this);
+    inDispatch.reserve(depth);
+    // Completion tags free at dispatch, so flash completions stream
+    // out-of-order without a queue-depth bound: the reorder window
+    // is limited only by how much work the dies can hold. Reserve
+    // for a GC-heavy backlog up front (a deeper window would merely
+    // regrow the heap, costing an allocation, not correctness).
+    completedAhead.reserve(std::max<std::size_t>(
+        8192, 2ul * depth));
+    // Scratch high-water: one user step plus, in the worst (survival
+    // mode) case, a whole victim block of relocation reads/programs
+    // and the closing erase — per plane that drained this command.
+    steps.reserve(2, 2 * cfg.geom.pagesPerBlock() + 8);
 }
 
 void
@@ -55,11 +68,55 @@ Controller::submit(const TraceRecord &rec)
 {
     if (submitted == 0)
         cstats.firstArrival = rec.arrival;
-    const HostCommand cmd{rec, submitted++};
-    engine.schedule(rec.arrival, [this, cmd](Tick now) {
-        queue.push(cmd);
+    arrivals.push_back(HostCommand{rec, submitted++});
+    // Keep the event heap ahead of its worst-case occupancy: one
+    // HostArrival per outstanding submission plus a few in-flight
+    // events (dispatch, flash, GC tail) per tag. Growing by doubling
+    // here — where occupancy actually grows — makes the heap's
+    // capacity a function of the submission high-water mark alone,
+    // so replaying an identical trace never regrows it mid-run.
+    const std::size_t need = arrivals.size() + 4ul * depth + 16;
+    if (need > eventReserve) {
+        eventReserve = std::max(need, 2 * eventReserve);
+        engine.reserve(eventReserve);
+    }
+    engine.schedule(rec.arrival, EventKind::HostArrival);
+}
+
+void
+Controller::event(Tick now, EventKind kind, std::uint32_t ctx,
+                  std::uint64_t arg)
+{
+    switch (kind) {
+      case EventKind::HostArrival: {
+        // Arrivals fire in submission order: pull the next command.
+        queue.push(arrivals.front());
+        arrivals.pop_front();
         tryDispatch(now);
-    });
+        break;
+      }
+      case EventKind::Admit:
+        // Explicit admission retry; the pipeline itself retries at
+        // each dispatch-done, so only external nudges schedule this.
+        tryDispatch(now);
+        break;
+      case EventKind::DispatchDone: {
+        const HostCommand cmd = inDispatch[ctx];
+        inDispatch.release(ctx);
+        onDispatched(cmd, now);
+        break;
+      }
+      case EventKind::FlashDone:
+        onCompletion(arg);
+        break;
+      case EventKind::GcTail:
+        // Background GC chain drained. Its completion was already
+        // folded into lastCompletion when the steps were issued; the
+        // event marks the drain point in the schedule.
+        break;
+      default:
+        zombie_panic("controller received unknown event kind");
+    }
 }
 
 void
@@ -76,9 +133,10 @@ Controller::tryDispatch(Tick now)
             return; // every tag busy; retried at next dispatch-done
         const HostCommand cmd = queue.pop(now);
         ctxFreeAt[best] = now + cfg.timing.ftlOverhead;
-        engine.schedule(ctxFreeAt[best], [this, cmd](Tick when) {
-            onDispatched(cmd, when);
-        });
+        const std::uint32_t slot = inDispatch.acquire();
+        inDispatch[slot] = cmd;
+        engine.schedule(ctxFreeAt[best], EventKind::DispatchDone,
+                        slot);
     }
 }
 
@@ -93,10 +151,13 @@ Controller::onDispatched(const HostCommand &cmd, Tick now)
 
     // Dispatch-done events preserve submission order, so the FTL's
     // state transitions stay in trace order at every queue depth.
-    const HostOpResult result = cmd.rec.isWrite()
-                                    ? ftl.write(cmd.rec.lpn, cmd.rec.fp)
-                                    : ftl.read(cmd.rec.lpn);
-    const FlashIssue issued = flash.issue(result, t);
+    // The step scratch is reused across commands (cleared by the
+    // FTL, capacity kept).
+    const HostOpResult result =
+        cmd.rec.isWrite() ? ftl.write(cmd.rec.lpn, cmd.rec.fp, steps)
+                          : ftl.read(cmd.rec.lpn, steps);
+    (void)result;
+    const FlashIssue issued = flash.issue(steps, t);
 
     cstats.lastCompletion =
         std::max(cstats.lastCompletion,
@@ -112,9 +173,10 @@ Controller::onDispatched(const HostCommand &cmd, Tick now)
     }
     cstats.allLatency.record(latency);
 
-    const std::uint64_t idx = cmd.idx;
-    engine.schedule(issued.completion,
-                    [this, idx](Tick) { onCompletion(idx); });
+    engine.schedule(issued.completion, EventKind::FlashDone, 0,
+                    cmd.idx);
+    if (issued.gcTail > issued.completion)
+        engine.schedule(issued.gcTail, EventKind::GcTail);
 
     // This command's tag is free again: admit the next waiter.
     tryDispatch(now);
@@ -127,15 +189,20 @@ Controller::onCompletion(std::uint64_t idx)
     if (idx == nextInOrder) {
         ++nextInOrder;
         while (!completedAhead.empty() &&
-               completedAhead.top() == nextInOrder) {
+               completedAhead.front() == nextInOrder) {
             ++nextInOrder;
-            completedAhead.pop();
+            std::pop_heap(completedAhead.begin(),
+                          completedAhead.end(),
+                          std::greater<std::uint64_t>());
+            completedAhead.pop_back();
         }
     } else {
         // An earlier-submitted command is still in flight on a
         // slower die: this completion overtook it.
         ++cstats.oooCompletions;
-        completedAhead.push(idx);
+        completedAhead.push_back(idx);
+        std::push_heap(completedAhead.begin(), completedAhead.end(),
+                       std::greater<std::uint64_t>());
     }
 }
 

@@ -25,6 +25,11 @@
  *     events. GC steps are charged at the triggering command's issue
  *     tick so collections pile onto their dies behind the host op.
  *
+ * The controller is the engine's EventSink: every scheduled event is
+ * a typed (kind, ctx, arg) record, and per-command state lives in a
+ * free-listed slab addressed by the ctx payload, so the steady-state
+ * request path allocates nothing (DESIGN.md section 7.10).
+ *
  * At queueDepth 1 the pipeline degenerates to the historical
  * in-order dispatcher (one command in the controller at a time,
  * serialized on the FTL overhead) and reproduces its timing
@@ -35,8 +40,6 @@
 #define ZOMBIE_SIM_CONTROLLER_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "ftl/ftl.hh"
@@ -45,6 +48,8 @@
 #include "sim/event.hh"
 #include "sim/host_queue.hh"
 #include "sim/read_cache.hh"
+#include "util/ring.hh"
+#include "util/slab.hh"
 #include "util/stats.hh"
 
 namespace zombie
@@ -77,7 +82,7 @@ class FlashScheduler
     {
     }
 
-    FlashIssue issue(const HostOpResult &result, Tick t);
+    FlashIssue issue(const FlashStepBuffer &steps, Tick t);
 
   private:
     ResourceModel &res;
@@ -102,7 +107,7 @@ struct ControllerStats
 };
 
 /** The controller pipeline servicing one drive's host stream. */
-class Controller
+class Controller : public EventSink
 {
   public:
     Controller(const SsdConfig &config, Ftl &ftl,
@@ -118,6 +123,10 @@ class Controller
     /** Run the engine until every submitted command completed. */
     void drain();
 
+    /** Typed-event dispatch (EventSink). */
+    void event(Tick now, EventKind kind, std::uint32_t ctx,
+               std::uint64_t arg) override;
+
     const ControllerStats &stats() const { return cstats; }
     const HostQueueStats &hostStats() const { return queue.stats(); }
     std::uint32_t queueDepth() const { return depth; }
@@ -126,7 +135,6 @@ class Controller
     std::uint64_t outstanding() const { return submitted - completed; }
 
   private:
-    void onArrival(Tick now);
     void tryDispatch(Tick now);
     void onDispatched(const HostCommand &cmd, Tick now);
     void onCompletion(std::uint64_t idx);
@@ -142,8 +150,28 @@ class Controller
     /** Busy-until tick of each dispatch context (command tag). */
     std::vector<Tick> ctxFreeAt;
 
+    /**
+     * Commands submitted but not yet arrived. HostArrival events fire
+     * in submission order (arrivals are nondecreasing and the engine
+     * tie-breaks FIFO), so a ring replaces per-event captures.
+     */
+    RingBuffer<HostCommand> arrivals;
+
+    /**
+     * Commands between admission and dispatch-done, addressed by the
+     * slab index carried in the DispatchDone event's ctx payload.
+     * At most `depth` slots ever exist.
+     */
+    Slab<HostCommand> inDispatch;
+
+    /** Reusable scratch the FTL fills per command (clear, not free). */
+    FlashStepBuffer steps;
+
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
+
+    /** Event-heap capacity already requested (doubling growth). */
+    std::size_t eventReserve = 0;
 
     /**
      * Out-of-order completion tracking. The drain only ever consumes
@@ -151,9 +179,7 @@ class Controller
      * set (no per-node allocation, cache-friendly array).
      */
     std::uint64_t nextInOrder = 0;
-    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
-                        std::greater<std::uint64_t>>
-        completedAhead;
+    std::vector<std::uint64_t> completedAhead; //!< min-heap
 
     ControllerStats cstats;
 };

@@ -1,6 +1,6 @@
 #include "sim/event.hh"
 
-#include <utility>
+#include <algorithm>
 
 #include "util/logging.hh"
 
@@ -8,25 +8,27 @@ namespace zombie
 {
 
 void
-EventEngine::schedule(Tick when, Handler handler)
+EventEngine::schedule(Tick when, EventKind kind, std::uint32_t ctx,
+                      std::uint64_t arg)
 {
     zombie_assert(when >= current,
                   "event scheduled in the past (", when, " < ",
                   current, ")");
-    heap.push(Item{when, nextSeq++, std::move(handler)});
+    heap.push_back(Event{when, nextSeq++, arg, ctx, kind});
+    std::push_heap(heap.begin(), heap.end(), later);
 }
 
 void
 EventEngine::step()
 {
     zombie_assert(!heap.empty(), "step() on an empty event queue");
-    // priority_queue::top() is const; the handler is moved out before
-    // pop, which is safe because the heap is not reordered by reads.
-    Item item = std::move(const_cast<Item &>(heap.top()));
-    heap.pop();
-    current = item.when;
+    zombie_assert(target, "step() with no event sink attached");
+    std::pop_heap(heap.begin(), heap.end(), later);
+    const Event ev = heap.back();
+    heap.pop_back();
+    current = ev.when;
     ++fired;
-    item.fn(item.when);
+    target->event(ev.when, ev.kind, ev.ctx, ev.arg);
 }
 
 void
@@ -39,7 +41,7 @@ EventEngine::run()
 void
 EventEngine::runUntil(Tick until)
 {
-    while (!heap.empty() && heap.top().when <= until)
+    while (!heap.empty() && heap.front().when <= until)
         step();
     current = std::max(current, until);
 }
@@ -48,7 +50,7 @@ Tick
 EventEngine::nextAt() const
 {
     zombie_assert(!heap.empty(), "nextAt() on an empty event queue");
-    return heap.top().when;
+    return heap.front().when;
 }
 
 } // namespace zombie

@@ -3,11 +3,18 @@
  * Deterministic discrete-event engine for the controller pipeline.
  *
  * The simulator's timing layer is event-driven: host arrivals,
- * dispatch completions and flash completions are handlers scheduled
- * at absolute ticks. Events fire in tick order; events that share a
+ * dispatch completions and flash completions are events scheduled at
+ * absolute ticks. Events fire in tick order; events that share a
  * tick fire in the order they were scheduled (a stable FIFO
  * tie-break via a monotone sequence number), so a run is a pure
  * function of the inputs and same-seed runs stay byte-identical.
+ *
+ * Events are typed and POD-sized: a tagged EventKind plus a small
+ * fixed payload (context index, argument), dispatched to a single
+ * EventSink. The heap is a flat vector of these records, so the
+ * engine performs zero heap allocations once the queue has reached
+ * its high-water mark — no std::function captures, no per-event
+ * nodes (DESIGN.md section 7.10).
  *
  * Handlers may schedule further events at or after the tick being
  * dispatched; scheduling strictly in the past is a model bug and
@@ -18,8 +25,6 @@
 #define ZOMBIE_SIM_EVENT_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/types.hh"
@@ -27,14 +32,37 @@
 namespace zombie
 {
 
-/** Tick-ordered event queue with stable FIFO tie-breaking. */
+/** What a scheduled event means to the sink that receives it. */
+enum class EventKind : std::uint8_t
+{
+    HostArrival,  //!< A trace record reaches the host queue.
+    Admit,        //!< Retry admission from the host queue.
+    DispatchDone, //!< FTL overhead elapsed; issue to flash.
+    FlashDone,    //!< User-visible flash completion.
+    GcTail,       //!< Background GC chain drains (bookkeeping only).
+};
+
+/** Receiver of dispatched events (the controller, or a test). */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    /** Handle one event at @p now with its fixed payload. */
+    virtual void event(Tick now, EventKind kind, std::uint32_t ctx,
+                       std::uint64_t arg) = 0;
+};
+
+/** Tick-ordered typed event queue with stable FIFO tie-breaking. */
 class EventEngine
 {
   public:
-    using Handler = std::function<void(Tick)>;
+    /** Route all dispatched events to @p sink (not owned). */
+    void setSink(EventSink *sink) { target = sink; }
 
-    /** Enqueue @p handler to fire at @p when (>= now()). */
-    void schedule(Tick when, Handler handler);
+    /** Enqueue @p kind at @p when (>= now()) with its payload. */
+    void schedule(Tick when, EventKind kind, std::uint32_t ctx = 0,
+                  std::uint64_t arg = 0);
 
     /** Fire the earliest pending event. Panics when empty. */
     void step();
@@ -44,6 +72,9 @@ class EventEngine
 
     /** Fire events up to and including @p until. */
     void runUntil(Tick until);
+
+    /** Pre-size the heap so steady state never reallocates. */
+    void reserve(std::size_t n) { heap.reserve(n); }
 
     bool empty() const { return heap.empty(); }
     std::size_t pending() const { return heap.size(); }
@@ -58,26 +89,27 @@ class EventEngine
     std::uint64_t dispatched() const { return fired; }
 
   private:
-    struct Item
+    /** One scheduled event: POD, lives inline in the heap vector. */
+    struct Event
     {
         Tick when;
         std::uint64_t seq;
-        Handler fn;
+        std::uint64_t arg;
+        std::uint32_t ctx;
+        EventKind kind;
     };
 
     /** Min-heap order: earliest tick first, then schedule order. */
-    struct Later
+    static bool
+    later(const Event &a, const Event &b)
     {
-        bool
-        operator()(const Item &a, const Item &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
 
-    std::priority_queue<Item, std::vector<Item>, Later> heap;
+    std::vector<Event> heap;
+    EventSink *target = nullptr;
     Tick current = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t fired = 0;

@@ -18,9 +18,9 @@
 #define ZOMBIE_SIM_HOST_QUEUE_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "trace/record.hh"
+#include "util/ring.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -53,7 +53,11 @@ struct HostQueueStats
     double meanAdmissionWaitUs() const;
 };
 
-/** FIFO of submitted-but-not-yet-admitted commands. */
+/**
+ * FIFO of submitted-but-not-yet-admitted commands. Ring-backed so
+ * the steady-state push/pop cycle stays off the heap (the ring grows
+ * only to the backlog's high-water mark).
+ */
 class HostQueue
 {
   public:
@@ -70,7 +74,7 @@ class HostQueue
     const HostQueueStats &stats() const { return qstats; }
 
   private:
-    std::deque<HostCommand> fifo;
+    RingBuffer<HostCommand> fifo;
     HostQueueStats qstats;
 };
 

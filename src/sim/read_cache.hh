@@ -9,14 +9,22 @@
  * benefit of the removed writes. The cache is keyed by PPN — valid
  * flash pages are immutable (no write-in-place), so an entry only
  * needs invalidating when its page is reprogrammed after an erase.
+ *
+ * Exact LRU over flat storage: an intrusive doubly-linked list
+ * threaded through a fixed node array, indexed by an open-addressed
+ * (linear probe, backward-shift delete) hash table. Everything is
+ * sized at construction, so the per-access path — on the controller
+ * hot loop for every read and every program — never touches the
+ * heap. Hit/miss/eviction order is identical to the classic
+ * list+map formulation: it depends only on the access sequence,
+ * never on hash layout.
  */
 
 #ifndef ZOMBIE_SIM_READ_CACHE_HH
 #define ZOMBIE_SIM_READ_CACHE_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "util/types.hh"
 
@@ -45,7 +53,7 @@ class ReadCache
 {
   public:
     /** @param capacity entries (pages); 0 disables the cache. */
-    explicit ReadCache(std::uint64_t capacity) : cap(capacity) {}
+    explicit ReadCache(std::uint64_t capacity);
 
     bool enabled() const { return cap > 0; }
 
@@ -59,14 +67,44 @@ class ReadCache
     /** Drop @p ppn (its flash page was reprogrammed). */
     void invalidate(Ppn ppn);
 
-    std::uint64_t size() const { return index.size(); }
+    std::uint64_t size() const { return used; }
     std::uint64_t capacity() const { return cap; }
     const ReadCacheStats &stats() const { return cstats; }
 
   private:
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+    /** One cache entry; list links are node-array indices. */
+    struct Node
+    {
+        Ppn ppn = 0;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+    };
+
+    std::uint64_t slotOf(Ppn ppn) const;
+
+    /** Table slot holding @p ppn, or kNil. */
+    std::uint32_t findSlot(Ppn ppn) const;
+
+    void tableInsert(Ppn ppn, std::uint32_t node);
+    void tableErase(std::uint32_t slot);
+
+    void listDetach(std::uint32_t node);
+    void listPushBack(std::uint32_t node);
+
     std::uint64_t cap;
-    std::list<Ppn> lru; //!< front = LRU victim, back = most recent
-    std::unordered_map<Ppn, std::list<Ppn>::iterator> index;
+    std::uint64_t used = 0;
+
+    std::vector<Node> nodes;              //!< cap entries
+    std::vector<std::uint32_t> freeNodes; //!< unused node indices
+    std::uint32_t head = kNil;            //!< LRU victim
+    std::uint32_t tail = kNil;            //!< most recently used
+
+    std::vector<std::uint32_t> table; //!< slot -> node index or kNil
+    std::uint64_t mask = 0;
+    unsigned shift = 0;
+
     ReadCacheStats cstats;
 };
 

@@ -152,10 +152,10 @@ Ssd::Ssd(SsdConfig config)
         ftl_.attachDedup(store.get());
 
     // Dynamic write allocation: steer host writes toward idle dies.
-    const std::uint32_t planes_per_die = cfg.geom.planesPerDie();
-    ftl_.setPlaneLoadProbe([this, planes_per_die](std::uint64_t plane) {
-        return resources.dieFreeAtIndex(plane / planes_per_die);
-    });
+    // The raw busy-until view avoids a std::function probe call per
+    // plane per write; it reads the same table dieFreeAtIndex serves.
+    ftl_.setDieLoadView(resources.dieBusyTable(),
+                        cfg.geom.planesPerDie());
 }
 
 void
@@ -165,10 +165,11 @@ Ssd::prefill()
                   "prefill must run once, before any request");
     const auto target = static_cast<std::uint64_t>(
         cfg.prefillFraction * static_cast<double>(cfg.logicalPages));
+    FlashStepBuffer scratch; // untimed: the steps are discarded
     for (std::uint64_t lpn = 0; lpn < target; ++lpn) {
         const Fingerprint fp =
             Fingerprint::fromValueId(kPrefillIdBase | lpn);
-        ftl_.write(lpn, fp);
+        ftl_.write(lpn, fp, scratch);
     }
     prefilled = true;
 }
@@ -241,6 +242,7 @@ Ssd::result()
     r.hostQueue = controller_.hostStats();
     r.oooCompletions = cs.oooCompletions;
     r.maxDieBacklog = resources.maxDieBacklog();
+    r.events = engine.dispatched();
 
     r.wear = ftl_.wearSummary();
     r.readCache = cache.stats();

@@ -71,6 +71,13 @@ struct SimResult
     std::uint64_t oooCompletions = 0;
     std::uint64_t maxDieBacklog = 0;
 
+    /**
+     * Engine events dispatched over the run (harness-throughput side
+     * channel; deliberately absent from toStatSet so pinned stdout
+     * tables stay byte-identical across engine changes).
+     */
+    std::uint64_t events = 0;
+
     /** Erase-count statistics at end of run (device lifetime). */
     WearSummary wear;
 

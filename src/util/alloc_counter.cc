@@ -1,0 +1,96 @@
+#include "util/alloc_counter.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace
+{
+
+std::atomic<std::uint64_t> allocCalls{0};
+
+void *
+countedAlloc(std::size_t bytes)
+{
+    allocCalls.fetch_add(1, std::memory_order_relaxed);
+    // operator new must not return nullptr even for zero bytes.
+    void *p = std::malloc(bytes ? bytes : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+} // namespace
+
+namespace zombie
+{
+
+std::uint64_t
+heapAllocCount()
+{
+    return allocCalls.load(std::memory_order_relaxed);
+}
+
+} // namespace zombie
+
+void *
+operator new(std::size_t bytes)
+{
+    return countedAlloc(bytes);
+}
+
+void *
+operator new[](std::size_t bytes)
+{
+    return countedAlloc(bytes);
+}
+
+void *
+operator new(std::size_t bytes, const std::nothrow_t &) noexcept
+{
+    allocCalls.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(bytes ? bytes : 1);
+}
+
+void *
+operator new[](std::size_t bytes, const std::nothrow_t &) noexcept
+{
+    allocCalls.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(bytes ? bytes : 1);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Global heap-allocation counter.
+ *
+ * When linked into a binary, util/alloc_counter.cc replaces the
+ * global operator new/delete with counting forwarders. The counter
+ * lets the allocation regression test and the --wall-json side
+ * channel prove that the steady-state request path performs zero
+ * heap allocations (DESIGN.md section 7.10).
+ *
+ * Counting is always-on but nearly free (one relaxed atomic add per
+ * allocation); it never changes allocation behaviour or simulated
+ * results.
+ */
+
+#ifndef ZOMBIE_UTIL_ALLOC_COUNTER_HH
+#define ZOMBIE_UTIL_ALLOC_COUNTER_HH
+
+#include <cstdint>
+
+namespace zombie
+{
+
+/** Total operator-new calls in this process so far. */
+std::uint64_t heapAllocCount();
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_ALLOC_COUNTER_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Flat FIFO ring buffer for hot-path queues.
+ *
+ * std::deque allocates and frees a chunk every few dozen elements as
+ * the window slides, which puts the allocator on the steady-state
+ * request path (host queue, per-die outstanding-op windows). This
+ * ring keeps one contiguous power-of-two array: push/pop move head
+ * and tail indices, capacity only ever grows (to the high-water mark
+ * of the queue), and after warm-up no operation allocates.
+ *
+ * Growth relinearizes the live window into the new array, so logical
+ * order (front .. back) is preserved exactly; behaviour is a pure
+ * function of the push/pop sequence, keeping seeded runs
+ * byte-identical.
+ */
+
+#ifndef ZOMBIE_UTIL_RING_HH
+#define ZOMBIE_UTIL_RING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+/** Grow-only FIFO over a contiguous power-of-two buffer. */
+template <typename T>
+class RingBuffer
+{
+  public:
+    RingBuffer() = default;
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+    std::size_t capacity() const { return buf.size(); }
+
+    /** Ensure room for @p n elements without further allocation. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > buf.size())
+            regrow(roundUp(n));
+    }
+
+    /** Element @p i positions behind the front (0 = front). */
+    const T &
+    operator[](std::size_t i) const
+    {
+        zombie_assert(i < count, "ring index out of range");
+        return buf[(head + i) & mask];
+    }
+
+    const T &
+    front() const
+    {
+        zombie_assert(count > 0, "front() on an empty ring");
+        return buf[head];
+    }
+
+    void
+    push_back(const T &value)
+    {
+        if (count == buf.size())
+            regrow(buf.empty() ? kMinCapacity : buf.size() * 2);
+        buf[(head + count) & mask] = value;
+        ++count;
+    }
+
+    void
+    pop_front()
+    {
+        zombie_assert(count > 0, "pop_front() on an empty ring");
+        head = (head + 1) & mask;
+        --count;
+    }
+
+    void
+    clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 8;
+
+    static std::size_t
+    roundUp(std::size_t n)
+    {
+        std::size_t p = kMinCapacity;
+        while (p < n)
+            p *= 2;
+        return p;
+    }
+
+    void
+    regrow(std::size_t new_capacity)
+    {
+        std::vector<T> next(new_capacity);
+        for (std::size_t i = 0; i < count; ++i)
+            next[i] = buf[(head + i) & mask];
+        buf = std::move(next);
+        head = 0;
+        mask = buf.size() - 1;
+    }
+
+    std::vector<T> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    std::size_t mask = 0;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_RING_HH

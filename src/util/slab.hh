@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Free-listed, index-addressed object slab.
+ *
+ * Pools per-command state so the steady-state request path never
+ * allocates: acquire() pops the lowest-water free slot (or grows the
+ * backing vector during warm-up), release() pushes it back. Slots
+ * are addressed by dense uint32 index, which is what the typed event
+ * payload carries instead of heap-allocated lambda captures.
+ *
+ * The free list is LIFO over indices, so the acquire/release
+ * sequence alone determines which index a command gets; no pointer
+ * values or allocator state leak into behaviour, keeping seeded runs
+ * byte-identical.
+ */
+
+#ifndef ZOMBIE_UTIL_SLAB_HH
+#define ZOMBIE_UTIL_SLAB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+/** Grow-only pool of T addressed by dense index. */
+template <typename T>
+class Slab
+{
+  public:
+    /** Pop a free slot, growing the slab only when none is free. */
+    std::uint32_t
+    acquire()
+    {
+        if (!freeList.empty()) {
+            const std::uint32_t idx = freeList.back();
+            freeList.pop_back();
+            return idx;
+        }
+        const auto idx = static_cast<std::uint32_t>(slots.size());
+        slots.emplace_back();
+        return idx;
+    }
+
+    /** Return @p idx to the free list; the slot value persists. */
+    void
+    release(std::uint32_t idx)
+    {
+        zombie_assert(idx < slots.size(), "slab release out of range");
+        freeList.push_back(idx);
+    }
+
+    /** Pre-size both the slots and the free-list spine. */
+    void
+    reserve(std::size_t n)
+    {
+        slots.reserve(n);
+        freeList.reserve(n);
+    }
+
+    T &operator[](std::uint32_t idx) { return slots[idx]; }
+    const T &operator[](std::uint32_t idx) const { return slots[idx]; }
+
+    std::size_t size() const { return slots.size(); }
+    std::size_t freeCount() const { return freeList.size(); }
+
+  private:
+    std::vector<T> slots;
+    std::vector<std::uint32_t> freeList;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_SLAB_HH

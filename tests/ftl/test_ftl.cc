@@ -45,18 +45,31 @@ struct Rig
         }
     }
 
+    HostOpResult
+    write(Lpn lpn, const Fingerprint &f)
+    {
+        return ftl.write(lpn, f, steps);
+    }
+
+    HostOpResult
+    read(Lpn lpn)
+    {
+        return ftl.read(lpn, steps);
+    }
+
     FlashArray flash;
     Ftl ftl;
+    FlashStepBuffer steps;
     std::unique_ptr<MqDvp> pool;
 };
 
 TEST(Ftl, FirstWriteProgramsOnePage)
 {
     Rig rig(false);
-    const HostOpResult r = rig.ftl.write(0, fp(1));
+    const HostOpResult r = rig.write(0, fp(1));
     EXPECT_FALSE(r.shortCircuit);
-    ASSERT_EQ(r.userSteps.size(), 1u);
-    EXPECT_EQ(r.userSteps[0].op, FlashOp::Program);
+    ASSERT_EQ(rig.steps.userSteps.size(), 1u);
+    EXPECT_EQ(rig.steps.userSteps[0].op, FlashOp::Program);
     EXPECT_TRUE(rig.ftl.mapping().isMapped(0));
     EXPECT_EQ(rig.ftl.stats().programs, 1u);
 }
@@ -64,9 +77,9 @@ TEST(Ftl, FirstWriteProgramsOnePage)
 TEST(Ftl, UpdateInvalidatesOldPage)
 {
     Rig rig(false);
-    rig.ftl.write(0, fp(1));
+    rig.write(0, fp(1));
     const Ppn old = rig.ftl.mapping().ppnOf(0);
-    rig.ftl.write(0, fp(2));
+    rig.write(0, fp(2));
     EXPECT_EQ(rig.flash.state(old), PageState::Invalid);
     EXPECT_NE(rig.ftl.mapping().ppnOf(0), old);
     EXPECT_EQ(rig.flash.counters().invalidations, 1u);
@@ -75,20 +88,20 @@ TEST(Ftl, UpdateInvalidatesOldPage)
 TEST(Ftl, ReadReturnsMappedPage)
 {
     Rig rig(false);
-    rig.ftl.write(5, fp(9));
-    const HostOpResult r = rig.ftl.read(5);
+    rig.write(5, fp(9));
+    const HostOpResult r = rig.read(5);
     EXPECT_TRUE(r.ok);
-    ASSERT_EQ(r.userSteps.size(), 1u);
-    EXPECT_EQ(r.userSteps[0].op, FlashOp::Read);
-    EXPECT_EQ(r.userSteps[0].ppn, rig.ftl.mapping().ppnOf(5));
+    ASSERT_EQ(rig.steps.userSteps.size(), 1u);
+    EXPECT_EQ(rig.steps.userSteps[0].op, FlashOp::Read);
+    EXPECT_EQ(rig.steps.userSteps[0].ppn, rig.ftl.mapping().ppnOf(5));
 }
 
 TEST(Ftl, ReadOfUnmappedLpnFailsGracefully)
 {
     Rig rig(false);
-    const HostOpResult r = rig.ftl.read(7);
+    const HostOpResult r = rig.read(7);
     EXPECT_FALSE(r.ok);
-    EXPECT_TRUE(r.userSteps.empty());
+    EXPECT_TRUE(rig.steps.userSteps.empty());
     EXPECT_EQ(rig.ftl.stats().unmappedReads, 1u);
 }
 
@@ -98,12 +111,12 @@ TEST(Ftl, SameContentRewriteRevivesOwnGarbage)
     // to the same LPN invalidates the old copy and immediately
     // revives it from the dead-value pool.
     Rig rig(true);
-    rig.ftl.write(0, fp(1));
+    rig.write(0, fp(1));
     const Ppn original = rig.ftl.mapping().ppnOf(0);
-    const HostOpResult r = rig.ftl.write(0, fp(1));
+    const HostOpResult r = rig.write(0, fp(1));
     EXPECT_TRUE(r.shortCircuit);
     EXPECT_TRUE(r.dvpRevival);
-    EXPECT_TRUE(r.userSteps.empty());
+    EXPECT_TRUE(rig.steps.userSteps.empty());
     EXPECT_EQ(rig.ftl.mapping().ppnOf(0), original);
     EXPECT_EQ(rig.flash.state(original), PageState::Valid);
     EXPECT_EQ(rig.ftl.stats().dvpRevivals, 1u);
@@ -115,12 +128,12 @@ TEST(Ftl, CrossLpnRebirthIsRecycled)
     // scenario. The physical page moves between logical owners with
     // no program.
     Rig rig(true);
-    rig.ftl.write(0, fp(42));
+    rig.write(0, fp(42));
     const Ppn page = rig.ftl.mapping().ppnOf(0);
-    rig.ftl.write(0, fp(43)); // value 42 dies
+    rig.write(0, fp(43)); // value 42 dies
     ASSERT_EQ(rig.flash.state(page), PageState::Invalid);
 
-    const HostOpResult r = rig.ftl.write(1, fp(42)); // rebirth
+    const HostOpResult r = rig.write(1, fp(42)); // rebirth
     EXPECT_TRUE(r.dvpRevival);
     EXPECT_EQ(rig.ftl.mapping().ppnOf(1), page);
     EXPECT_EQ(rig.flash.state(page), PageState::Valid);
@@ -130,17 +143,17 @@ TEST(Ftl, CrossLpnRebirthIsRecycled)
 TEST(Ftl, RevivalUpdatesPopularityByte)
 {
     Rig rig(true);
-    rig.ftl.write(0, fp(1));
-    rig.ftl.write(0, fp(1)); // revival #1: pop 1 -> 2
-    rig.ftl.write(0, fp(1)); // revival #2: pop 2 -> 3
+    rig.write(0, fp(1));
+    rig.write(0, fp(1)); // revival #1: pop 1 -> 2
+    rig.write(0, fp(1)); // revival #2: pop 2 -> 3
     EXPECT_EQ(rig.ftl.mapping().popularity(0), 3);
 }
 
 TEST(Ftl, BaselineNeverShortCircuits)
 {
     Rig rig(false);
-    rig.ftl.write(0, fp(1));
-    const HostOpResult r = rig.ftl.write(0, fp(1));
+    rig.write(0, fp(1));
+    const HostOpResult r = rig.write(0, fp(1));
     EXPECT_FALSE(r.shortCircuit);
     EXPECT_EQ(rig.ftl.stats().dvpRevivals, 0u);
 }
@@ -151,7 +164,7 @@ TEST(Ftl, WritesTriggerGcUnderPressure)
     Xoshiro256 rng(3);
     // Hammer updates into a small logical space until GC must run.
     for (int i = 0; i < 400; ++i)
-        rig.ftl.write(rng.nextBounded(40), fp(1000 + i));
+        rig.write(rng.nextBounded(40), fp(1000 + i));
     EXPECT_GT(rig.ftl.stats().gcInvocations, 0u);
     EXPECT_GT(rig.flash.counters().erases, 0u);
     EXPECT_GT(rig.ftl.stats().gcRelocations, 0u);
@@ -164,9 +177,8 @@ TEST(Ftl, GcStepsComeInReadProgramPairsPlusErase)
     Xoshiro256 rng(4);
     std::uint64_t reads = 0, programs = 0, erases = 0;
     for (int i = 0; i < 600; ++i) {
-        const HostOpResult r =
-            rig.ftl.write(rng.nextBounded(40), fp(5000 + i));
-        for (const FlashStep &s : r.gcSteps) {
+        rig.write(rng.nextBounded(40), fp(5000 + i));
+        for (const FlashStep &s : rig.steps.gcSteps) {
             reads += s.op == FlashOp::Read;
             programs += s.op == FlashOp::Program;
             erases += s.op == FlashOp::Erase;
@@ -182,7 +194,7 @@ TEST(Ftl, GcEvictsPoolEntriesOfErasedPages)
     Rig rig(true);
     Xoshiro256 rng(5);
     for (int i = 0; i < 600; ++i)
-        rig.ftl.write(rng.nextBounded(40), fp(9000 + i));
+        rig.write(rng.nextBounded(40), fp(9000 + i));
     // Every value written once: no revivals possible, so any pool
     // shrinkage must come from GC erases.
     EXPECT_GT(rig.pool->stats().gcEvictions, 0u);
@@ -200,10 +212,10 @@ TEST(Ftl, ZombieRevivalReducesPrograms)
     for (int i = 0; i < 500; ++i) {
         const Lpn lpn_a = rng_a.nextBounded(40);
         const std::uint64_t v_a = rng_a.nextBounded(8);
-        base.ftl.write(lpn_a, fp(v_a));
+        base.write(lpn_a, fp(v_a));
         const Lpn lpn_b = rng_b.nextBounded(40);
         const std::uint64_t v_b = rng_b.nextBounded(8);
-        dvp.ftl.write(lpn_b, fp(v_b));
+        dvp.write(lpn_b, fp(v_b));
     }
     EXPECT_LT(static_cast<double>(dvp.ftl.stats().programs),
               0.6 * static_cast<double>(base.ftl.stats().programs));
@@ -220,9 +232,9 @@ TEST(Ftl, ConsistencyHoldsUnderRandomMixedWorkload)
     for (int i = 0; i < 3000; ++i) {
         const Lpn lpn = rng.nextBounded(40);
         if (rng.nextBool(0.7)) {
-            rig.ftl.write(lpn, fp(rng.nextBounded(30)));
+            rig.write(lpn, fp(rng.nextBounded(30)));
         } else {
-            rig.ftl.read(lpn);
+            rig.read(lpn);
         }
         if (i % 500 == 0)
             rig.ftl.checkConsistency();
@@ -237,7 +249,7 @@ TEST(Ftl, ConsistencyHoldsUnderRandomMixedWorkload)
 TEST(Ftl, OwnersOfReportsSingleOwnerWithoutDedup)
 {
     Rig rig(false);
-    rig.ftl.write(3, fp(1));
+    rig.write(3, fp(1));
     const Ppn ppn = rig.ftl.mapping().ppnOf(3);
     const auto owners = rig.ftl.ownersOf(ppn);
     ASSERT_EQ(owners.size(), 1u);
@@ -248,7 +260,7 @@ TEST(Ftl, OwnersOfReportsSingleOwnerWithoutDedup)
 TEST(FtlDeath, WriteBeyondLogicalSpacePanics)
 {
     Rig rig(false);
-    EXPECT_DEATH(rig.ftl.write(40, fp(1)), "beyond logical");
+    EXPECT_DEATH(rig.write(40, fp(1)), "beyond logical");
 }
 
 TEST(FtlDeath, OversubscribedLogicalSpaceIsFatal)

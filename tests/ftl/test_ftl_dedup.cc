@@ -46,20 +46,33 @@ struct DedupRig
         }
     }
 
+    HostOpResult
+    write(Lpn lpn, const Fingerprint &f)
+    {
+        return ftl.write(lpn, f, steps);
+    }
+
+    HostOpResult
+    read(Lpn lpn)
+    {
+        return ftl.read(lpn, steps);
+    }
+
     FlashArray flash;
     FingerprintStore store;
     Ftl ftl;
+    FlashStepBuffer steps;
     std::unique_ptr<MqDvp> pool;
 };
 
 TEST(FtlDedup, DuplicateContentSharesOnePhysicalPage)
 {
     DedupRig rig(false);
-    rig.ftl.write(0, fp(7));
-    const HostOpResult r = rig.ftl.write(1, fp(7));
+    rig.write(0, fp(7));
+    const HostOpResult r = rig.write(1, fp(7));
     EXPECT_TRUE(r.shortCircuit);
     EXPECT_TRUE(r.dedupHit);
-    EXPECT_TRUE(r.userSteps.empty());
+    EXPECT_TRUE(rig.steps.userSteps.empty());
     EXPECT_EQ(rig.ftl.mapping().ppnOf(0), rig.ftl.mapping().ppnOf(1));
     EXPECT_EQ(rig.flash.counters().programs, 1u);
     EXPECT_EQ(rig.store.refCount(rig.ftl.mapping().ppnOf(0)), 2u);
@@ -68,9 +81,9 @@ TEST(FtlDedup, DuplicateContentSharesOnePhysicalPage)
 TEST(FtlDedup, OwnersListTracksAllSharers)
 {
     DedupRig rig(false);
-    rig.ftl.write(0, fp(7));
-    rig.ftl.write(1, fp(7));
-    rig.ftl.write(2, fp(7));
+    rig.write(0, fp(7));
+    rig.write(1, fp(7));
+    rig.write(2, fp(7));
     const auto owners = rig.ftl.ownersOf(rig.ftl.mapping().ppnOf(0));
     EXPECT_EQ(owners.size(), 3u);
 }
@@ -78,9 +91,9 @@ TEST(FtlDedup, OwnersListTracksAllSharers)
 TEST(FtlDedup, SameContentSameLpnIsPureNoOp)
 {
     DedupRig rig(false);
-    rig.ftl.write(0, fp(7));
+    rig.write(0, fp(7));
     const Ppn ppn = rig.ftl.mapping().ppnOf(0);
-    const HostOpResult r = rig.ftl.write(0, fp(7));
+    const HostOpResult r = rig.write(0, fp(7));
     EXPECT_TRUE(r.dedupHit);
     EXPECT_EQ(rig.ftl.mapping().ppnOf(0), ppn);
     EXPECT_EQ(rig.store.refCount(ppn), 1u);
@@ -90,15 +103,15 @@ TEST(FtlDedup, SameContentSameLpnIsPureNoOp)
 TEST(FtlDedup, PageBecomesGarbageOnlyAtLastReference)
 {
     DedupRig rig(false);
-    rig.ftl.write(0, fp(7));
-    rig.ftl.write(1, fp(7));
+    rig.write(0, fp(7));
+    rig.write(1, fp(7));
     const Ppn shared = rig.ftl.mapping().ppnOf(0);
 
-    rig.ftl.write(0, fp(8)); // drop one reference
+    rig.write(0, fp(8)); // drop one reference
     EXPECT_EQ(rig.flash.state(shared), PageState::Valid);
     EXPECT_EQ(rig.store.refCount(shared), 1u);
 
-    rig.ftl.write(1, fp(9)); // drop the last reference
+    rig.write(1, fp(9)); // drop the last reference
     EXPECT_EQ(rig.flash.state(shared), PageState::Invalid);
     EXPECT_EQ(rig.store.refCount(shared), 0u);
 }
@@ -106,10 +119,10 @@ TEST(FtlDedup, PageBecomesGarbageOnlyAtLastReference)
 TEST(FtlDedup, ReverseMapSurvivesPrimaryOwnerDeath)
 {
     DedupRig rig(false);
-    rig.ftl.write(0, fp(7));
-    rig.ftl.write(1, fp(7));
+    rig.write(0, fp(7));
+    rig.write(1, fp(7));
     const Ppn shared = rig.ftl.mapping().ppnOf(0);
-    rig.ftl.write(0, fp(8)); // primary owner leaves
+    rig.write(0, fp(8)); // primary owner leaves
     EXPECT_EQ(rig.ftl.mapping().lpnOf(shared), 1u);
     rig.ftl.checkConsistency();
 }
@@ -122,14 +135,14 @@ TEST(FtlDedup, DvpRevivesDeadDuplicateContent)
     DedupRig dedup_only(false), combined(true);
 
     for (DedupRig *rig : {&dedup_only, &combined}) {
-        rig->ftl.write(0, fp(7));
-        rig->ftl.write(0, fp(8)); // content 7 now garbage
+        rig->write(0, fp(7));
+        rig->write(0, fp(8)); // content 7 now garbage
     }
 
-    const HostOpResult r1 = dedup_only.ftl.write(1, fp(7));
+    const HostOpResult r1 = dedup_only.write(1, fp(7));
     EXPECT_FALSE(r1.shortCircuit); // dedup alone must program
 
-    const HostOpResult r2 = combined.ftl.write(1, fp(7));
+    const HostOpResult r2 = combined.write(1, fp(7));
     EXPECT_TRUE(r2.shortCircuit);
     EXPECT_TRUE(r2.dvpRevival);
     combined.ftl.checkConsistency();
@@ -138,10 +151,10 @@ TEST(FtlDedup, DvpRevivesDeadDuplicateContent)
 TEST(FtlDedup, RevivedPageRejoinsFingerprintStore)
 {
     DedupRig rig(true);
-    rig.ftl.write(0, fp(7));
-    rig.ftl.write(0, fp(8));           // 7 dies
-    rig.ftl.write(1, fp(7));           // revived
-    const HostOpResult r = rig.ftl.write(2, fp(7)); // dedup again!
+    rig.write(0, fp(7));
+    rig.write(0, fp(8));           // 7 dies
+    rig.write(1, fp(7));           // revived
+    const HostOpResult r = rig.write(2, fp(7)); // dedup again!
     EXPECT_TRUE(r.dedupHit);
     EXPECT_EQ(rig.ftl.mapping().ppnOf(1), rig.ftl.mapping().ppnOf(2));
 }
@@ -149,14 +162,14 @@ TEST(FtlDedup, RevivedPageRejoinsFingerprintStore)
 TEST(FtlDedup, GcRelocatesSharedPagesUpdatingAllOwners)
 {
     DedupRig rig(false);
-    rig.ftl.write(0, fp(100));
-    rig.ftl.write(1, fp(100));
-    rig.ftl.write(2, fp(100));
+    rig.write(0, fp(100));
+    rig.write(1, fp(100));
+    rig.write(2, fp(100));
 
     // Force GC by updating a window of other LPNs until erases occur.
     Xoshiro256 rng(11);
     for (int i = 0; i < 800; ++i)
-        rig.ftl.write(3 + rng.nextBounded(37), fp(1000 + i));
+        rig.write(3 + rng.nextBounded(37), fp(1000 + i));
     ASSERT_GT(rig.flash.counters().erases, 0u);
 
     // The shared content must still be intact and consistent.
@@ -173,7 +186,7 @@ TEST(FtlDedup, DedupReducesProgramsOnRedundantStream)
     DedupRig rig(false);
     Xoshiro256 rng(12);
     for (int i = 0; i < 500; ++i)
-        rig.ftl.write(rng.nextBounded(40), fp(rng.nextBounded(6)));
+        rig.write(rng.nextBounded(40), fp(rng.nextBounded(6)));
     // Only a handful of distinct values exist; programs must be a
     // small fraction of writes.
     EXPECT_LT(rig.ftl.stats().programs, 50u);
@@ -190,10 +203,10 @@ TEST(FtlDedup, CombinedSystemBeatsDedupAlone)
     for (int i = 0; i < 1500; ++i) {
         const Lpn la = rng_a.nextBounded(40);
         const std::uint64_t va = rng_a.nextBounded(40);
-        dedup_only.ftl.write(la, fp(va));
+        dedup_only.write(la, fp(va));
         const Lpn lb = rng_b.nextBounded(40);
         const std::uint64_t vb = rng_b.nextBounded(40);
-        combined.ftl.write(lb, fp(vb));
+        combined.write(lb, fp(vb));
     }
     EXPECT_LT(combined.ftl.stats().programs,
               dedup_only.ftl.stats().programs);
@@ -209,9 +222,9 @@ TEST(FtlDedup, MixedReadsAndWritesStayConsistent)
     for (int i = 0; i < 3000; ++i) {
         const Lpn lpn = rng.nextBounded(40);
         if (rng.nextBool(0.6))
-            rig.ftl.write(lpn, fp(rng.nextBounded(25)));
+            rig.write(lpn, fp(rng.nextBounded(25)));
         else
-            rig.ftl.read(lpn);
+            rig.read(lpn);
         if (i % 500 == 0)
             rig.ftl.checkConsistency();
     }

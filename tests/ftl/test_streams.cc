@@ -24,6 +24,14 @@ roomyGeom()
     return Geometry(1, 1, 1, 1, 16, 8);
 }
 
+/** Test-local write helper: a throwaway step buffer per call. */
+HostOpResult
+write(Ftl &ftl, Lpn lpn, const Fingerprint &f)
+{
+    FlashStepBuffer steps;
+    return ftl.write(lpn, f, steps);
+}
+
 FtlConfig
 separatedConfig()
 {
@@ -69,13 +77,13 @@ TEST(Streams, FrequentlyUpdatedLpnsMigrateToHotBlocks)
     // every write programs). With no DVP the popularity byte is reset
     // to 1 per write, so drive it above threshold via the mapping
     // table directly — the unit under test is the stream choice.
-    ftl.write(0, fp(1));
+    write(ftl, 0, fp(1));
     const Ppn cold_ppn = ftl.mapping().ppnOf(0);
 
     // Mark the LPN hot and update: the new page must land in a
     // different (hot) block.
     const_cast<MappingTable &>(ftl.mapping()).setPopularity(0, 10);
-    ftl.write(0, fp(2));
+    write(ftl, 0, fp(2));
     const Ppn hot_ppn = ftl.mapping().ppnOf(0);
     EXPECT_NE(flash.geometry().blockOfPpn(cold_ppn),
               flash.geometry().blockOfPpn(hot_ppn));
@@ -86,8 +94,8 @@ TEST(Streams, ColdWritesShareTheColdBlock)
 {
     FlashArray flash(roomyGeom());
     Ftl ftl(flash, separatedConfig());
-    ftl.write(0, fp(1));
-    ftl.write(1, fp(2));
+    write(ftl, 0, fp(1));
+    write(ftl, 1, fp(2));
     EXPECT_EQ(flash.geometry().blockOfPpn(ftl.mapping().ppnOf(0)),
               flash.geometry().blockOfPpn(ftl.mapping().ppnOf(1)));
 }
@@ -98,10 +106,10 @@ TEST(Streams, DisabledSeparationUsesOneUserStream)
     FtlConfig cfg = separatedConfig();
     cfg.hotColdSeparation = false;
     Ftl ftl(flash, cfg);
-    ftl.write(0, fp(1));
+    write(ftl, 0, fp(1));
     const_cast<MappingTable &>(ftl.mapping()).setPopularity(0, 10);
-    ftl.write(0, fp(2));
-    ftl.write(1, fp(3));
+    write(ftl, 0, fp(2));
+    write(ftl, 1, fp(3));
     // Hot update and cold write land in the same block.
     EXPECT_EQ(flash.geometry().blockOfPpn(ftl.mapping().ppnOf(0)),
               flash.geometry().blockOfPpn(ftl.mapping().ppnOf(1)));
@@ -115,10 +123,10 @@ TEST(Streams, ConsistencyUnderSeparatedWorkload)
     for (int i = 0; i < 800; ++i) {
         const Lpn hot_lpn = static_cast<Lpn>(i % 4);
         const Lpn cold_lpn = 8 + static_cast<Lpn>(i % 56);
-        ftl.write(hot_lpn, fp(static_cast<std::uint64_t>(i)));
+        write(ftl, hot_lpn, fp(static_cast<std::uint64_t>(i)));
         const_cast<MappingTable &>(ftl.mapping())
             .setPopularity(hot_lpn, 50);
-        ftl.write(cold_lpn, fp(10'000 + static_cast<std::uint64_t>(i)));
+        write(ftl, cold_lpn, fp(10'000 + static_cast<std::uint64_t>(i)));
     }
     ftl.checkConsistency();
     EXPECT_GT(ftl.stats().gcInvocations, 0u);

@@ -39,18 +39,37 @@ struct TrimRig
         }
     }
 
+    HostOpResult
+    write(Lpn lpn, const Fingerprint &f)
+    {
+        return ftl.write(lpn, f, steps);
+    }
+
+    HostOpResult
+    read(Lpn lpn)
+    {
+        return ftl.read(lpn, steps);
+    }
+
+    HostOpResult
+    trim(Lpn lpn)
+    {
+        return ftl.trim(lpn, steps);
+    }
+
     FlashArray flash;
     FingerprintStore store;
     Ftl ftl;
+    FlashStepBuffer steps;
     std::unique_ptr<MqDvp> pool;
 };
 
 TEST(Trim, UnmapsAndInvalidates)
 {
     TrimRig rig(false);
-    rig.ftl.write(3, fp(1));
+    rig.write(3, fp(1));
     const Ppn ppn = rig.ftl.mapping().ppnOf(3);
-    const HostOpResult r = rig.ftl.trim(3);
+    const HostOpResult r = rig.trim(3);
     EXPECT_TRUE(r.ok);
     EXPECT_FALSE(rig.ftl.mapping().isMapped(3));
     EXPECT_EQ(rig.flash.state(ppn), PageState::Invalid);
@@ -61,7 +80,7 @@ TEST(Trim, UnmapsAndInvalidates)
 TEST(Trim, UnmappedLpnIsGracefulNoOp)
 {
     TrimRig rig(false);
-    const HostOpResult r = rig.ftl.trim(5);
+    const HostOpResult r = rig.trim(5);
     EXPECT_FALSE(r.ok);
     EXPECT_EQ(rig.ftl.stats().trims, 1u);
 }
@@ -69,18 +88,18 @@ TEST(Trim, UnmappedLpnIsGracefulNoOp)
 TEST(Trim, OutOfRangeLpnIsGracefulNoOp)
 {
     TrimRig rig(false);
-    EXPECT_FALSE(rig.ftl.trim(40).ok);
+    EXPECT_FALSE(rig.trim(40).ok);
 }
 
 TEST(Trim, TrimmedContentEntersDeadValuePool)
 {
     TrimRig rig(true);
-    rig.ftl.write(3, fp(7));
+    rig.write(3, fp(7));
     const Ppn ppn = rig.ftl.mapping().ppnOf(3);
-    rig.ftl.trim(3);
+    rig.trim(3);
 
     // Writing the same content elsewhere revives the trimmed page.
-    const HostOpResult r = rig.ftl.write(9, fp(7));
+    const HostOpResult r = rig.write(9, fp(7));
     EXPECT_TRUE(r.dvpRevival);
     EXPECT_EQ(rig.ftl.mapping().ppnOf(9), ppn);
     EXPECT_EQ(rig.flash.state(ppn), PageState::Valid);
@@ -90,22 +109,22 @@ TEST(Trim, TrimmedContentEntersDeadValuePool)
 TEST(Trim, ReadAfterTrimFails)
 {
     TrimRig rig(false);
-    rig.ftl.write(3, fp(1));
-    rig.ftl.trim(3);
-    EXPECT_FALSE(rig.ftl.read(3).ok);
+    rig.write(3, fp(1));
+    rig.trim(3);
+    EXPECT_FALSE(rig.read(3).ok);
 }
 
 TEST(Trim, SharedDedupPageSurvivesSingleTrim)
 {
     TrimRig rig(false, true);
-    rig.ftl.write(0, fp(7));
-    rig.ftl.write(1, fp(7));
+    rig.write(0, fp(7));
+    rig.write(1, fp(7));
     const Ppn shared = rig.ftl.mapping().ppnOf(0);
-    rig.ftl.trim(0);
+    rig.trim(0);
     EXPECT_EQ(rig.flash.state(shared), PageState::Valid);
     EXPECT_EQ(rig.store.refCount(shared), 1u);
     EXPECT_TRUE(rig.ftl.mapping().isMapped(1));
-    rig.ftl.trim(1);
+    rig.trim(1);
     EXPECT_EQ(rig.flash.state(shared), PageState::Invalid);
     rig.ftl.checkConsistency();
 }
@@ -113,10 +132,10 @@ TEST(Trim, SharedDedupPageSurvivesSingleTrim)
 TEST(Trim, PopularityByteResets)
 {
     TrimRig rig(true);
-    rig.ftl.write(3, fp(1));
-    rig.ftl.write(3, fp(1)); // revival bumps popularity to 2
+    rig.write(3, fp(1));
+    rig.write(3, fp(1)); // revival bumps popularity to 2
     ASSERT_GT(rig.ftl.mapping().popularity(3), 1);
-    rig.ftl.trim(3);
+    rig.trim(3);
     EXPECT_EQ(rig.ftl.mapping().popularity(3), 0);
 }
 
@@ -128,11 +147,11 @@ TEST(Trim, RepeatedTrimWriteCyclesStayConsistent)
     TrimRig rig(true);
     for (int cycle = 0; cycle < 50; ++cycle) {
         for (Lpn l = 0; l < 10; ++l)
-            rig.ftl.write(l, fp(l));
+            rig.write(l, fp(l));
         for (Lpn l = 0; l < 10; l += 2)
-            rig.ftl.trim(l);
+            rig.trim(l);
         for (Lpn l = 0; l < 10; l += 2)
-            rig.ftl.write(l, fp(l)); // restore the same content
+            rig.write(l, fp(l)); // restore the same content
     }
     rig.ftl.checkConsistency();
     EXPECT_GT(rig.ftl.stats().dvpRevivals, 100u);

@@ -68,12 +68,12 @@ TEST(FlashScheduler, ChainedStepsSerializeOnPriorCompletion)
     ResourceModel res(geom, t);
     ReadCache cache(0); // disabled: both reads go to flash
 
-    HostOpResult two_reads;
+    FlashStepBuffer two_reads;
     two_reads.userSteps = {FlashStep{FlashOp::Read, 0},
                            FlashStep{FlashOp::Read, 0}};
 
     ResourceModel lone(geom, t);
-    HostOpResult one_read;
+    FlashStepBuffer one_read;
     one_read.userSteps = {two_reads.userSteps[0]};
     const Tick one =
         FlashScheduler(lone, cache).issue(one_read, 0).completion;
@@ -95,7 +95,7 @@ TEST(FlashScheduler, CacheHitAdvancesTheChain)
     ReadCache cache(16);
     cache.access(0); // warm: the next read of ppn 0 hits RAM
 
-    HostOpResult hit_then_miss;
+    FlashStepBuffer hit_then_miss;
     hit_then_miss.userSteps = {FlashStep{FlashOp::Read, 0},
                                FlashStep{FlashOp::Read, 8}};
     const Tick done =

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Golden-output pin for one full simulation cell at several queue
+ * depths. The constants are a recorded run of the lambda-based event
+ * engine (Mail x MqDvp, 60000 requests, seed 99, pool 6000); the
+ * typed-event engine and every later hot-path change must reproduce
+ * them byte-for-byte. Any drift here is a determinism regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace zombie
+{
+namespace
+{
+
+SimResult
+runCell(std::uint32_t queue_depth)
+{
+    ExperimentOptions opts;
+    opts.requests = 60'000;
+    opts.seed = 99;
+    opts.poolCapacity = 6'000;
+    opts.queueDepth = queue_depth;
+    return runSystem(Workload::Mail, SystemKind::MqDvp, opts);
+}
+
+/** Depth-independent outputs: the flash-side story is identical at
+ *  every queue depth because dispatch order never changes. */
+void
+expectSharedOutputs(const SimResult &r)
+{
+    EXPECT_EQ(r.makespan, 1828647439u);
+    EXPECT_EQ(r.flashPrograms, 29053u);
+    EXPECT_EQ(r.flashReads, 17646u);
+    EXPECT_EQ(r.flashErases, 64u);
+    EXPECT_EQ(r.dvpRevivals, 20649u);
+    EXPECT_EQ(r.gcRelocations, 3674u);
+    EXPECT_EQ(r.maxDieBacklog, 126u);
+    EXPECT_EQ(r.readCache.hits, 1105u);
+}
+
+TEST(GoldenCell, DepthOne)
+{
+    const SimResult r = runCell(1);
+    expectSharedOutputs(r);
+    EXPECT_EQ(r.allLatency.percentile(0.99), 434175u);
+    EXPECT_DOUBLE_EQ(r.allLatency.mean(), 261320.8472833333);
+    EXPECT_DOUBLE_EQ(r.readLatency.mean(), 341822.7055539651);
+    EXPECT_DOUBLE_EQ(r.writeLatency.mean(), 236884.1573607370);
+    EXPECT_EQ(r.oooCompletions, 36073u);
+    EXPECT_EQ(r.hostQueue.blockedAdmissions, 8666u);
+    EXPECT_EQ(r.hostQueue.admissionWait, 20333514u);
+}
+
+TEST(GoldenCell, DepthFour)
+{
+    const SimResult r = runCell(4);
+    expectSharedOutputs(r);
+    EXPECT_EQ(r.allLatency.percentile(0.99), 442367u);
+    EXPECT_DOUBLE_EQ(r.allLatency.mean(), 262162.5314666667);
+    EXPECT_DOUBLE_EQ(r.readLatency.mean(), 346547.2932293158);
+    EXPECT_DOUBLE_EQ(r.writeLatency.mean(), 236547.1692665334);
+    EXPECT_EQ(r.oooCompletions, 36032u);
+    EXPECT_EQ(r.hostQueue.blockedAdmissions, 145u);
+    EXPECT_EQ(r.hostQueue.admissionWait, 35952u);
+}
+
+TEST(GoldenCell, DepthThirtyTwo)
+{
+    const SimResult r = runCell(32);
+    expectSharedOutputs(r);
+    EXPECT_EQ(r.allLatency.percentile(0.99), 442367u);
+    EXPECT_DOUBLE_EQ(r.allLatency.mean(), 262161.9125166667);
+    EXPECT_DOUBLE_EQ(r.readLatency.mean(), 346546.5286286859);
+    EXPECT_DOUBLE_EQ(r.writeLatency.mean(), 236546.5945294169);
+    EXPECT_EQ(r.oooCompletions, 36032u);
+    EXPECT_EQ(r.hostQueue.blockedAdmissions, 0u);
+    EXPECT_EQ(r.hostQueue.admissionWait, 0u);
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tests for the global heap-allocation counter: it must observe
+ * operator-new traffic and stay flat across allocation-free code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "util/alloc_counter.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(AllocCounter, CountsOperatorNew)
+{
+    const std::uint64_t before = heapAllocCount();
+    auto p = std::make_unique<int>(7);
+    EXPECT_GE(heapAllocCount() - before, 1u);
+    // Keep the allocation observable to the optimizer.
+    EXPECT_EQ(*p, 7);
+}
+
+TEST(AllocCounter, CountsContainerGrowth)
+{
+    const std::uint64_t before = heapAllocCount();
+    std::vector<int> v;
+    v.reserve(1000);
+    EXPECT_GE(heapAllocCount() - before, 1u);
+}
+
+TEST(AllocCounter, FlatAcrossAllocationFreeWork)
+{
+    // Warmed-up container churn must not touch the heap.
+    std::vector<int> v;
+    v.reserve(100);
+    const std::uint64_t before = heapAllocCount();
+    for (int round = 0; round < 100; ++round) {
+        for (int i = 0; i < 100; ++i)
+            v.push_back(i);
+        v.clear(); // keeps capacity
+    }
+    EXPECT_EQ(heapAllocCount() - before, 0u);
+}
+
+TEST(AllocCounter, IsMonotonic)
+{
+    const std::uint64_t a = heapAllocCount();
+    const std::uint64_t b = heapAllocCount();
+    EXPECT_GE(b, a);
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the flat FIFO ring buffer: order preservation across
+ * regrows, wrap-around, and steady-state allocation freedom.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/alloc_counter.hh"
+#include "util/ring.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(RingBuffer, StartsEmpty)
+{
+    RingBuffer<int> ring;
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.size(), 0u);
+    EXPECT_EQ(ring.capacity(), 0u);
+}
+
+TEST(RingBuffer, FifoOrder)
+{
+    RingBuffer<int> ring;
+    for (int i = 0; i < 100; ++i)
+        ring.push_back(i);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(ring.front(), i);
+        ring.pop_front();
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, IndexIsOffsetFromFront)
+{
+    RingBuffer<int> ring;
+    for (int i = 0; i < 10; ++i)
+        ring.push_back(i);
+    ring.pop_front();
+    ring.pop_front();
+    EXPECT_EQ(ring[0], 2);
+    EXPECT_EQ(ring[7], 9);
+}
+
+TEST(RingBuffer, WrapAroundKeepsOrder)
+{
+    // Slide a window of 5 through hundreds of elements so head wraps
+    // the 8-slot buffer many times without ever regrowing.
+    RingBuffer<int> ring;
+    ring.reserve(8);
+    int next_push = 0, next_pop = 0;
+    for (int i = 0; i < 5; ++i)
+        ring.push_back(next_push++);
+    while (next_pop < 500) {
+        EXPECT_EQ(ring.front(), next_pop);
+        ring.pop_front();
+        ++next_pop;
+        ring.push_back(next_push++);
+    }
+    EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(RingBuffer, RegrowRelinearizesLiveWindow)
+{
+    RingBuffer<int> ring;
+    // Wrap the initial 8-slot buffer first, then force a regrow.
+    for (int i = 0; i < 8; ++i)
+        ring.push_back(i);
+    for (int i = 0; i < 6; ++i)
+        ring.pop_front();
+    for (int i = 8; i < 40; ++i)
+        ring.push_back(i);
+    EXPECT_GT(ring.capacity(), 8u);
+    for (int i = 6; i < 40; ++i) {
+        EXPECT_EQ(ring.front(), i);
+        ring.pop_front();
+    }
+}
+
+TEST(RingBuffer, ReserveRoundsUpToPowerOfTwo)
+{
+    RingBuffer<int> ring;
+    ring.reserve(100);
+    EXPECT_EQ(ring.capacity(), 128u);
+    ring.reserve(5); // never shrinks
+    EXPECT_EQ(ring.capacity(), 128u);
+}
+
+TEST(RingBuffer, SteadyStateDoesNotAllocate)
+{
+    RingBuffer<int> ring;
+    ring.reserve(64);
+    const std::uint64_t before = heapAllocCount();
+    for (int round = 0; round < 1000; ++round) {
+        for (int i = 0; i < 64; ++i)
+            ring.push_back(i);
+        while (!ring.empty())
+            ring.pop_front();
+    }
+    EXPECT_EQ(heapAllocCount() - before, 0u);
+}
+
+TEST(RingBuffer, ClearEmptiesWithoutShrinking)
+{
+    RingBuffer<int> ring;
+    for (int i = 0; i < 20; ++i)
+        ring.push_back(i);
+    const std::size_t cap = ring.capacity();
+    ring.clear();
+    EXPECT_TRUE(ring.empty());
+    EXPECT_EQ(ring.capacity(), cap);
+}
+
+TEST(RingBufferDeath, EmptyAccessPanics)
+{
+    RingBuffer<int> ring;
+    EXPECT_DEATH(ring.front(), "empty");
+    EXPECT_DEATH(ring.pop_front(), "empty");
+    ring.push_back(1);
+    EXPECT_DEATH(ring[1], "out of range");
+}
+
+} // namespace
+} // namespace zombie

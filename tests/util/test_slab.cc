@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the index-addressed object slab: LIFO reuse, growth only
+ * when the free list is dry, and steady-state allocation freedom.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/alloc_counter.hh"
+#include "util/slab.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(Slab, AcquiresDenseIndices)
+{
+    Slab<int> slab;
+    EXPECT_EQ(slab.acquire(), 0u);
+    EXPECT_EQ(slab.acquire(), 1u);
+    EXPECT_EQ(slab.acquire(), 2u);
+    EXPECT_EQ(slab.size(), 3u);
+}
+
+TEST(Slab, ReleaseReusesLifo)
+{
+    Slab<int> slab;
+    const std::uint32_t a = slab.acquire();
+    const std::uint32_t b = slab.acquire();
+    slab.release(a);
+    slab.release(b);
+    EXPECT_EQ(slab.freeCount(), 2u);
+    // LIFO: the most recently released slot comes back first.
+    EXPECT_EQ(slab.acquire(), b);
+    EXPECT_EQ(slab.acquire(), a);
+    EXPECT_EQ(slab.size(), 2u); // no growth happened
+}
+
+TEST(Slab, SlotValuesPersistAcrossReuse)
+{
+    Slab<int> slab;
+    const std::uint32_t idx = slab.acquire();
+    slab[idx] = 42;
+    slab.release(idx);
+    const std::uint32_t again = slab.acquire();
+    ASSERT_EQ(again, idx);
+    EXPECT_EQ(slab[again], 42);
+}
+
+TEST(Slab, SteadyStateDoesNotAllocate)
+{
+    Slab<int> slab;
+    slab.reserve(32);
+    for (int i = 0; i < 32; ++i)
+        slab.acquire();
+    for (int i = 0; i < 32; ++i)
+        slab.release(static_cast<std::uint32_t>(i));
+
+    const std::uint64_t before = heapAllocCount();
+    for (int round = 0; round < 1000; ++round) {
+        std::uint32_t held[32];
+        for (auto &idx : held)
+            idx = slab.acquire();
+        for (const auto idx : held)
+            slab.release(idx);
+    }
+    EXPECT_EQ(heapAllocCount() - before, 0u);
+    EXPECT_EQ(slab.size(), 32u);
+}
+
+TEST(SlabDeath, ReleaseOutOfRangePanics)
+{
+    Slab<int> slab;
+    slab.acquire();
+    EXPECT_DEATH(slab.release(7), "out of range");
+}
+
+} // namespace
+} // namespace zombie
