@@ -60,6 +60,23 @@ standardArgs(const std::string &description,
     args.addOption("wall-json", "",
                    "also write the wall-clock side channel (per-cell "
                    "wall time and requests/sec) to this JSON file");
+    args.addOption("stats-interval", "0",
+                   "epoch-sampler interval in simulated microseconds "
+                   "(0 = telemetry sampling off)");
+    args.addOption("stats-csv", "",
+                   "write each cell's epoch time-series to this CSV "
+                   "path (cell tag inserted before the extension)");
+    args.addOption("stats-json", "",
+                   "write each cell's epoch time-series to this JSON "
+                   "path (cell tag inserted before the extension)");
+    args.addOption("trace-out", "",
+                   "record flash-op spans and write a Perfetto "
+                   "trace_event JSON per cell to this path");
+    args.addOption("trace-limit", "1000000",
+                   "maximum spans kept per cell trace");
+    args.addOption("dump-stats", "",
+                   "write each cell's end-of-run stat-registry dump "
+                   "to this path (cell tag inserted)");
     return args;
 }
 

@@ -50,7 +50,45 @@ standardOptions(const ArgParser &args)
         scaledPool(opts.requests, args.getDouble("pool-frac"));
     opts.queueDepth =
         static_cast<std::uint32_t>(args.getUint("queue-depth"));
+    opts.statsInterval = ticksFromUs(args.getDouble("stats-interval"));
+    opts.traceLimit = args.getUint("trace-limit");
+    opts.statsCsv = args.getString("stats-csv");
+    opts.statsJson = args.getString("stats-json");
+    opts.traceOut = args.getString("trace-out");
+    opts.statsDump = args.getString("dump-stats");
     return opts;
+}
+
+/**
+ * Telemetry outputs are per cell: tag a base path with the cell's
+ * workload and system label, keeping the extension ("stats.csv" ->
+ * "stats-mail-dvp.csv") so a whole bench sweep writes distinct files.
+ */
+inline std::string
+cellTelemetryPath(const std::string &base, const std::string &workload,
+                  const std::string &label)
+{
+    if (base.empty())
+        return base;
+    const std::string tag = "-" + workload + "-" + label;
+    const std::size_t slash = base.find_last_of('/');
+    const std::size_t dot = base.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return base + tag;
+    return base.substr(0, dot) + tag + base.substr(dot);
+}
+
+/** Rewrite every telemetry output path in @p opts for one cell. */
+inline void
+tagCellTelemetry(ExperimentOptions &opts, Workload workload,
+                 const std::string &label)
+{
+    const std::string w = toString(workload);
+    opts.statsCsv = cellTelemetryPath(opts.statsCsv, w, label);
+    opts.statsJson = cellTelemetryPath(opts.statsJson, w, label);
+    opts.traceOut = cellTelemetryPath(opts.traceOut, w, label);
+    opts.statsDump = cellTelemetryPath(opts.statsDump, w, label);
 }
 
 /** Results for one workload across several systems. */
@@ -102,11 +140,14 @@ runAcrossWorkloadsParallel(const std::vector<std::string> &labels,
     };
     std::vector<Cell> cells;
     for (const Workload w : allWorkloads()) {
-        cells.push_back(
-            {w, "baseline", SystemKind::Baseline, base_opts});
+        ExperimentOptions base_cell = base_opts;
+        tagCellTelemetry(base_cell, w, "baseline");
+        cells.push_back({w, "baseline", SystemKind::Baseline,
+                         std::move(base_cell)});
         for (const std::string &label : labels) {
             ExperimentOptions opts = base_opts;
             const SystemKind kind = configure(label, opts);
+            tagCellTelemetry(opts, w, label);
             cells.push_back({w, label, kind, std::move(opts)});
         }
     }
@@ -287,14 +328,19 @@ maybeWriteWallJson(const ArgParser &args,
                      "\"%s\", \"wall_s\": %.6f, \"requests\": %llu, "
                      "\"reqs_per_s\": %.1f, \"events\": %llu, "
                      "\"events_per_s\": %.1f, "
-                     "\"heap_allocs\": %llu}",
+                     "\"heap_allocs\": %llu, "
+                     "\"p99_9_us\": %.3f, \"max_us\": %.3f}",
                      first ? "" : ",\n", toString(w).c_str(),
                      label.c_str(), seconds,
                      static_cast<unsigned long long>(r.requests),
                      rate,
                      static_cast<unsigned long long>(r.events),
                      erate,
-                     static_cast<unsigned long long>(allocs));
+                     static_cast<unsigned long long>(allocs),
+                     static_cast<double>(
+                         r.allLatency.percentile(0.999)) / 1e3,
+                     static_cast<double>(
+                         r.allLatency.maxValue()) / 1e3);
         first = false;
     };
     for (const auto &row : rows) {

@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "sim/ssd.hh"
 #include "trace/generator.hh"
@@ -37,6 +38,17 @@ main(int argc, char **argv)
     args.addOption("queue-depth", "1",
                    "host-interface queue depth (NCQ dispatch "
                    "contexts)");
+    args.addOption("stats-interval", "0",
+                   "epoch-sampler interval in simulated microseconds "
+                   "(0 = off)");
+    args.addOption("stats-csv", "", "epoch time-series CSV output");
+    args.addOption("stats-json", "", "epoch time-series JSON output");
+    args.addOption("trace-out", "",
+                   "Perfetto trace_event JSON of flash-op spans");
+    args.addOption("trace-limit", "1000000",
+                   "maximum spans kept in the op trace");
+    args.addOption("dump-stats", "",
+                   "end-of-run stat-registry dump output");
     args.parse(argc, argv);
 
     const SystemKind system =
@@ -69,6 +81,9 @@ main(int argc, char **argv)
     cfg.mq.capacity = args.getUint("pool");
     cfg.queueDepth =
         static_cast<std::uint32_t>(args.getUint("queue-depth"));
+    cfg.statsInterval = ticksFromUs(args.getDouble("stats-interval"));
+    cfg.opTrace = !args.getString("trace-out").empty();
+    cfg.traceLimit = args.getUint("trace-limit");
 
     std::printf("%s", sectionBanner("replaying " + label + " on " +
                                     toString(system)).c_str());
@@ -83,5 +98,34 @@ main(int argc, char **argv)
     Ssd ssd(cfg);
     ssd.run(records);
     std::printf("%s", ssd.result().toStatSet().format().c_str());
+
+    // Telemetry artifacts, written after the run so every counter and
+    // the final partial epoch are settled.
+    auto write_to = [](const std::string &path, auto &&writer) {
+        if (path.empty())
+            return;
+        std::ofstream os(path);
+        if (!os)
+            zombie_fatal("cannot write telemetry output: ", path);
+        writer(os);
+        std::printf("wrote %s\n", path.c_str());
+    };
+    if ((!args.getString("stats-csv").empty() ||
+         !args.getString("stats-json").empty()) &&
+        !ssd.sampler())
+        zombie_fatal("epoch series requested without "
+                     "--stats-interval");
+    write_to(args.getString("stats-csv"), [&ssd](std::ostream &os) {
+        ssd.sampler()->writeCsv(os);
+    });
+    write_to(args.getString("stats-json"), [&ssd](std::ostream &os) {
+        ssd.sampler()->writeJson(os);
+    });
+    write_to(args.getString("trace-out"), [&ssd](std::ostream &os) {
+        ssd.tracer()->writeJson(os);
+    });
+    write_to(args.getString("dump-stats"), [&ssd](std::ostream &os) {
+        ssd.statRegistry().dump(os);
+    });
     return 0;
 }

@@ -55,6 +55,24 @@ for preset in $presets; do
             echo "     (no golden: $golden/$name.txt)" >&2
         fi
     done
+
+    # Telemetry smoke: one small cell with the epoch sampler, the op
+    # tracer and the registry dump all engaged. Both JSON artifacts
+    # must parse, and the end-of-run stat dump is deterministic, so
+    # it diffs against a golden like the bench stdout above.
+    echo "==> telemetry smoke [$preset]"
+    "$bindir"/examples/simulate_trace --workload mail --system dvp \
+        --requests 20000 --seed 42 --stats-interval 20000 \
+        --stats-csv "$bindir/telemetry.smoke.csv" \
+        --stats-json "$bindir/telemetry.smoke.json" \
+        --trace-out "$bindir/telemetry.smoke.trace.json" \
+        --dump-stats "$bindir/telemetry.smoke.stats.txt" \
+        > /dev/null
+    python3 -m json.tool "$bindir/telemetry.smoke.json" > /dev/null
+    python3 -m json.tool "$bindir/telemetry.smoke.trace.json" \
+        > /dev/null
+    diff -u tests/golden/telemetry/simulate_trace_stats.txt \
+        "$bindir/telemetry.smoke.stats.txt"
 done
 
 echo "==> all checks passed"

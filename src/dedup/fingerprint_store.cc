@@ -102,4 +102,16 @@ FingerprintStore::contains(const Fingerprint &fp) const
     return byFp.count(fp) > 0;
 }
 
+void
+FingerprintStore::registerStats(StatRegistry &registry) const
+{
+    registry.addCounter("dedup.lookups", &dstats.lookups);
+    registry.addCounter("dedup.hits", &dstats.hits);
+    registry.addCounter("dedup.registered", &dstats.registered);
+    registry.addCounter("dedup.last_ref_drops", &dstats.lastRefDrops);
+    registry.addGauge("dedup.live_entries", [this] {
+        return static_cast<double>(size());
+    });
+}
+
 } // namespace zombie

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "hash/fingerprint.hh"
+#include "telemetry/stat_registry.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -86,6 +87,13 @@ class FingerprintStore
     bool contains(const Fingerprint &fp) const;
     std::uint64_t size() const { return byFp.size(); }
     const DedupStats &stats() const { return dstats; }
+
+    /**
+     * Register the store's counters and live-entry gauge under
+     * "dedup.". Counter storage lives in this store; registrations
+     * stay valid for its lifetime.
+     */
+    void registerStats(StatRegistry &registry) const;
 
   private:
     struct Record

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "hash/fingerprint.hh"
+#include "telemetry/stat_registry.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -101,7 +102,38 @@ class DeadValuePool
     virtual std::uint64_t capacity() const = 0;
 
     virtual const DvpStats &stats() const = 0;
+
+    /**
+     * Register the pool's counters and occupancy/hit-rate gauges
+     * under "dvp.<name()>." ("dvp.mq.hits", ...). The stats struct
+     * every implementation returns by reference is a long-lived
+     * member, so the registered pointers stay valid for the pool's
+     * lifetime.
+     */
+    void registerStats(StatRegistry &registry) const;
 };
+
+inline void
+DeadValuePool::registerStats(StatRegistry &registry) const
+{
+    const std::string p = "dvp." + name() + ".";
+    const DvpStats &s = stats();
+    registry.addCounter(p + "lookups", &s.lookups);
+    registry.addCounter(p + "hits", &s.hits);
+    registry.addCounter(p + "insertions", &s.insertions);
+    registry.addCounter(p + "merged_insertions", &s.mergedInsertions);
+    registry.addCounter(p + "capacity_evictions",
+                        &s.capacityEvictions);
+    registry.addCounter(p + "gc_evictions", &s.gcEvictions);
+    registry.addCounter(p + "promotions", &s.promotions);
+    registry.addCounter(p + "demotions", &s.demotions);
+    registry.addGauge(p + "size", [this] {
+        return static_cast<double>(size());
+    });
+    registry.addGauge(p + "hit_rate", [this] {
+        return stats().hitRate();
+    });
+}
 
 /** Saturating 8-bit popularity increment (the Fig 8 1-byte counter). */
 inline std::uint8_t

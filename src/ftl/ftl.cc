@@ -240,6 +240,20 @@ Ftl::wearSummary() const
 }
 
 void
+Ftl::registerStats(StatRegistry &registry) const
+{
+    registry.addCounter("ftl.host_writes", &fstats.hostWrites);
+    registry.addCounter("ftl.host_reads", &fstats.hostReads);
+    registry.addCounter("ftl.unmapped_reads", &fstats.unmappedReads);
+    registry.addCounter("ftl.programs", &fstats.programs);
+    registry.addCounter("ftl.dvp_revivals", &fstats.dvpRevivals);
+    registry.addCounter("ftl.dedup_hits", &fstats.dedupHits);
+    registry.addCounter("ftl.trims", &fstats.trims);
+    registry.addCounter("ftl.gc.invocations", &fstats.gcInvocations);
+    registry.addCounter("ftl.gc.relocations", &fstats.gcRelocations);
+}
+
+void
 Ftl::advanceGcAll(FlashStepBuffer &steps)
 {
     const std::uint64_t planes = array.geometry().totalPlanes();

@@ -41,6 +41,7 @@
 #include "ftl/wear.hh"
 #include "nand/flash_array.hh"
 #include "nand/timing.hh"
+#include "telemetry/stat_registry.hh"
 
 namespace zombie
 {
@@ -220,6 +221,13 @@ class Ftl
 
     /** Invariant sweep used by tests: panics on inconsistency. */
     void checkConsistency() const;
+
+    /**
+     * Register the FTL's counters under "ftl." (GC activity under
+     * "ftl.gc."). Counter storage lives in this FTL; registrations
+     * stay valid for its lifetime.
+     */
+    void registerStats(StatRegistry &registry) const;
 
   private:
     /** In-flight incremental collection of one victim block. */

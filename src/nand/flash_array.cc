@@ -122,4 +122,23 @@ FlashArray::maxEraseCount() const
     return max_erases;
 }
 
+void
+FlashArray::registerStats(StatRegistry &registry) const
+{
+    registry.addCounter("flash.programs", &stats.programs);
+    registry.addCounter("flash.reads", &stats.reads);
+    registry.addCounter("flash.erases", &stats.erases);
+    registry.addCounter("flash.invalidations", &stats.invalidations);
+    registry.addCounter("flash.revivals", &stats.revivals);
+    registry.addGauge("flash.free_pages", [this] {
+        return static_cast<double>(freePages);
+    });
+    registry.addGauge("flash.valid_pages", [this] {
+        return static_cast<double>(validPages);
+    });
+    registry.addGauge("flash.invalid_pages", [this] {
+        return static_cast<double>(invalidPages);
+    });
+}
+
 } // namespace zombie

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "nand/geometry.hh"
+#include "telemetry/stat_registry.hh"
 #include "util/logging.hh"
 #include "util/types.hh"
 
@@ -156,6 +157,13 @@ class FlashArray
     void eraseBlock(std::uint64_t block_index);
 
     const FlashCounters &counters() const { return stats; }
+
+    /**
+     * Register the array-wide operation counters under "flash.".
+     * Counter storage lives in this array; registrations stay valid
+     * for its lifetime.
+     */
+    void registerStats(StatRegistry &registry) const;
 
     /** Aggregate page-state census (testing / reporting). */
     std::uint64_t totalFreePages() const { return freePages; }

@@ -27,8 +27,39 @@ ResourceModel::ResourceModel(const Geometry &geometry,
         out.reserve(window);
 }
 
+namespace
+{
+
+/** Static span names keyed by op kind (TraceSink literal contract). */
+const char *
+opSpanName(FlashOp op)
+{
+    switch (op) {
+      case FlashOp::Read:
+        return "read";
+      case FlashOp::Program:
+        return "program";
+      case FlashOp::Erase:
+        return "erase";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+dieTrackName(const Geometry &geom, std::uint64_t die)
+{
+    const std::uint64_t dies = geom.diesPerChip();
+    const std::uint64_t chips = geom.chipsPerChannel();
+    const std::uint64_t chan = die / (dies * chips);
+    const std::uint64_t chip = (die / dies) % chips;
+    return "chan" + std::to_string(chan) + ".chip" +
+           std::to_string(chip) + ".die" + std::to_string(die % dies);
+}
+
 Tick
-ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest)
+ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest, bool gc)
 {
     const std::uint64_t die = geom.dieOfPpn(ppn);
     const std::uint32_t channel = geom.channelOfPpn(ppn);
@@ -38,6 +69,9 @@ ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest)
     const Tick cmd = times.commandOverhead;
     const Tick xfer = times.pageTransfer;
     const Tick array = times.arrayLatency(op);
+
+    /** The op's die-occupancy phase, reported to the trace sink. */
+    Tick die_start = 0;
 
     Tick completion = 0;
     switch (op) {
@@ -55,6 +89,7 @@ ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest)
         completion = xfer_start + xfer;
         // The page register holds data until the transfer drains.
         dieBusyTotal[die] += completion - start;
+        die_start = start;
         die_free = completion;
         channelBusyTotal[channel] += xfer;
         if (sensed <= chan_free)
@@ -74,6 +109,7 @@ ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest)
         if (earliest <= chan_free)
             chan_free = loaded;
         dieBusyTotal[die] += completion - prog_start;
+        die_start = prog_start;
         die_free = completion;
         break;
       }
@@ -82,12 +118,39 @@ ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest)
         const Tick start = std::max(earliest, die_free) + cmd;
         completion = start + array;
         dieBusyTotal[die] += completion - start;
+        die_start = start;
         die_free = completion;
         break;
       }
     }
     noteDieIssue(die, earliest, completion);
+    if (tracer)
+        tracer->span(static_cast<std::uint32_t>(die), opSpanName(op),
+                     gc ? "gc" : "host", die_start, completion);
     return completion;
+}
+
+void
+ResourceModel::setTraceSink(TraceSink *sink)
+{
+    tracer = sink;
+    if (!tracer)
+        return;
+    for (std::uint64_t die = 0; die < geom.totalDies(); ++die)
+        tracer->declareTrack(static_cast<std::uint32_t>(die),
+                             dieTrackName(geom, die));
+}
+
+void
+ResourceModel::registerStats(StatRegistry &registry) const
+{
+    for (std::uint64_t die = 0; die < geom.totalDies(); ++die)
+        registry.addCounter("nand." + dieTrackName(geom, die) +
+                                ".busy_ticks",
+                            &dieBusyTotal[die]);
+    registry.addGauge("nand.max_die_backlog", [this] {
+        return static_cast<double>(maxBacklog);
+    });
 }
 
 void

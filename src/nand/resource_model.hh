@@ -21,10 +21,13 @@
 #define ZOMBIE_NAND_RESOURCE_MODEL_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "nand/geometry.hh"
 #include "nand/timing.hh"
+#include "telemetry/stat_registry.hh"
+#include "telemetry/trace_sink.hh"
 #include "util/ring.hh"
 #include "util/types.hh"
 
@@ -40,9 +43,11 @@ class ResourceModel
     /**
      * Schedule @p op against the page @p ppn lives on, no earlier
      * than @p earliest. Advances the die/channel busy-until state.
-     * @return completion tick.
+     * @p gc tags the op's origin for the trace sink only; it never
+     * affects timing. @return completion tick.
      */
-    Tick scheduleOp(FlashOp op, Ppn ppn, Tick earliest);
+    Tick scheduleOp(FlashOp op, Ppn ppn, Tick earliest,
+                    bool gc = false);
 
     /** Earliest tick at which the die owning @p ppn is idle. */
     Tick dieFreeAt(Ppn ppn) const;
@@ -92,6 +97,24 @@ class ResourceModel
 
     const TimingModel &timing() const { return times; }
 
+    /**
+     * Attach an operation tracer (not owned; nullptr detaches). One
+     * track per die, named "chan<c>.chip<k>.die<d>"; each scheduled
+     * op emits one span covering its die-occupancy phase, so spans
+     * on a track never overlap and start ticks are nondecreasing in
+     * recording order. Disabled tracing costs one null check per op.
+     */
+    void setTraceSink(TraceSink *sink);
+
+    /**
+     * Register per-die busy-tick counters
+     * ("nand.chan<c>.chip<k>.die<d>.busy_ticks") and the
+     * "nand.max_die_backlog" gauge. The busy tables are sized at
+     * construction and never reallocate, so the registered pointers
+     * stay valid for the model's lifetime.
+     */
+    void registerStats(StatRegistry &registry) const;
+
   private:
     /** Record one issued op's (issue-point, completion) pair. */
     void noteDieIssue(std::uint64_t die, Tick issued, Tick completion);
@@ -112,7 +135,13 @@ class ResourceModel
      */
     std::vector<RingBuffer<Tick>> dieOutstanding;
     std::uint64_t maxBacklog = 0;
+
+    /** Operation tracer; null (the default) disables span recording. */
+    TraceSink *tracer = nullptr;
 };
+
+/** "chan<c>.chip<k>.die<d>" label for a flat die index. */
+std::string dieTrackName(const Geometry &geom, std::uint64_t die);
 
 } // namespace zombie
 

@@ -99,6 +99,24 @@ struct SsdConfig
     /** Incremental-GC budget (relocations per host write per plane). */
     std::uint32_t gcPagesPerStep = 2;
 
+    /**
+     * Epoch-sampler interval in simulated ticks; 0 — the default —
+     * disables sampling entirely (no events, no snapshots), keeping
+     * the request path allocation-free and runs byte-identical to
+     * builds without telemetry.
+     */
+    Tick statsInterval = 0;
+
+    /**
+     * Record per-flash-op spans into a Perfetto-loadable trace
+     * (telemetry/perfetto_trace.hh). Off by default: disabled tracing
+     * costs one null check per scheduled op.
+     */
+    bool opTrace = false;
+
+    /** Spans kept before the trace stops recording (memory bound). */
+    std::uint64_t traceLimit = 1'000'000;
+
     /** Resolved GC policy name for the chosen system. */
     std::string resolvedGcPolicy() const;
 

@@ -35,7 +35,7 @@ FlashScheduler::issue(const FlashStepBuffer &steps, Tick t)
         if (step.op == FlashOp::Program)
             readCache.invalidate(step.ppn);
         gc_tail = std::max(gc_tail,
-                           res.scheduleOp(step.op, step.ppn, t));
+                           res.scheduleOp(step.op, step.ppn, t, true));
     }
     return FlashIssue{completion, gc_tail};
 }
@@ -81,6 +81,16 @@ Controller::submit(const TraceRecord &rec)
         engine.reserve(eventReserve);
     }
     engine.schedule(rec.arrival, EventKind::HostArrival);
+
+    // First submission after an idle period re-arms the sampler at
+    // the next absolute epoch boundary (boundaries are multiples of
+    // the interval, so the grid survives idle gaps unshifted).
+    if (sampler && !samplerArmed) {
+        samplerArmed = true;
+        const Tick from = std::max(engine.now(), rec.arrival);
+        engine.schedule(sampler->nextBoundary(from),
+                        EventKind::StatsSample);
+    }
 }
 
 void
@@ -113,6 +123,18 @@ Controller::event(Tick now, EventKind kind, std::uint32_t ctx,
         // Background GC chain drained. Its completion was already
         // folded into lastCompletion when the steps were issued; the
         // event marks the drain point in the schedule.
+        break;
+      case EventKind::StatsSample:
+        // Epoch boundary: snapshot the registry, then re-arm one
+        // interval ahead while commands remain in flight. With the
+        // pipeline idle the chain stops (the engine must drain) and
+        // the next submission re-arms it.
+        sampler->sample(now);
+        if (outstanding() > 0)
+            engine.schedule(now + sampler->interval(),
+                            EventKind::StatsSample);
+        else
+            samplerArmed = false;
         break;
       default:
         zombie_panic("controller received unknown event kind");
@@ -175,8 +197,10 @@ Controller::onDispatched(const HostCommand &cmd, Tick now)
 
     engine.schedule(issued.completion, EventKind::FlashDone, 0,
                     cmd.idx);
-    if (issued.gcTail > issued.completion)
+    if (issued.gcTail > issued.completion) {
+        cstats.gcTailTicks += issued.gcTail - issued.completion;
         engine.schedule(issued.gcTail, EventKind::GcTail);
+    }
 
     // This command's tag is free again: admit the next waiter.
     tryDispatch(now);
@@ -204,6 +228,32 @@ Controller::onCompletion(std::uint64_t idx)
         std::push_heap(completedAhead.begin(), completedAhead.end(),
                        std::greater<std::uint64_t>());
     }
+}
+
+void
+Controller::registerStats(StatRegistry &registry) const
+{
+    registry.addCounter("ctrl.reads", &cstats.reads);
+    registry.addCounter("ctrl.writes", &cstats.writes);
+    registry.addCounter("ctrl.ooo_completions",
+                        &cstats.oooCompletions);
+    registry.addCounter("ctrl.gc_tail_ticks", &cstats.gcTailTicks);
+    registry.addHistogram("ctrl.latency.read", &cstats.readLatency);
+    registry.addHistogram("ctrl.latency.write", &cstats.writeLatency);
+    registry.addHistogram("ctrl.latency.all", &cstats.allLatency);
+
+    const HostQueueStats &hq = queue.stats();
+    registry.addCounter("ctrl.queue.submitted", &hq.submitted);
+    registry.addCounter("ctrl.queue.blocked_admissions",
+                        &hq.blockedAdmissions);
+    registry.addCounter("ctrl.queue.admission_wait_ticks",
+                        &hq.admissionWait);
+    registry.addGauge("ctrl.queue.waiting", [this] {
+        return static_cast<double>(queue.waiting());
+    });
+    registry.addGauge("ctrl.outstanding", [this] {
+        return static_cast<double>(outstanding());
+    });
 }
 
 void

@@ -48,6 +48,8 @@
 #include "sim/event.hh"
 #include "sim/host_queue.hh"
 #include "sim/read_cache.hh"
+#include "telemetry/epoch_sampler.hh"
+#include "telemetry/stat_registry.hh"
 #include "util/ring.hh"
 #include "util/slab.hh"
 #include "util/stats.hh"
@@ -101,6 +103,13 @@ struct ControllerStats
     Tick firstArrival = 0;
     Tick lastCompletion = 0;
 
+    /**
+     * Ticks of collateral GC work extending past the triggering
+     * command's user-visible completion (the background pause each
+     * collection adds to the schedule's tail).
+     */
+    Tick gcTailTicks = 0;
+
     LatencyHistogram readLatency;
     LatencyHistogram writeLatency;
     LatencyHistogram allLatency;
@@ -133,6 +142,22 @@ class Controller : public EventSink
 
     /** Commands submitted but not yet completed. */
     std::uint64_t outstanding() const { return submitted - completed; }
+
+    /**
+     * Attach an epoch sampler (not owned; nullptr detaches). The
+     * controller schedules one StatsSample event per boundary while
+     * commands are outstanding, re-arming on the next submission, so
+     * an idle drive costs no events and the engine always drains.
+     */
+    void attachSampler(EpochSampler *s) { sampler = s; }
+
+    /**
+     * Register pipeline counters, latency histograms and the
+     * outstanding-commands gauge under "ctrl.". Counter storage lives
+     * in this controller; the registrations stay valid for its
+     * lifetime.
+     */
+    void registerStats(StatRegistry &registry) const;
 
   private:
     void tryDispatch(Tick now);
@@ -180,6 +205,12 @@ class Controller : public EventSink
      */
     std::uint64_t nextInOrder = 0;
     std::vector<std::uint64_t> completedAhead; //!< min-heap
+
+    /** Epoch sampler; null (the default) schedules no sample events. */
+    EpochSampler *sampler = nullptr;
+
+    /** A StatsSample event is pending in the engine. */
+    bool samplerArmed = false;
 
     ControllerStats cstats;
 };

@@ -40,6 +40,7 @@ enum class EventKind : std::uint8_t
     DispatchDone, //!< FTL overhead elapsed; issue to flash.
     FlashDone,    //!< User-visible flash completion.
     GcTail,       //!< Background GC chain drains (bookkeeping only).
+    StatsSample,  //!< Epoch-sampler boundary (telemetry only).
 };
 
 /** Receiver of dispatched events (the controller, or a test). */

@@ -1,9 +1,55 @@
 #include "sim/experiment.hh"
 
+#include <fstream>
+
 #include "trace/generator.hh"
+#include "util/logging.hh"
 
 namespace zombie
 {
+
+namespace
+{
+
+/** Open @p path for writing; fatal (user error) when that fails. */
+std::ofstream
+openOutput(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        zombie_fatal("cannot write telemetry output: ", path);
+    return os;
+}
+
+/** Write the run's requested telemetry artifacts (post-drain). */
+void
+writeTelemetry(Ssd &ssd, const ExperimentOptions &opts)
+{
+    if (!opts.statsCsv.empty() || !opts.statsJson.empty()) {
+        const EpochSampler *sampler = ssd.sampler();
+        if (!sampler)
+            zombie_fatal("epoch series requested without "
+                         "--stats-interval");
+        if (!opts.statsCsv.empty()) {
+            auto os = openOutput(opts.statsCsv);
+            sampler->writeCsv(os);
+        }
+        if (!opts.statsJson.empty()) {
+            auto os = openOutput(opts.statsJson);
+            sampler->writeJson(os);
+        }
+    }
+    if (!opts.traceOut.empty()) {
+        auto os = openOutput(opts.traceOut);
+        ssd.tracer()->writeJson(os);
+    }
+    if (!opts.statsDump.empty()) {
+        auto os = openOutput(opts.statsDump);
+        ssd.statRegistry().dump(os);
+    }
+}
+
+} // namespace
 
 SimResult
 runSystemOnProfile(const WorkloadProfile &profile, SystemKind system,
@@ -16,6 +62,9 @@ runSystemOnProfile(const WorkloadProfile &profile, SystemKind system,
     cfg.mq.numQueues = opts.mqQueues;
     cfg.gcPolicy = opts.gcPolicy;
     cfg.queueDepth = opts.queueDepth;
+    cfg.statsInterval = opts.statsInterval;
+    cfg.opTrace = !opts.traceOut.empty();
+    cfg.traceLimit = opts.traceLimit;
     if (opts.tweak)
         opts.tweak(cfg);
 
@@ -24,7 +73,9 @@ runSystemOnProfile(const WorkloadProfile &profile, SystemKind system,
     TraceRecord rec;
     while (gen.next(rec))
         ssd.process(rec);
-    return ssd.result();
+    SimResult result = ssd.result();
+    writeTelemetry(ssd, opts);
+    return result;
 }
 
 SimResult

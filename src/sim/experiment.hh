@@ -35,6 +35,20 @@ struct ExperimentOptions
     /** Host-interface queue depth (SsdConfig::queueDepth). */
     std::uint32_t queueDepth = 1;
 
+    /**
+     * Telemetry (src/telemetry): all off by default, so standard
+     * experiment runs stay byte-identical and allocation-free. The
+     * epoch sampler runs when statsInterval > 0; the op trace records
+     * when traceOut is non-empty. Output paths are written after the
+     * run completes.
+     */
+    Tick statsInterval = 0;          //!< epoch length in ticks
+    std::uint64_t traceLimit = 1'000'000; //!< spans kept in memory
+    std::string statsCsv;            //!< epoch series as CSV
+    std::string statsJson;           //!< epoch series as JSON
+    std::string traceOut;            //!< Perfetto trace JSON
+    std::string statsDump;           //!< end-of-run registry dump
+
     /** Optional hook to tweak the SsdConfig before construction. */
     std::function<void(SsdConfig &)> tweak;
 };

@@ -159,4 +159,15 @@ ReadCache::invalidate(Ppn ppn)
     --used;
 }
 
+void
+ReadCache::registerStats(StatRegistry &registry) const
+{
+    registry.addCounter("cache.hits", &cstats.hits);
+    registry.addCounter("cache.misses", &cstats.misses);
+    registry.addCounter("cache.invalidations", &cstats.invalidations);
+    registry.addGauge("cache.occupancy", [this] {
+        return static_cast<double>(used);
+    });
+}
+
 } // namespace zombie

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/stat_registry.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -70,6 +71,13 @@ class ReadCache
     std::uint64_t size() const { return used; }
     std::uint64_t capacity() const { return cap; }
     const ReadCacheStats &stats() const { return cstats; }
+
+    /**
+     * Register hit/miss/invalidation counters and the occupancy
+     * gauge under "cache.". Counter storage lives in this cache;
+     * registrations stay valid for its lifetime.
+     */
+    void registerStats(StatRegistry &registry) const;
 
   private:
     static constexpr std::uint32_t kNil = 0xFFFFFFFFu;

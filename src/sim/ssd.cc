@@ -156,6 +156,29 @@ Ssd::Ssd(SsdConfig config)
     // plane per write; it reads the same table dieFreeAtIndex serves.
     ftl_.setDieLoadView(resources.dieBusyTable(),
                         cfg.geom.planesPerDie());
+
+    // Telemetry root: every component publishes its counters into
+    // one registry. Registration happens once here; nothing on the
+    // request path ever calls into the registry.
+    flashArray.registerStats(registry_);
+    resources.registerStats(registry_);
+    ftl_.registerStats(registry_);
+    cache.registerStats(registry_);
+    controller_.registerStats(registry_);
+    if (pool)
+        pool->registerStats(registry_);
+    if (store)
+        store->registerStats(registry_);
+
+    if (cfg.statsInterval > 0) {
+        sampler_ = std::make_unique<EpochSampler>(registry_,
+                                                  cfg.statsInterval);
+        controller_.attachSampler(sampler_.get());
+    }
+    if (cfg.opTrace) {
+        tracer_ = std::make_unique<PerfettoTraceWriter>(cfg.traceLimit);
+        resources.setTraceSink(tracer_.get());
+    }
 }
 
 void
@@ -175,18 +198,23 @@ Ssd::prefill()
 }
 
 void
-Ssd::beginMeasurement()
+Ssd::beginMeasurement(Tick first_arrival)
 {
     measuring = true;
     flashBase = flashArray.counters();
     ftlBase = ftl_.stats();
+    // The sampler baselines here too, so prefill activity is excluded
+    // and per-epoch delta sums match the SimResult's base-subtracted
+    // counters exactly.
+    if (sampler_)
+        sampler_->begin(first_arrival);
 }
 
 void
 Ssd::process(const TraceRecord &rec)
 {
     if (!measuring)
-        beginMeasurement();
+        beginMeasurement(rec.arrival);
     controller_.submit(rec);
 }
 
@@ -212,6 +240,8 @@ Ssd::result()
     drain();
 
     const ControllerStats &cs = controller_.stats();
+    if (sampler_)
+        sampler_->finish(std::max(cs.lastCompletion, engine.now()));
     SimResult r;
     r.system = toString(cfg.system);
     r.requests = cs.reads + cs.writes;

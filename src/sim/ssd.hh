@@ -30,6 +30,9 @@
 #include "sim/event.hh"
 #include "sim/host_queue.hh"
 #include "sim/read_cache.hh"
+#include "telemetry/epoch_sampler.hh"
+#include "telemetry/perfetto_trace.hh"
+#include "telemetry/stat_registry.hh"
 #include "trace/record.hh"
 #include "util/stats.hh"
 
@@ -136,6 +139,15 @@ class Ssd
     DeadValuePool *dvp() { return pool.get(); }
     FingerprintStore *dedupStore() { return store.get(); }
 
+    /** Every component's statistics under one dotted namespace. */
+    const StatRegistry &statRegistry() const { return registry_; }
+
+    /** Epoch time-series; null unless statsInterval > 0. */
+    const EpochSampler *sampler() const { return sampler_.get(); }
+
+    /** Operation trace; null unless opTrace is set. */
+    const PerfettoTraceWriter *tracer() const { return tracer_.get(); }
+
   private:
     SsdConfig cfg;
     FlashArray flashArray;
@@ -147,6 +159,13 @@ class Ssd
     EventEngine engine;
     Controller controller_;
 
+    /** Stat namespace over every component (pure observation). */
+    StatRegistry registry_;
+
+    /** Telemetry attachments; null when the config disables them. */
+    std::unique_ptr<EpochSampler> sampler_;
+    std::unique_ptr<PerfettoTraceWriter> tracer_;
+
     bool prefilled = false;
     bool measuring = false;
 
@@ -154,7 +173,7 @@ class Ssd
     FlashCounters flashBase;
     FtlStats ftlBase;
 
-    void beginMeasurement();
+    void beginMeasurement(Tick first_arrival);
     static std::unique_ptr<DeadValuePool> makePool(const SsdConfig &);
 };
 

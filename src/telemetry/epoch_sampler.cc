@@ -1,0 +1,137 @@
+#include "telemetry/epoch_sampler.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+EpochSampler::EpochSampler(const StatRegistry &registry, Tick interval)
+    : reg(registry), step(interval), cpaths(registry.counterPaths()),
+      gpaths(registry.gaugePaths())
+{
+    zombie_assert(step > 0, "epoch interval must be positive");
+}
+
+void
+EpochSampler::begin(Tick now)
+{
+    if (started)
+        return;
+    started = true;
+    epochStart = now;
+    reg.counterValues(prev);
+}
+
+Tick
+EpochSampler::nextBoundary(Tick now) const
+{
+    // Boundaries sit on absolute multiples of the interval so the
+    // epoch grid is seed-independent.
+    return (now / step + 1) * step;
+}
+
+void
+EpochSampler::closeEpoch(Tick end)
+{
+    reg.counterValues(scratch);
+    EpochRow row;
+    row.start = epochStart;
+    row.end = end;
+    row.deltas.resize(scratch.size());
+    for (std::size_t i = 0; i < scratch.size(); ++i)
+        row.deltas[i] = scratch[i] - prev[i];
+    reg.gaugeValues(row.gauges);
+    prev.swap(scratch);
+    series.push_back(std::move(row));
+    epochStart = end;
+}
+
+void
+EpochSampler::sample(Tick boundary)
+{
+    zombie_assert(started, "epoch sampler sampled before begin()");
+    if (finished || boundary <= epochStart)
+        return;
+    closeEpoch(boundary);
+}
+
+void
+EpochSampler::finish(Tick end)
+{
+    if (!started || finished)
+        return;
+    finished = true;
+    if (end > epochStart)
+        closeEpoch(end);
+}
+
+std::uint64_t
+EpochSampler::totalOf(const std::string &counter_path) const
+{
+    for (std::size_t i = 0; i < cpaths.size(); ++i) {
+        if (cpaths[i] != counter_path)
+            continue;
+        std::uint64_t total = 0;
+        for (const EpochRow &row : series)
+            total += row.deltas[i];
+        return total;
+    }
+    zombie_panic("unknown epoch counter column: ", counter_path);
+}
+
+void
+EpochSampler::writeCsv(std::ostream &os) const
+{
+    os << "epoch,start_ns,end_ns";
+    for (const std::string &path : cpaths)
+        os << ',' << path;
+    for (const std::string &path : gpaths)
+        os << ',' << path;
+    os << '\n';
+    for (std::size_t e = 0; e < series.size(); ++e) {
+        const EpochRow &row = series[e];
+        os << e << ',' << row.start << ',' << row.end;
+        for (const std::uint64_t d : row.deltas)
+            os << ',' << d;
+        char buf[64];
+        for (const double g : row.gauges) {
+            std::snprintf(buf, sizeof(buf), "%.6g", g);
+            os << ',' << buf;
+        }
+        os << '\n';
+    }
+}
+
+void
+EpochSampler::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"interval_ns\": " << step << ",\n";
+    os << "  \"counters\": [";
+    for (std::size_t i = 0; i < cpaths.size(); ++i)
+        os << (i ? ", " : "") << '"' << cpaths[i] << '"';
+    os << "],\n  \"gauges\": [";
+    for (std::size_t i = 0; i < gpaths.size(); ++i)
+        os << (i ? ", " : "") << '"' << gpaths[i] << '"';
+    os << "],\n  \"epochs\": [\n";
+    char buf[64];
+    for (std::size_t e = 0; e < series.size(); ++e) {
+        const EpochRow &row = series[e];
+        os << "    {\"epoch\": " << e << ", \"start_ns\": "
+           << row.start << ", \"end_ns\": " << row.end
+           << ", \"deltas\": [";
+        for (std::size_t i = 0; i < row.deltas.size(); ++i)
+            os << (i ? ", " : "") << row.deltas[i];
+        os << "], \"gauges\": [";
+        for (std::size_t i = 0; i < row.gauges.size(); ++i) {
+            std::snprintf(buf, sizeof(buf), "%.6g", row.gauges[i]);
+            os << (i ? ", " : "") << buf;
+        }
+        os << "]}" << (e + 1 < series.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace zombie

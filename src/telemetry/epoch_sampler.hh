@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Epoch time-series sampler over a StatRegistry.
+ *
+ * The paper's latency figures are shaped by transient behaviour — GC
+ * pauses, die queueing, DVP hit-rate drift as the pool warms — that
+ * end-of-run aggregates average away. The sampler snapshots the
+ * registry's counters at fixed simulated-tick boundaries and stores
+ * the per-epoch deltas (plus point-in-time gauge values), giving
+ * per-interval hit-rate, relocation and queue-depth curves.
+ *
+ * Epoch boundaries sit on absolute multiples of the interval (tick 0
+ * origin), so epoch alignment is a property of the interval alone —
+ * reruns with different seeds produce comparable series. Sampling is
+ * driven by the simulation clock (the controller schedules a
+ * StatsSample event per boundary); no wall-clock state exists
+ * anywhere, so runs stay deterministic. The final, partial epoch is
+ * flushed by finish(), which makes the column sums over all epochs
+ * equal the end-of-run counter totals exactly.
+ */
+
+#ifndef ZOMBIE_TELEMETRY_EPOCH_SAMPLER_HH
+#define ZOMBIE_TELEMETRY_EPOCH_SAMPLER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/stat_registry.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** One closed epoch: [start, end) with counter deltas and gauges. */
+struct EpochRow
+{
+    Tick start = 0;
+    Tick end = 0;
+
+    /** Counter increments over the epoch, in counterPaths() order. */
+    std::vector<std::uint64_t> deltas;
+
+    /** Gauge values at the epoch's end, in gaugePaths() order. */
+    std::vector<double> gauges;
+};
+
+/** Snapshots registry counters into an in-memory time-series. */
+class EpochSampler
+{
+  public:
+    /** Sample @p registry every @p interval ticks (must be > 0). */
+    EpochSampler(const StatRegistry &registry, Tick interval);
+
+    Tick interval() const { return step; }
+
+    /**
+     * Take the baseline snapshot at measurement start: everything
+     * counted before @p now (e.g. prefill) is excluded from epoch 0.
+     * Idempotent; later calls are no-ops so trace replays do not
+     * restart the series.
+     */
+    void begin(Tick now);
+
+    /** Smallest epoch boundary strictly after @p now. */
+    Tick nextBoundary(Tick now) const;
+
+    /** Close the epoch ending at @p boundary and start the next. */
+    void sample(Tick boundary);
+
+    /**
+     * Close the trailing partial epoch at @p end (no-op when the run
+     * ended exactly on a boundary or nothing was counted since).
+     * After finish(), per-column delta sums equal the end-of-run
+     * counter totals minus the begin() baseline exactly.
+     */
+    void finish(Tick end);
+
+    bool begun() const { return started; }
+    const std::vector<EpochRow> &rows() const { return series; }
+    const std::vector<std::string> &counterColumns() const
+    {
+        return cpaths;
+    }
+    const std::vector<std::string> &gaugeColumns() const
+    {
+        return gpaths;
+    }
+
+    /** Sum of one counter column over all closed epochs. */
+    std::uint64_t totalOf(const std::string &counter_path) const;
+
+    /**
+     * CSV export: header "epoch,start_ns,end_ns,<columns...>" then
+     * one row per epoch. Gauge columns follow counter columns.
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** JSON export of the same series (column names + epoch rows). */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    /** Append the epoch [epochStart, end) from a fresh snapshot. */
+    void closeEpoch(Tick end);
+
+    const StatRegistry &reg;
+    Tick step;
+    Tick epochStart = 0;
+    bool started = false;
+    bool finished = false;
+
+    std::vector<std::string> cpaths;
+    std::vector<std::string> gpaths;
+    std::vector<std::uint64_t> prev;
+    std::vector<std::uint64_t> scratch;
+    std::vector<EpochRow> series;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_TELEMETRY_EPOCH_SAMPLER_HH

@@ -1,0 +1,102 @@
+#include "telemetry/perfetto_trace.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+PerfettoTraceWriter::PerfettoTraceWriter(std::uint64_t limit)
+    : cap(limit)
+{
+    zombie_assert(cap > 0, "trace limit must be positive");
+}
+
+void
+PerfettoTraceWriter::declareTrack(std::uint32_t track,
+                                  const std::string &name)
+{
+    trackNames[track] = name;
+}
+
+void
+PerfettoTraceWriter::span(std::uint32_t track, const char *name,
+                          const char *category, Tick start, Tick end)
+{
+    ++offered;
+    if (spans.size() >= cap)
+        return;
+    spans.push_back(Span{start, end, name, category, track});
+}
+
+std::string
+PerfettoTraceWriter::escapeJson(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const unsigned char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+PerfettoTraceWriter::writeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+    bool first = true;
+    for (const auto &[track, name] : trackNames) {
+        os << (first ? "" : ",\n")
+           << "  {\"ph\": \"M\", \"pid\": 0, \"tid\": " << track
+           << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+           << escapeJson(name) << "\"}}";
+        first = false;
+    }
+    char buf[128];
+    for (const Span &s : spans) {
+        // ts/dur are microseconds; ticks are ns, so three decimals
+        // are exact.
+        std::snprintf(buf, sizeof(buf),
+                      "\"ts\": %llu.%03llu, \"dur\": %llu.%03llu",
+                      static_cast<unsigned long long>(s.start / 1000),
+                      static_cast<unsigned long long>(s.start % 1000),
+                      static_cast<unsigned long long>(
+                          (s.end - s.start) / 1000),
+                      static_cast<unsigned long long>(
+                          (s.end - s.start) % 1000));
+        os << (first ? "" : ",\n")
+           << "  {\"ph\": \"X\", \"pid\": 0, \"tid\": " << s.track
+           << ", " << buf << ", \"name\": \"" << s.name
+           << "\", \"cat\": \"" << s.category << "\"}";
+        first = false;
+    }
+    os << "\n]}\n";
+}
+
+} // namespace zombie

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * TraceSink emitting Chrome trace_event JSON loadable in Perfetto.
+ *
+ * Spans are buffered as POD records (track, literal name/category,
+ * start/end ticks) and serialized on demand as complete events
+ * ("ph":"X") with microsecond timestamps, one Perfetto thread per
+ * track, plus thread_name metadata events. Ticks are nanoseconds, so
+ * timestamps print with three decimals and lose nothing.
+ *
+ * The buffer keeps the first `limit` spans offered (--trace-limit):
+ * the interesting transients — pool warm-up, first GC storms — are at
+ * the front of a run, and a hard cap keeps a day-long trace from
+ * buffering gigabytes. recorded() vs kept() exposes the truncation.
+ */
+
+#ifndef ZOMBIE_TELEMETRY_PERFETTO_TRACE_HH
+#define ZOMBIE_TELEMETRY_PERFETTO_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace_sink.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Buffering TraceSink with Chrome trace_event JSON output. */
+class PerfettoTraceWriter : public TraceSink
+{
+  public:
+    static constexpr std::uint64_t kDefaultLimit = 1'000'000;
+
+    explicit PerfettoTraceWriter(std::uint64_t limit = kDefaultLimit);
+
+    void declareTrack(std::uint32_t track,
+                      const std::string &name) override;
+    void span(std::uint32_t track, const char *name,
+              const char *category, Tick start, Tick end) override;
+
+    /** Spans offered to the sink (including dropped ones). */
+    std::uint64_t recorded() const { return offered; }
+
+    /** Spans actually buffered (first `limit` offered). */
+    std::uint64_t kept() const { return spans.size(); }
+
+    std::uint64_t limit() const { return cap; }
+
+    /** Serialize as {"traceEvents": [...]} JSON. */
+    void writeJson(std::ostream &os) const;
+
+    /** JSON string escaping (exposed for tests). */
+    static std::string escapeJson(const std::string &raw);
+
+  private:
+    struct Span
+    {
+        Tick start;
+        Tick end;
+        const char *name;
+        const char *category;
+        std::uint32_t track;
+    };
+
+    std::vector<Span> spans;
+    std::map<std::uint32_t, std::string> trackNames;
+    std::uint64_t cap;
+    std::uint64_t offered = 0;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_TELEMETRY_PERFETTO_TRACE_HH

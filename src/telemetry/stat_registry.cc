@@ -1,0 +1,180 @@
+#include "telemetry/stat_registry.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+namespace
+{
+
+/** Paths are dotted identifiers: [A-Za-z0-9_] segments, '.'-joined. */
+bool
+validPath(const std::string &path)
+{
+    if (path.empty() || path.front() == '.' || path.back() == '.')
+        return false;
+    bool prev_dot = false;
+    for (const char c : path) {
+        if (c == '.') {
+            if (prev_dot)
+                return false;
+            prev_dot = true;
+            continue;
+        }
+        prev_dot = false;
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+/** Stable %.6g rendering shared by dump() and gauge values. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+StatRegistry::insert(const std::string &path, Entry entry)
+{
+    zombie_assert(validPath(path), "malformed stat path: ", path);
+    const auto [it, fresh] = entries.emplace(path, std::move(entry));
+    (void)it;
+    zombie_assert(fresh, "duplicate stat path: ", path);
+}
+
+void
+StatRegistry::addCounter(const std::string &path,
+                         const std::uint64_t *value)
+{
+    zombie_assert(value != nullptr, "null counter source: ", path);
+    Entry e;
+    e.kind = Kind::Counter;
+    e.counter = value;
+    insert(path, std::move(e));
+}
+
+void
+StatRegistry::addGauge(const std::string &path, GaugeFn sample)
+{
+    zombie_assert(static_cast<bool>(sample),
+                  "null gauge sampler: ", path);
+    Entry e;
+    e.kind = Kind::Gauge;
+    e.gauge = std::move(sample);
+    insert(path, std::move(e));
+}
+
+void
+StatRegistry::addHistogram(const std::string &path,
+                           const LatencyHistogram *hist)
+{
+    zombie_assert(hist != nullptr, "null histogram source: ", path);
+    Entry e;
+    e.kind = Kind::Histogram;
+    e.hist = hist;
+    insert(path, std::move(e));
+}
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    return entries.count(path) > 0;
+}
+
+double
+StatRegistry::value(const std::string &path) const
+{
+    const auto it = entries.find(path);
+    zombie_assert(it != entries.end(), "unknown stat path: ", path);
+    switch (it->second.kind) {
+      case Kind::Counter:
+        return static_cast<double>(*it->second.counter);
+      case Kind::Gauge:
+        return it->second.gauge();
+      default:
+        zombie_panic("stat path is a histogram, not a scalar: ", path);
+    }
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[path, entry] : entries) {
+        switch (entry.kind) {
+          case Kind::Counter:
+            os << path << ' ' << *entry.counter << '\n';
+            break;
+          case Kind::Gauge:
+            os << path << ' ' << formatDouble(entry.gauge()) << '\n';
+            break;
+          case Kind::Histogram: {
+            const LatencyHistogram &h = *entry.hist;
+            os << path << ".count " << h.count() << '\n';
+            os << path << ".mean " << formatDouble(h.mean()) << '\n';
+            os << path << ".min " << h.minValue() << '\n';
+            os << path << ".p50 " << h.percentile(0.5) << '\n';
+            os << path << ".p99 " << h.percentile(0.99) << '\n';
+            os << path << ".p999 " << h.percentile(0.999) << '\n';
+            os << path << ".max " << h.maxValue() << '\n';
+            break;
+          }
+        }
+    }
+}
+
+std::vector<std::string>
+StatRegistry::counterPaths() const
+{
+    std::vector<std::string> paths;
+    for (const auto &[path, entry] : entries) {
+        if (entry.kind == Kind::Counter)
+            paths.push_back(path);
+    }
+    return paths;
+}
+
+std::vector<std::string>
+StatRegistry::gaugePaths() const
+{
+    std::vector<std::string> paths;
+    for (const auto &[path, entry] : entries) {
+        if (entry.kind == Kind::Gauge)
+            paths.push_back(path);
+    }
+    return paths;
+}
+
+void
+StatRegistry::counterValues(std::vector<std::uint64_t> &out) const
+{
+    out.clear();
+    for (const auto &[path, entry] : entries) {
+        if (entry.kind == Kind::Counter)
+            out.push_back(*entry.counter);
+    }
+}
+
+void
+StatRegistry::gaugeValues(std::vector<double> &out) const
+{
+    out.clear();
+    for (const auto &[path, entry] : entries) {
+        if (entry.kind == Kind::Gauge)
+            out.push_back(entry.gauge());
+    }
+}
+
+} // namespace zombie

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Hierarchical statistic registry (gem5-style observability root).
+ *
+ * Components register named statistics under dotted paths
+ * ("ctrl.reads", "nand.chan0.chip1.die2.busy_ticks") at construction
+ * time; the registry never owns the underlying storage. Three source
+ * kinds cover every simulator statistic:
+ *
+ *  - counter:   a monotonically nondecreasing uint64 the component
+ *               already maintains (registered by pointer),
+ *  - gauge:     a point-in-time double sampled through a callback
+ *               (pool occupancy, derived rates),
+ *  - histogram: a LatencyHistogram, expanded on dump into
+ *               .count/.mean/.min/.p50/.p99/.p999/.max sub-stats.
+ *
+ * The registry is pure observation: nothing on the request hot path
+ * ever calls into it — components keep updating their own members and
+ * the registry reads them on demand (dump or epoch snapshot), so the
+ * zero-allocation steady-state contract (DESIGN.md section 7.10) is
+ * untouched. dump() emits a stable, sorted, machine-parseable
+ * listing, and counter snapshots feed the epoch sampler
+ * (telemetry/epoch_sampler.hh).
+ */
+
+#ifndef ZOMBIE_TELEMETRY_STAT_REGISTRY_HH
+#define ZOMBIE_TELEMETRY_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace zombie
+{
+
+/** Name -> source binding for every registered statistic. */
+class StatRegistry
+{
+  public:
+    /** Point-in-time sampler for gauge statistics. */
+    using GaugeFn = std::function<double()>;
+
+    /**
+     * Register a counter at @p path reading @p value (not owned; must
+     * outlive the registry). Fatal on duplicate or malformed paths.
+     */
+    void addCounter(const std::string &path,
+                    const std::uint64_t *value);
+
+    /** Register a gauge at @p path sampled through @p sample. */
+    void addGauge(const std::string &path, GaugeFn sample);
+
+    /** Register a histogram at @p path (not owned). */
+    void addHistogram(const std::string &path,
+                      const LatencyHistogram *hist);
+
+    bool has(const std::string &path) const;
+    std::size_t size() const { return entries.size(); }
+
+    /** Current value of one counter/gauge path. Fatal on unknown. */
+    double value(const std::string &path) const;
+
+    /**
+     * Write every statistic as "path value" lines, sorted by path.
+     * Counters print as integers, gauges as %.6g, histograms as their
+     * expanded sub-stats. The listing is byte-stable for identical
+     * simulated state.
+     */
+    void dump(std::ostream &os) const;
+
+    /** Registered counter paths in sorted (dump) order. */
+    std::vector<std::string> counterPaths() const;
+
+    /** Registered gauge paths in sorted (dump) order. */
+    std::vector<std::string> gaugePaths() const;
+
+    /** Read every counter, in counterPaths() order, into @p out. */
+    void counterValues(std::vector<std::uint64_t> &out) const;
+
+    /** Sample every gauge, in gaugePaths() order, into @p out. */
+    void gaugeValues(std::vector<double> &out) const;
+
+  private:
+    enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+    struct Entry
+    {
+        Kind kind;
+        const std::uint64_t *counter = nullptr;
+        GaugeFn gauge;
+        const LatencyHistogram *hist = nullptr;
+    };
+
+    void insert(const std::string &path, Entry entry);
+
+    /** Sorted map: dump order and snapshot order fall out for free. */
+    std::map<std::string, Entry> entries;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_TELEMETRY_STAT_REGISTRY_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Operation-span tracing interface (null by default).
+ *
+ * A TraceSink receives one span per hardware operation: the track it
+ * ran on (a small integer the producer maps to a channel/chip/die),
+ * a static name ("read", "program", "erase"), a static category
+ * ("host" or "gc"), and the simulated start/end ticks. Producers hold
+ * a nullable TraceSink pointer and skip the call entirely when no
+ * sink is attached, so tracing costs a single predictable branch when
+ * disabled and the request hot path stays allocation-free.
+ *
+ * Name and category strings must have static storage duration
+ * (string literals): sinks keep the pointers, never copies, so
+ * recording a span allocates nothing until the sink itself decides
+ * to buffer it.
+ */
+
+#ifndef ZOMBIE_TELEMETRY_TRACE_SINK_HH
+#define ZOMBIE_TELEMETRY_TRACE_SINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace zombie
+{
+
+/** Receiver of operation spans from the timing layer. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /**
+     * Declare a human-readable name for @p track (e.g.
+     * "chan0.chip1.die2"). Called once per track, before any span
+     * references it.
+     */
+    virtual void declareTrack(std::uint32_t track,
+                              const std::string &name) = 0;
+
+    /**
+     * One operation occupying @p track over [@p start, @p end).
+     * @p name and @p category must be string literals.
+     */
+    virtual void span(std::uint32_t track, const char *name,
+                      const char *category, Tick start, Tick end) = 0;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_TELEMETRY_TRACE_SINK_HH

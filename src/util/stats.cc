@@ -140,11 +140,15 @@ LatencyHistogram::percentile(double q) const
     q = std::clamp(q, 0.0, 1.0);
     const std::uint64_t target = static_cast<std::uint64_t>(
         std::ceil(q * static_cast<double>(n)));
+    // Quantile 0 is the recorded minimum exactly, not the containing
+    // bucket's upper bound (which can sit ~3% above it).
+    if (target == 0)
+        return lo;
     std::uint64_t seen = 0;
     for (int i = 0; i < kBuckets; ++i) {
         seen += counts[i];
         if (seen >= target && counts[i] > 0)
-            return std::min(bucketUpperBound(i), hi);
+            return std::clamp(bucketUpperBound(i), lo, hi);
     }
     return hi;
 }

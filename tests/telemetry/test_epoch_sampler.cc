@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Epoch-sampler tests: boundary alignment on the absolute tick grid,
+ * seed independence of that grid, and the end-to-end contract that
+ * per-epoch delta sums equal the run's SimResult counters exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/ssd.hh"
+#include "telemetry/epoch_sampler.hh"
+#include "trace/generator.hh"
+
+namespace zombie
+{
+namespace
+{
+
+constexpr Tick kInterval = ticksFromUs(20'000); // 20ms epochs
+
+/** Run one Mail x MqDvp cell with the sampler on. */
+Ssd &
+runCell(Ssd &ssd, std::uint64_t requests, std::uint64_t seed)
+{
+    const WorkloadProfile profile =
+        WorkloadProfile::preset(Workload::Mail, 1, requests, seed);
+    SyntheticTraceGenerator gen(profile);
+    ssd.prefill();
+    TraceRecord rec;
+    while (gen.next(rec))
+        ssd.process(rec);
+    return ssd;
+}
+
+SsdConfig
+cellConfig(std::uint64_t requests, std::uint64_t seed)
+{
+    const WorkloadProfile profile =
+        WorkloadProfile::preset(Workload::Mail, 1, requests, seed);
+    SsdConfig cfg = SsdConfig::forProfile(profile, SystemKind::MqDvp);
+    cfg.mq.capacity = 2'000;
+    cfg.statsInterval = kInterval;
+    return cfg;
+}
+
+TEST(EpochSampler, UnitBoundaryMath)
+{
+    StatRegistry reg;
+    std::uint64_t c = 0;
+    reg.addCounter("c", &c);
+    EpochSampler sampler(reg, 100);
+
+    EXPECT_EQ(sampler.nextBoundary(0), 100u);
+    EXPECT_EQ(sampler.nextBoundary(1), 100u);
+    EXPECT_EQ(sampler.nextBoundary(99), 100u);
+    EXPECT_EQ(sampler.nextBoundary(100), 200u); // strictly after
+    EXPECT_EQ(sampler.nextBoundary(250), 300u);
+}
+
+TEST(EpochSampler, DeltasAndFinishFlushPartialEpoch)
+{
+    StatRegistry reg;
+    std::uint64_t c = 0;
+    reg.addGauge("g", [&c] { return static_cast<double>(c); });
+    reg.addCounter("c", &c);
+    EpochSampler sampler(reg, 100);
+
+    sampler.begin(30);
+    c = 5;
+    sampler.sample(100);
+    c = 12;
+    sampler.sample(200);
+    sampler.sample(200); // duplicate boundary: no-op
+    c = 14;
+    sampler.finish(250); // partial trailing epoch
+    sampler.finish(300); // idempotent
+
+    const auto &rows = sampler.rows();
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].start, 30u);
+    EXPECT_EQ(rows[0].end, 100u);
+    EXPECT_EQ(rows[0].deltas[0], 5u);
+    EXPECT_DOUBLE_EQ(rows[0].gauges[0], 5.0);
+    EXPECT_EQ(rows[1].start, 100u);
+    EXPECT_EQ(rows[1].end, 200u);
+    EXPECT_EQ(rows[1].deltas[0], 7u);
+    EXPECT_EQ(rows[2].start, 200u);
+    EXPECT_EQ(rows[2].end, 250u);
+    EXPECT_EQ(rows[2].deltas[0], 2u);
+    EXPECT_EQ(sampler.totalOf("c"), 14u);
+}
+
+TEST(EpochSampler, BaselineExcludesPreBeginActivity)
+{
+    StatRegistry reg;
+    std::uint64_t c = 1'000; // "prefill" activity
+    reg.addCounter("c", &c);
+    EpochSampler sampler(reg, 100);
+    sampler.begin(0);
+    sampler.begin(50); // idempotent: first begin wins
+    c += 4;
+    sampler.finish(70);
+    ASSERT_EQ(sampler.rows().size(), 1u);
+    EXPECT_EQ(sampler.totalOf("c"), 4u);
+}
+
+TEST(EpochSampler, BoundariesSitOnAbsoluteGridAcrossSeeds)
+{
+    for (const std::uint64_t seed : {7ull, 17ull}) {
+        Ssd ssd(cellConfig(8'000, seed));
+        runCell(ssd, 8'000, seed);
+        (void)ssd.result();
+        const EpochSampler *sampler = ssd.sampler();
+        ASSERT_NE(sampler, nullptr);
+        const auto &rows = sampler->rows();
+        ASSERT_GE(rows.size(), 3u) << "cell too short for the test";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            // Every boundary except the final flush is a multiple of
+            // the interval — the grid is absolute, not seed- or
+            // arrival-relative.
+            if (i + 1 < rows.size())
+                EXPECT_EQ(rows[i].end % kInterval, 0u)
+                    << "epoch " << i << " seed " << seed;
+            if (i > 0)
+                EXPECT_EQ(rows[i].start, rows[i - 1].end);
+        }
+    }
+}
+
+TEST(EpochSampler, EpochTotalsMatchSimResultExactly)
+{
+    Ssd ssd(cellConfig(12'000, 17));
+    runCell(ssd, 12'000, 17);
+    const SimResult r = ssd.result();
+    const EpochSampler *sampler = ssd.sampler();
+    ASSERT_NE(sampler, nullptr);
+
+    // The sampler baselines at measurement start, exactly where the
+    // SimResult's prefill-excluding snapshots are taken, and finish()
+    // flushes the trailing partial epoch — so column sums equal the
+    // end-of-run result with no tolerance.
+    EXPECT_EQ(sampler->totalOf("flash.programs"), r.flashPrograms);
+    EXPECT_EQ(sampler->totalOf("flash.reads"), r.flashReads);
+    EXPECT_EQ(sampler->totalOf("flash.erases"), r.flashErases);
+    EXPECT_EQ(sampler->totalOf("ftl.gc.invocations"),
+              r.gcInvocations);
+    EXPECT_EQ(sampler->totalOf("ftl.gc.relocations"),
+              r.gcRelocations);
+    EXPECT_EQ(sampler->totalOf("ftl.dvp_revivals"), r.dvpRevivals);
+    EXPECT_EQ(sampler->totalOf("ftl.dedup_hits"), r.dedupHits);
+    EXPECT_EQ(sampler->totalOf("ctrl.reads"), r.reads);
+    EXPECT_EQ(sampler->totalOf("ctrl.writes"), r.writes);
+    EXPECT_EQ(sampler->totalOf("ctrl.reads") +
+                  sampler->totalOf("ctrl.writes"),
+              r.requests);
+}
+
+TEST(EpochSampler, SeriesIsSeedDeterministic)
+{
+    std::ostringstream first, second;
+    for (std::ostringstream *out : {&first, &second}) {
+        Ssd ssd(cellConfig(6'000, 5));
+        runCell(ssd, 6'000, 5);
+        (void)ssd.result();
+        ssd.sampler()->writeCsv(*out);
+    }
+    EXPECT_EQ(first.str(), second.str());
+    EXPECT_NE(first.str().find("epoch,start_ns,end_ns,"),
+              std::string::npos);
+}
+
+TEST(EpochSampler, DisabledByDefault)
+{
+    SsdConfig cfg = cellConfig(1'000, 3);
+    cfg.statsInterval = 0;
+    Ssd ssd(cfg);
+    runCell(ssd, 1'000, 3);
+    (void)ssd.result();
+    EXPECT_EQ(ssd.sampler(), nullptr);
+    EXPECT_EQ(ssd.tracer(), nullptr);
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Perfetto trace-writer tests: escaping, the span cap, well-formed
+ * JSON output and monotonically nondecreasing timestamps per track
+ * (the die-serialization property Perfetto's track view relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/ssd.hh"
+#include "telemetry/perfetto_trace.hh"
+#include "trace/generator.hh"
+
+namespace zombie
+{
+namespace
+{
+
+/**
+ * Minimal JSON well-formedness checker: validates the value grammar
+ * (objects, arrays, strings with escapes, numbers, literals) without
+ * building a document. Returns true when the whole input is one
+ * valid JSON value.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos == s.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos >= s.size())
+            return false;
+        switch (s[pos]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos;
+        while (pos < s.size()) {
+            const char c = s[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return false; // control chars must be escaped
+            if (c == '\\') {
+                ++pos;
+                if (pos >= s.size())
+                    return false;
+                const char e = s[pos];
+                if (e == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos + i >= s.size() ||
+                            !std::isxdigit(static_cast<unsigned char>(
+                                s[pos + i])))
+                            return false;
+                    }
+                    pos += 4;
+                } else if (std::string("\"\\/bfnrt").find(e) ==
+                           std::string::npos) {
+                    return false;
+                }
+            }
+            ++pos;
+        }
+        return false;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos])))
+            ++pos;
+        if (peek() == '.') {
+            ++pos;
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos])))
+                ++pos;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos;
+            if (peek() == '+' || peek() == '-')
+                ++pos;
+            while (pos < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[pos])))
+                ++pos;
+        }
+        return pos > start;
+    }
+
+    bool
+    literal(const std::string &word)
+    {
+        if (s.compare(pos, word.size(), word) != 0)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos < s.size() ? s[pos] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\n' || s[pos] == '\t' ||
+                s[pos] == '\r'))
+            ++pos;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+/** Extract the numeric value following @p key in an event line. */
+double
+fieldOf(const std::string &line, const std::string &key)
+{
+    const std::size_t at = line.find("\"" + key + "\": ");
+    EXPECT_NE(at, std::string::npos) << key << " in " << line;
+    return std::stod(line.substr(at + key.size() + 4));
+}
+
+TEST(PerfettoTrace, EscapeJson)
+{
+    EXPECT_EQ(PerfettoTraceWriter::escapeJson("plain"), "plain");
+    EXPECT_EQ(PerfettoTraceWriter::escapeJson("a\"b\\c"),
+              "a\\\"b\\\\c");
+    EXPECT_EQ(PerfettoTraceWriter::escapeJson("x\n\r\ty"),
+              "x\\n\\r\\ty");
+    EXPECT_EQ(PerfettoTraceWriter::escapeJson(std::string(1, '\x01')),
+              "\\u0001");
+}
+
+TEST(PerfettoTrace, SpanLimitKeepsFirstSpans)
+{
+    PerfettoTraceWriter writer(3);
+    writer.declareTrack(0, "chan0.chip0.die0");
+    for (int i = 0; i < 10; ++i)
+        writer.span(0, "read", "host",
+                    static_cast<Tick>(i) * 100,
+                    static_cast<Tick>(i) * 100 + 50);
+    EXPECT_EQ(writer.recorded(), 10u);
+    EXPECT_EQ(writer.kept(), 3u);
+
+    std::ostringstream os;
+    writer.writeJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid());
+    // The three earliest spans survive; later ones were dropped.
+    EXPECT_NE(json.find("\"ts\": 0.000"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\": 0.200"), std::string::npos);
+    EXPECT_EQ(json.find("\"ts\": 0.300"), std::string::npos);
+}
+
+TEST(PerfettoTrace, TickExactMicrosecondRendering)
+{
+    PerfettoTraceWriter writer;
+    writer.span(0, "program", "gc", 1'234'567, 1'234'567 + 1'001);
+    std::ostringstream os;
+    writer.writeJson(os);
+    const std::string json = os.str();
+    // Ticks are ns; ts/dur print as microseconds with three exact
+    // decimals, so no precision is lost.
+    EXPECT_NE(json.find("\"ts\": 1234.567"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\": 1.001"), std::string::npos);
+}
+
+TEST(PerfettoTrace, CellTraceIsValidJsonWithMonotoneTracks)
+{
+    const WorkloadProfile profile =
+        WorkloadProfile::preset(Workload::Mail, 1, 6'000, 11);
+    SsdConfig cfg = SsdConfig::forProfile(profile, SystemKind::MqDvp);
+    cfg.mq.capacity = 2'000;
+    cfg.opTrace = true;
+    Ssd ssd(cfg);
+    ssd.prefill();
+    SyntheticTraceGenerator gen(profile);
+    TraceRecord rec;
+    while (gen.next(rec))
+        ssd.process(rec);
+    (void)ssd.result();
+
+    const PerfettoTraceWriter *tracer = ssd.tracer();
+    ASSERT_NE(tracer, nullptr);
+    EXPECT_GT(tracer->kept(), 1'000u);
+
+    std::ostringstream os;
+    tracer->writeJson(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(JsonChecker(json).valid());
+
+    // One thread_name metadata record per die track.
+    EXPECT_NE(json.find("\"name\": \"chan0.chip0.die0\""),
+              std::string::npos);
+
+    // Spans on one track cover die-occupancy phases, which serialize
+    // through the die's busy-until horizon: per tid, ts never goes
+    // backwards in emission order and spans never overlap.
+    std::vector<double> lastEnd(cfg.geom.totalDies(), -1.0);
+    std::istringstream lines(json);
+    std::string line;
+    std::uint64_t spans = 0;
+    while (std::getline(lines, line)) {
+        if (line.find("\"ph\": \"X\"") == std::string::npos)
+            continue;
+        ++spans;
+        const auto tid = static_cast<std::size_t>(
+            fieldOf(line, "tid"));
+        ASSERT_LT(tid, lastEnd.size());
+        const double ts = fieldOf(line, "ts");
+        const double dur = fieldOf(line, "dur");
+        EXPECT_GE(ts, lastEnd[tid]) << "overlap on track " << tid;
+        lastEnd[tid] = ts + dur;
+    }
+    EXPECT_EQ(spans, tracer->kept());
+}
+
+TEST(PerfettoTrace, GcSpansCarryGcCategory)
+{
+    // Mirror the golden cell (Mail x MqDvp, 60k requests, seed 99,
+    // pool 6000), which is known to invoke GC during measurement.
+    const WorkloadProfile profile =
+        WorkloadProfile::preset(Workload::Mail, 1, 60'000, 99);
+    SsdConfig cfg = SsdConfig::forProfile(profile, SystemKind::MqDvp);
+    cfg.mq.capacity = 6'000;
+    cfg.opTrace = true;
+    Ssd ssd(cfg);
+    ssd.prefill();
+    SyntheticTraceGenerator gen(profile);
+    TraceRecord rec;
+    while (gen.next(rec))
+        ssd.process(rec);
+    const SimResult r = ssd.result();
+    ASSERT_GT(r.gcRelocations, 0u) << "cell too small to trigger GC";
+
+    std::ostringstream os;
+    ssd.tracer()->writeJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"cat\": \"gc\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"host\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"erase\""), std::string::npos);
+}
+
+} // namespace
+} // namespace zombie

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the hierarchical stat registry: registration,
+ * path validation, value reads and the stable dump format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/stat_registry.hh"
+#include "util/stats.hh"
+
+namespace zombie
+{
+namespace
+{
+
+TEST(StatRegistry, CounterRegistrationAndValue)
+{
+    StatRegistry reg;
+    std::uint64_t hits = 0;
+    reg.addCounter("dvp.mq.hits", &hits);
+    EXPECT_TRUE(reg.has("dvp.mq.hits"));
+    EXPECT_FALSE(reg.has("dvp.mq.misses"));
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_DOUBLE_EQ(reg.value("dvp.mq.hits"), 0.0);
+
+    // The registry reads the component's storage live: no snapshot,
+    // no hot-path call needed to keep it current.
+    hits = 42;
+    EXPECT_DOUBLE_EQ(reg.value("dvp.mq.hits"), 42.0);
+}
+
+TEST(StatRegistry, GaugeSamplesThroughCallback)
+{
+    StatRegistry reg;
+    double depth = 1.5;
+    reg.addGauge("ctrl.outstanding", [&depth] { return depth; });
+    EXPECT_DOUBLE_EQ(reg.value("ctrl.outstanding"), 1.5);
+    depth = 7.0;
+    EXPECT_DOUBLE_EQ(reg.value("ctrl.outstanding"), 7.0);
+}
+
+TEST(StatRegistry, DumpIsSortedAndStable)
+{
+    StatRegistry reg;
+    std::uint64_t a = 3, b = 11;
+    reg.addCounter("zeta.last", &a);
+    reg.addCounter("alpha.first", &b);
+    reg.addGauge("mid.gauge", [] { return 0.25; });
+
+    std::ostringstream once, twice;
+    reg.dump(once);
+    reg.dump(twice);
+    EXPECT_EQ(once.str(), twice.str());
+    EXPECT_EQ(once.str(),
+              "alpha.first 11\n"
+              "mid.gauge 0.25\n"
+              "zeta.last 3\n");
+}
+
+TEST(StatRegistry, HistogramExpandsIntoSubStats)
+{
+    StatRegistry reg;
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.record(v * 1000);
+    reg.addHistogram("ctrl.latency.all", &h);
+
+    std::ostringstream os;
+    reg.dump(os);
+    const std::string dump = os.str();
+    for (const char *sub :
+         {".count ", ".mean ", ".min ", ".p50 ", ".p99 ", ".p999 ",
+          ".max "}) {
+        EXPECT_NE(dump.find(std::string("ctrl.latency.all") + sub),
+                  std::string::npos)
+            << "missing sub-stat " << sub;
+    }
+    EXPECT_NE(dump.find("ctrl.latency.all.count 100\n"),
+              std::string::npos);
+    EXPECT_NE(dump.find("ctrl.latency.all.min 1000\n"),
+              std::string::npos);
+    EXPECT_NE(dump.find("ctrl.latency.all.max 100000\n"),
+              std::string::npos);
+}
+
+TEST(StatRegistry, SnapshotOrderMatchesPathOrder)
+{
+    StatRegistry reg;
+    std::uint64_t x = 1, y = 2, z = 3;
+    reg.addCounter("b.mid", &y);
+    reg.addCounter("c.last", &z);
+    reg.addCounter("a.first", &x);
+    reg.addGauge("a.gauge", [] { return 9.0; });
+
+    const auto paths = reg.counterPaths();
+    ASSERT_EQ(paths.size(), 3u);
+    EXPECT_EQ(paths[0], "a.first");
+    EXPECT_EQ(paths[1], "b.mid");
+    EXPECT_EQ(paths[2], "c.last");
+
+    std::vector<std::uint64_t> values;
+    reg.counterValues(values);
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_EQ(values[0], 1u);
+    EXPECT_EQ(values[1], 2u);
+    EXPECT_EQ(values[2], 3u);
+
+    std::vector<double> gauges;
+    reg.gaugeValues(gauges);
+    ASSERT_EQ(gauges.size(), 1u);
+    EXPECT_DOUBLE_EQ(gauges[0], 9.0);
+}
+
+TEST(StatRegistryDeath, DuplicatePathPanics)
+{
+    StatRegistry reg;
+    std::uint64_t v = 0;
+    reg.addCounter("dup.path", &v);
+    EXPECT_DEATH(reg.addCounter("dup.path", &v), "duplicate");
+}
+
+TEST(StatRegistryDeath, MalformedPathPanics)
+{
+    StatRegistry reg;
+    std::uint64_t v = 0;
+    EXPECT_DEATH(reg.addCounter("", &v), "malformed");
+    EXPECT_DEATH(reg.addCounter(".leading", &v), "malformed");
+    EXPECT_DEATH(reg.addCounter("trailing.", &v), "malformed");
+    EXPECT_DEATH(reg.addCounter("two..dots", &v), "malformed");
+    EXPECT_DEATH(reg.addCounter("bad char", &v), "malformed");
+}
+
+TEST(StatRegistryDeath, UnknownPathPanics)
+{
+    StatRegistry reg;
+    EXPECT_DEATH((void)reg.value("no.such.stat"), "unknown");
+}
+
+} // namespace
+} // namespace zombie

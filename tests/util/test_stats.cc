@@ -145,6 +145,55 @@ TEST(LatencyHistogram, PercentileNeverExceedsMax)
     EXPECT_LE(h.percentile(0.99), 1'000'000u);
 }
 
+TEST(LatencyHistogram, ExtremeQuantilesClampToRecordedRange)
+{
+    // Quantile 0 is the recorded minimum and quantile 1 never
+    // exceeds the recorded maximum, even when bucketization would
+    // otherwise round up past them.
+    LatencyHistogram h;
+    Xoshiro256 rng(6);
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = 4000 + rng.nextBounded(10'000'000);
+        h.record(v);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_EQ(h.percentile(0.0), lo);
+    EXPECT_EQ(h.percentile(1.0), hi);
+    for (double q : {0.001, 0.01, 0.5, 0.999}) {
+        EXPECT_GE(h.percentile(q), lo) << "quantile " << q;
+        EXPECT_LE(h.percentile(q), hi) << "quantile " << q;
+    }
+}
+
+TEST(LatencyHistogram, SingleSampleQuantilesAreThatSample)
+{
+    LatencyHistogram h;
+    h.record(261'321);
+    EXPECT_EQ(h.percentile(0.0), 261'321u);
+    EXPECT_EQ(h.percentile(0.5), 261'321u);
+    EXPECT_EQ(h.percentile(1.0), 261'321u);
+}
+
+TEST(LatencyHistogram, MergePreservesExactSumMean)
+{
+    // merge() adds the raw value sums, so the merged mean is exactly
+    // the sequential mean, not a weighted recombination of rounded
+    // means.
+    LatencyHistogram a, b;
+    double sum = 0.0;
+    Xoshiro256 rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.nextBounded(50'000'000);
+        (i % 2 ? a : b).record(v);
+        sum += static_cast<double>(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), 10000u);
+    EXPECT_DOUBLE_EQ(a.mean(), sum / 10000.0);
+}
+
 TEST(LatencyHistogram, MergeMatchesCombinedRecording)
 {
     LatencyHistogram a, b, all;
