@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the flat metadata
+ * containers against their node-based std counterparts, on the hot
+ * path's shapes: fingerprint-sized keys at DVP pool sizes with a
+ * mixed insert/find/erase churn, and LRU chain maintenance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/fingerprint.hh"
+#include "util/flat_map.hh"
+#include "util/intrusive_lru.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace zombie;
+
+/**
+ * DVP-index churn: a pool of `size` fingerprints at steady state,
+ * each op either looks up a hot key, inserts a fresh one, or erases
+ * one (the MQ index does all three per simulated write).
+ */
+template <typename Map>
+void
+churnFingerprintMap(benchmark::State &state)
+{
+    const auto size = static_cast<std::uint64_t>(state.range(0));
+    Map map;
+    map.reserve(size);
+    Xoshiro256 rng(42);
+
+    std::uint64_t next_id = 0;
+    for (; next_id < size; ++next_id)
+        map[Fingerprint::fromValueId(next_id)] = next_id;
+
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        const std::uint64_t roll = rng.nextBounded(4);
+        if (roll == 0) {
+            // Replace: erase a (probably present) older key, insert
+            // a fresh one — the pool's eviction/insert pattern.
+            map.erase(
+                Fingerprint::fromValueId(rng.nextBounded(next_id)));
+            map[Fingerprint::fromValueId(next_id)] = next_id;
+            ++next_id;
+        } else {
+            auto it =
+                map.find(Fingerprint::fromValueId(rng.nextBounded(next_id)));
+            hits += it != map.end();
+        }
+        benchmark::DoNotOptimize(hits);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_FlatMapChurn(benchmark::State &state)
+{
+    churnFingerprintMap<
+        FlatMap<Fingerprint, std::uint64_t, FingerprintHash>>(state);
+}
+
+void
+BM_UnorderedMapChurn(benchmark::State &state)
+{
+    churnFingerprintMap<
+        std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash>>(
+        state);
+}
+
+/** LRU recency churn over a resident population of `size` entries. */
+void
+BM_IntrusiveLruTouch(benchmark::State &state)
+{
+    const auto size = static_cast<std::uint64_t>(state.range(0));
+    LruSlab<std::uint64_t> slab;
+    LruChain chain;
+    slab.reserve(size);
+    std::vector<std::uint32_t> handles;
+    handles.reserve(size);
+    for (std::uint64_t i = 0; i < size; ++i) {
+        const std::uint32_t h = slab.acquire();
+        slab[h] = i;
+        slab.pushBack(chain, h);
+        handles.push_back(h);
+    }
+
+    Xoshiro256 rng(7);
+    for (auto _ : state) {
+        slab.moveToBack(chain, handles[rng.nextBounded(size)]);
+        benchmark::DoNotOptimize(chain.tail);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_StdListTouch(benchmark::State &state)
+{
+    const auto size = static_cast<std::uint64_t>(state.range(0));
+    std::list<std::uint64_t> lru;
+    std::vector<std::list<std::uint64_t>::iterator> handles;
+    handles.reserve(size);
+    for (std::uint64_t i = 0; i < size; ++i) {
+        lru.push_back(i);
+        handles.push_back(std::prev(lru.end()));
+    }
+
+    Xoshiro256 rng(7);
+    for (auto _ : state) {
+        lru.splice(lru.end(), lru, handles[rng.nextBounded(size)]);
+        benchmark::DoNotOptimize(lru.back());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+/** Eviction + reinsertion cycle: the slab reuses slots, the list
+ * reallocates nodes. */
+void
+BM_IntrusiveLruEvictInsert(benchmark::State &state)
+{
+    const auto size = static_cast<std::uint64_t>(state.range(0));
+    LruSlab<std::uint64_t> slab;
+    LruChain chain;
+    slab.reserve(size);
+    for (std::uint64_t i = 0; i < size; ++i) {
+        const std::uint32_t h = slab.acquire();
+        slab[h] = i;
+        slab.pushBack(chain, h);
+    }
+
+    for (auto _ : state) {
+        const std::uint32_t victim = chain.head;
+        slab.unlink(chain, victim);
+        slab.release(victim);
+        const std::uint32_t h = slab.acquire();
+        slab.pushBack(chain, h);
+        benchmark::DoNotOptimize(chain.head);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_StdListEvictInsert(benchmark::State &state)
+{
+    const auto size = static_cast<std::uint64_t>(state.range(0));
+    std::list<std::uint64_t> lru;
+    for (std::uint64_t i = 0; i < size; ++i)
+        lru.push_back(i);
+
+    for (auto _ : state) {
+        lru.pop_front();
+        lru.push_back(0);
+        benchmark::DoNotOptimize(lru.back());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+// DVP-sized populations: the paper's default MQ pool is 200k entries.
+BENCHMARK(BM_FlatMapChurn)->Arg(20000)->Arg(200000);
+BENCHMARK(BM_UnorderedMapChurn)->Arg(20000)->Arg(200000);
+BENCHMARK(BM_IntrusiveLruTouch)->Arg(20000)->Arg(200000);
+BENCHMARK(BM_StdListTouch)->Arg(20000)->Arg(200000);
+BENCHMARK(BM_IntrusiveLruEvictInsert)->Arg(200000);
+BENCHMARK(BM_StdListEvictInsert)->Arg(200000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -73,6 +73,41 @@ for preset in $presets; do
         > /dev/null
     diff -u tests/golden/telemetry/simulate_trace_stats.txt \
         "$bindir/telemetry.smoke.stats.txt"
+
+    # Harness-throughput guard (default preset only; sanitizer
+    # builds are expected to be slow). Re-run the wall-clock report
+    # into the build tree and compare the aggregate events/sec
+    # against the committed baseline. A >20% drop is almost always a
+    # hot-path regression, but wall clock depends on the host and
+    # its load, so this warns rather than fails.
+    if [ "$preset" = default ] && [ -f BENCH_throughput.json ]; then
+        echo "==> throughput guard [$preset]"
+        BINDIR="$bindir" OUTDIR="$bindir/bench-report" \
+            scripts/bench_report.sh > /dev/null
+        awk '
+            FNR == 1 { file += 1 }
+            /"events_per_s":/ && !(file in rate) {
+                v = $0; sub(/.*"events_per_s": /, "", v)
+                sub(/[^0-9.].*/, "", v)
+                rate[file] = v
+            }
+            END {
+                printf "    events/s: now %.0f, committed %.0f\n", \
+                    rate[1], rate[2]
+                if (rate[2] > 0 && rate[1] < 0.8 * rate[2])
+                    printf "WARNING: harness throughput regressed " \
+                        ">20%% vs BENCH_throughput.json\n"
+            }' "$bindir/bench-report/BENCH_throughput.json" \
+            BENCH_throughput.json | tee "$bindir/throughput.guard.txt"
+    fi
+done
+
+# Re-surface any throughput warning next to the final verdict so it
+# is not buried above the ctest output.
+for preset in $presets; do
+    bindir="$(bindir_for "$preset")"
+    [ -f "$bindir/throughput.guard.txt" ] &&
+        grep WARNING "$bindir/throughput.guard.txt" || true
 done
 
 echo "==> all checks passed"

@@ -15,11 +15,11 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "hash/fingerprint.hh"
 #include "telemetry/stat_registry.hh"
+#include "util/flat_map.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -98,13 +98,13 @@ class FingerprintStore
   private:
     struct Record
     {
-        Ppn ppn;
-        std::uint32_t refs;
-        std::uint8_t pop;
+        Ppn ppn = 0;
+        std::uint32_t refs = 0;
+        std::uint8_t pop = 0;
     };
 
-    std::unordered_map<Fingerprint, Record, FingerprintHash> byFp;
-    std::unordered_map<Ppn, Fingerprint> byPpn;
+    FlatMap<Fingerprint, Record, FingerprintHash> byFp;
+    FlatMap<Ppn, Fingerprint> byPpn;
     DedupStats dstats;
 };
 

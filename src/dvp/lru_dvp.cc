@@ -14,17 +14,20 @@ LruDvp::LruDvp(std::uint64_t entry_capacity) : cap(entry_capacity)
     // Pre-size the hash tables for a full pool to avoid warm-up
     // rehash churn (the pool runs at capacity almost immediately).
     const std::uint64_t expected = std::min<std::uint64_t>(cap, 1u << 20);
+    entries.reserve(expected);
     index.reserve(expected);
     ppnIndex.reserve(expected);
 }
 
 void
-LruDvp::removeEntry(LruList::iterator it)
+LruDvp::removeEntry(std::uint32_t h)
 {
-    for (Ppn ppn : it->ppns)
+    Entry &e = entries[h];
+    for (Ppn ppn : e.ppns)
         ppnIndex.erase(ppn);
-    index.erase(it->fp);
-    lru.erase(it);
+    index.erase(e.fp);
+    entries.unlink(lru, h);
+    entries.release(h);
 }
 
 void
@@ -32,7 +35,7 @@ LruDvp::evictOne()
 {
     zombie_assert(!lru.empty(), "eviction from empty LRU pool");
     ++dstats.capacityEvictions;
-    removeEntry(lru.begin());
+    removeEntry(lru.head);
 }
 
 DvpLookupResult
@@ -43,20 +46,21 @@ LruDvp::lookupForWrite(const Fingerprint &fp, Lpn)
     if (it == index.end())
         return DvpLookupResult{};
 
-    auto entry = it->second;
-    zombie_assert(!entry->ppns.empty(), "LRU entry without PPNs");
-    const Ppn ppn = entry->ppns.back();
-    entry->ppns.pop_back();
+    const std::uint32_t h = it->second;
+    Entry &e = entries[h];
+    zombie_assert(!e.ppns.empty(), "LRU entry without PPNs");
+    const Ppn ppn = e.ppns.back();
+    e.ppns.pop_back();
     ppnIndex.erase(ppn);
-    entry->pop = saturatingIncrement(entry->pop);
-    const std::uint8_t pop_after = entry->pop;
+    e.pop = saturatingIncrement(e.pop);
+    const std::uint8_t pop_after = e.pop;
     ++dstats.hits;
 
-    if (entry->ppns.empty()) {
-        removeEntry(entry);
+    if (e.ppns.empty()) {
+        removeEntry(h);
     } else {
         // Recency refresh: move to the MRU end.
-        lru.splice(lru.end(), lru, entry);
+        entries.moveToBack(lru, h);
     }
 
     DvpLookupResult result;
@@ -73,11 +77,13 @@ LruDvp::insertGarbage(const Fingerprint &fp, Lpn, Ppn ppn,
     ++dstats.insertions;
     auto it = index.find(fp);
     if (it != index.end()) {
-        auto entry = it->second;
-        entry->ppns.push_back(ppn);
-        entry->pop = std::max(entry->pop, pop);
-        ppnIndex[ppn] = entry;
-        lru.splice(lru.end(), lru, entry);
+        const std::uint32_t h = it->second;
+        Entry &e = entries[h];
+        e.ppns.push_back(ppn);
+        ppnsHighWater = std::max(ppnsHighWater, e.ppns.capacity());
+        e.pop = std::max(e.pop, pop);
+        ppnIndex[ppn] = h;
+        entries.moveToBack(lru, h);
         ++dstats.mergedInsertions;
         return;
     }
@@ -85,10 +91,19 @@ LruDvp::insertGarbage(const Fingerprint &fp, Lpn, Ppn ppn,
     if (index.size() >= cap)
         evictOne();
 
-    lru.push_back(Entry{fp, {ppn}, pop});
-    auto entry = std::prev(lru.end());
-    index[fp] = entry;
-    ppnIndex[ppn] = entry;
+    // Field-by-field reset keeps the reused slot's ppns capacity.
+    const std::uint32_t h = entries.acquire();
+    Entry &e = entries[h];
+    e.fp = fp;
+    e.ppns.clear();
+    if (e.ppns.capacity() < ppnsHighWater)
+        e.ppns.reserve(ppnsHighWater);
+    e.ppns.push_back(ppn);
+    ppnsHighWater = std::max(ppnsHighWater, e.ppns.capacity());
+    e.pop = pop;
+    entries.pushBack(lru, h);
+    index[fp] = h;
+    ppnIndex[ppn] = h;
 }
 
 void
@@ -97,14 +112,15 @@ LruDvp::onErase(Ppn ppn)
     auto it = ppnIndex.find(ppn);
     if (it == ppnIndex.end())
         return;
-    auto entry = it->second;
-    auto pos = std::find(entry->ppns.begin(), entry->ppns.end(), ppn);
-    zombie_assert(pos != entry->ppns.end(), "LRU ppn index out of sync");
-    entry->ppns.erase(pos);
+    const std::uint32_t h = it->second;
+    Entry &e = entries[h];
+    auto pos = std::find(e.ppns.begin(), e.ppns.end(), ppn);
+    zombie_assert(pos != e.ppns.end(), "LRU ppn index out of sync");
+    e.ppns.erase(pos);
     ppnIndex.erase(it);
     ++dstats.gcEvictions;
-    if (entry->ppns.empty())
-        removeEntry(entry);
+    if (e.ppns.empty())
+        removeEntry(h);
 }
 
 DvpLookupResult

@@ -11,11 +11,11 @@
 #define ZOMBIE_DVP_LRU_DVP_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
 
 #include "dvp/dead_value_pool.hh"
+#include "util/flat_map.hh"
+#include "util/intrusive_lru.hh"
 
 namespace zombie
 {
@@ -42,21 +42,22 @@ class LruDvp : public DeadValuePool
   private:
     struct Entry
     {
-        Fingerprint fp;
+        Fingerprint fp{};
         std::vector<Ppn> ppns;
         std::uint8_t pop = 0;
     };
 
-    using LruList = std::list<Entry>;
-
-    void removeEntry(LruList::iterator it);
+    void removeEntry(std::uint32_t h);
     void evictOne();
 
     std::uint64_t cap;
-    LruList lru; //!< front = LRU victim, back = most recent
-    std::unordered_map<Fingerprint, LruList::iterator, FingerprintHash>
-        index;
-    std::unordered_map<Ppn, LruList::iterator> ppnIndex;
+    /** Largest ppns capacity seen; reused slots reserve to it so
+     * eviction churn stays allocation-free (see MqDvp). */
+    std::size_t ppnsHighWater = 0;
+    LruSlab<Entry> entries;
+    LruChain lru; //!< head = LRU victim, tail = most recent
+    FlatMap<Fingerprint, std::uint32_t, FingerprintHash> index;
+    FlatMap<Ppn, std::uint32_t> ppnIndex;
     DvpStats dstats;
 };
 
@@ -85,8 +86,8 @@ class InfiniteDvp : public DeadValuePool
         std::uint8_t pop = 0;
     };
 
-    std::unordered_map<Fingerprint, Entry, FingerprintHash> index;
-    std::unordered_map<Ppn, Fingerprint> ppnIndex;
+    FlatMap<Fingerprint, Entry, FingerprintHash> index;
+    FlatMap<Ppn, Fingerprint> ppnIndex;
     DvpStats dstats;
 };
 

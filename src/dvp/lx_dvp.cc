@@ -1,5 +1,7 @@
 #include "dvp/lx_dvp.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace zombie
@@ -9,14 +11,21 @@ LxDvp::LxDvp(std::uint64_t entry_capacity) : cap(entry_capacity)
 {
     if (cap == 0)
         zombie_fatal("LX-DVP capacity must be > 0");
+    // Pre-size for a full pool so steady-state churn never rehashes.
+    const std::uint64_t expected = std::min<std::uint64_t>(cap, 1u << 20);
+    entries.reserve(expected);
+    index.reserve(expected);
+    ppnIndex.reserve(expected);
 }
 
 void
-LxDvp::removeEntry(LruList::iterator it)
+LxDvp::removeEntry(std::uint32_t h)
 {
-    ppnIndex.erase(it->ppn);
-    index.erase(it->lpn);
-    lru.erase(it);
+    Entry &e = entries[h];
+    ppnIndex.erase(e.ppn);
+    index.erase(e.lpn);
+    entries.unlink(lru, h);
+    entries.release(h);
 }
 
 DvpLookupResult
@@ -27,20 +36,21 @@ LxDvp::lookupForWrite(const Fingerprint &fp, Lpn lpn)
     if (it == index.end())
         return DvpLookupResult{};
 
-    auto entry = it->second;
-    if (entry->fp != fp) {
+    const std::uint32_t h = it->second;
+    Entry &e = entries[h];
+    if (e.fp != fp) {
         // Same address, different content: no recycling possible, but
         // the address was touched so its recency refreshes.
-        lru.splice(lru.end(), lru, entry);
+        entries.moveToBack(lru, h);
         return DvpLookupResult{};
     }
 
     ++dstats.hits;
     DvpLookupResult result;
     result.hit = true;
-    result.ppn = entry->ppn;
-    result.popularity = saturatingIncrement(entry->pop);
-    removeEntry(entry);
+    result.ppn = e.ppn;
+    result.popularity = saturatingIncrement(e.pop);
+    removeEntry(h);
     return result;
 }
 
@@ -53,26 +63,32 @@ LxDvp::insertGarbage(const Fingerprint &fp, Lpn lpn, Ppn ppn,
     if (it != index.end()) {
         // The address died again; only its newest dead content is
         // remembered (single slot per LBA).
-        auto entry = it->second;
-        ppnIndex.erase(entry->ppn);
-        entry->fp = fp;
-        entry->ppn = ppn;
-        entry->pop = std::max(entry->pop, pop);
-        ppnIndex[ppn] = entry;
-        lru.splice(lru.end(), lru, entry);
+        const std::uint32_t h = it->second;
+        Entry &e = entries[h];
+        ppnIndex.erase(e.ppn);
+        e.fp = fp;
+        e.ppn = ppn;
+        e.pop = std::max(e.pop, pop);
+        ppnIndex[ppn] = h;
+        entries.moveToBack(lru, h);
         ++dstats.mergedInsertions;
         return;
     }
 
     if (index.size() >= cap) {
         ++dstats.capacityEvictions;
-        removeEntry(lru.begin());
+        removeEntry(lru.head);
     }
 
-    lru.push_back(Entry{lpn, fp, ppn, pop});
-    auto entry = std::prev(lru.end());
-    index[lpn] = entry;
-    ppnIndex[ppn] = entry;
+    const std::uint32_t h = entries.acquire();
+    Entry &e = entries[h];
+    e.lpn = lpn;
+    e.fp = fp;
+    e.ppn = ppn;
+    e.pop = pop;
+    entries.pushBack(lru, h);
+    index[lpn] = h;
+    ppnIndex[ppn] = h;
 }
 
 void
@@ -90,7 +106,7 @@ LxDvp::touchOnRead(Lpn lpn)
 {
     auto it = index.find(lpn);
     if (it != index.end())
-        lru.splice(lru.end(), lru, it->second);
+        entries.moveToBack(lru, it->second);
 }
 
 } // namespace zombie

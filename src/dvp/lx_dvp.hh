@@ -21,10 +21,10 @@
 #define ZOMBIE_DVP_LX_DVP_HH
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 
 #include "dvp/dead_value_pool.hh"
+#include "util/flat_map.hh"
+#include "util/intrusive_lru.hh"
 
 namespace zombie
 {
@@ -55,20 +55,19 @@ class LxDvp : public DeadValuePool
   private:
     struct Entry
     {
-        Lpn lpn;
-        Fingerprint fp;
-        Ppn ppn;
+        Lpn lpn = 0;
+        Fingerprint fp{};
+        Ppn ppn = 0;
         std::uint8_t pop = 0;
     };
 
-    using LruList = std::list<Entry>;
-
-    void removeEntry(LruList::iterator it);
+    void removeEntry(std::uint32_t h);
 
     std::uint64_t cap;
-    LruList lru;
-    std::unordered_map<Lpn, LruList::iterator> index;
-    std::unordered_map<Ppn, LruList::iterator> ppnIndex;
+    LruSlab<Entry> entries;
+    LruChain lru;
+    FlatMap<Lpn, std::uint32_t> index;
+    FlatMap<Ppn, std::uint32_t> ppnIndex;
     DvpStats dstats;
 };
 

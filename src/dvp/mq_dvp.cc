@@ -81,54 +81,39 @@ MqDvp::hotInterval() const
 std::uint32_t
 MqDvp::allocEntry()
 {
-    if (!freeList.empty()) {
-        const std::uint32_t h = freeList.back();
-        freeList.pop_back();
-        entries[h] = Entry{};
-        return h;
-    }
-    entries.push_back(Entry{});
-    return static_cast<std::uint32_t>(entries.size() - 1);
+    // Reset fields individually rather than assigning Entry{}: the
+    // reused slot's ppns vector keeps its capacity, so steady-state
+    // eviction/insertion churn never allocates.
+    const std::uint32_t h = entries.acquire();
+    Entry &e = entries[h];
+    e.fp = Fingerprint{};
+    e.ppns.clear();
+    if (e.ppns.capacity() < ppnsHighWater)
+        e.ppns.reserve(ppnsHighWater);
+    e.expire = 0;
+    e.lastAccess = 0;
+    e.pop = 0;
+    e.queue = 0;
+    return h;
 }
 
 void
 MqDvp::freeEntry(std::uint32_t h)
 {
-    freeList.push_back(h);
+    entries.release(h);
 }
 
 void
 MqDvp::unlink(std::uint32_t h)
 {
-    Entry &e = entries[h];
-    QueueList &q = queues[e.queue];
-    if (e.prev != kNil)
-        entries[e.prev].next = e.next;
-    else
-        q.head = e.next;
-    if (e.next != kNil)
-        entries[e.next].prev = e.prev;
-    else
-        q.tail = e.prev;
-    e.prev = e.next = kNil;
-    zombie_assert(q.count > 0, "queue count underflow");
-    --q.count;
+    entries.unlink(queues[entries[h].queue], h);
 }
 
 void
 MqDvp::pushTail(std::uint32_t queue_idx, std::uint32_t h)
 {
-    Entry &e = entries[h];
-    QueueList &q = queues[queue_idx];
-    e.queue = static_cast<std::uint8_t>(queue_idx);
-    e.prev = q.tail;
-    e.next = kNil;
-    if (q.tail != kNil)
-        entries[q.tail].next = h;
-    else
-        q.head = h;
-    q.tail = h;
-    ++q.count;
+    entries[h].queue = static_cast<std::uint8_t>(queue_idx);
+    entries.pushBack(queues[queue_idx], h);
 }
 
 void
@@ -176,7 +161,7 @@ MqDvp::demoteExpiredHeads()
     // queue is checked and demoted one queue if its expiry passed.
     for (std::uint32_t qi = 1; qi < cfg.numQueues; ++qi) {
         const std::uint32_t h = queues[qi].head;
-        if (h == kNil)
+        if (h == kLruNil)
             continue;
         Entry &e = entries[h];
         if (e.expire < clock) {
@@ -197,7 +182,7 @@ MqDvp::removeEntry(std::uint32_t h)
     index.erase(e.fp);
     unlink(h);
     if (h == hottestHandle)
-        hottestHandle = kNil; // popularity watermark persists
+        hottestHandle = kLruNil; // popularity watermark persists
     freeEntry(h);
     zombie_assert(liveEntries > 0, "live entry count underflow");
     --liveEntries;
@@ -208,7 +193,7 @@ MqDvp::rememberGhost(const Fingerprint &fp)
 {
     if (!cfg.adaptive)
         return;
-    if (ghostSet.insert(fp).second)
+    if (ghostSet.insert(fp))
         ghostFifo.push_back(fp);
     // The ghost list is bounded by the current capacity.
     while (ghostFifo.size() > cfg.capacity) {
@@ -261,7 +246,7 @@ void
 MqDvp::evictOne()
 {
     for (std::uint32_t qi = 0; qi < cfg.numQueues; ++qi) {
-        if (queues[qi].head == kNil)
+        if (queues[qi].head == kLruNil)
             continue;
         ++dstats.capacityEvictions;
         ++evictionsWindow;
@@ -324,6 +309,7 @@ MqDvp::insertGarbage(const Fingerprint &fp, Lpn, Ppn ppn,
         const std::uint32_t h = it->second;
         Entry &e = entries[h];
         e.ppns.push_back(ppn);
+        ppnsHighWater = std::max(ppnsHighWater, e.ppns.capacity());
         ppnIndex[ppn] = h;
         // Another copy of this value died; keep the strongest
         // popularity evidence among the copies.
@@ -341,6 +327,7 @@ MqDvp::insertGarbage(const Fingerprint &fp, Lpn, Ppn ppn,
     Entry &e = entries[h];
     e.fp = fp;
     e.ppns.push_back(ppn);
+    ppnsHighWater = std::max(ppnsHighWater, e.ppns.capacity());
     e.pop = pop;
     e.lastAccess = clock;
     e.expire = clock + hotInterval();

@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "dvp/dead_value_pool.hh"
+#include "util/flat_map.hh"
+#include "util/intrusive_lru.hh"
 
 namespace zombie
 {
@@ -124,25 +124,14 @@ class MqDvp : public DeadValuePool
     std::uint64_t writeClock() const { return clock; }
 
   private:
-    static constexpr std::uint32_t kNil = ~0u;
-
     struct Entry
     {
         Fingerprint fp{};
         std::vector<Ppn> ppns;
         std::uint64_t expire = 0;
         std::uint64_t lastAccess = 0;
-        std::uint32_t prev = kNil;
-        std::uint32_t next = kNil;
         std::uint8_t pop = 0;
         std::uint8_t queue = 0;
-    };
-
-    struct QueueList
-    {
-        std::uint32_t head = kNil;
-        std::uint32_t tail = kNil;
-        std::uint64_t count = 0;
     };
 
     void rememberGhost(const Fingerprint &fp);
@@ -160,22 +149,29 @@ class MqDvp : public DeadValuePool
     void removeEntry(std::uint32_t h);
 
     MqDvpConfig cfg;
-    std::vector<Entry> entries;
-    std::vector<std::uint32_t> freeList;
-    std::vector<QueueList> queues;
-    std::unordered_map<Fingerprint, std::uint32_t, FingerprintHash> index;
-    std::unordered_map<Ppn, std::uint32_t> ppnIndex;
+    LruSlab<Entry> entries;
+    std::vector<LruChain> queues;
+    FlatMap<Fingerprint, std::uint32_t, FingerprintHash> index;
+    FlatMap<Ppn, std::uint32_t> ppnIndex;
 
     std::uint64_t liveEntries = 0;
     std::uint64_t clock = 0;
 
-    std::uint32_t hottestHandle = kNil;
+    /**
+     * Largest ppns-vector capacity any entry has reached. Freshly
+     * acquired slots are reserved to this high-water mark, so once
+     * the workload's dead-copy multiplicity has been seen, slot
+     * reuse under eviction churn never touches the allocator.
+     */
+    std::size_t ppnsHighWater = 0;
+
+    std::uint32_t hottestHandle = kLruNil;
     std::uint8_t hottestPop = 0;
     std::uint64_t hottestInterval = 0; //!< 0 = not learned yet
 
     /** Ghost list of recently evicted hashes (adaptive mode). */
     std::deque<Fingerprint> ghostFifo;
-    std::unordered_set<Fingerprint, FingerprintHash> ghostSet;
+    FlatSet<Fingerprint, FingerprintHash> ghostSet;
     std::uint64_t regretsWindow = 0;
     std::uint64_t regretsTotal = 0;
     std::uint64_t evictionsWindow = 0;

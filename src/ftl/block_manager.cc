@@ -34,6 +34,14 @@ BlockManager::BlockManager(FlashArray &array)
             stack.push_back(plane * geom.blocksPerPlane() + b);
     }
 
+    freeCounts.resize(planes);
+    for (std::uint64_t plane = 0; plane < planes; ++plane)
+        freeCounts[plane] =
+            static_cast<std::uint32_t>(freeLists[plane].size());
+    userRoom.resize(planes);
+    for (std::uint64_t plane = 0; plane < planes; ++plane)
+        refreshUserRoom(plane);
+
     // Channel-first plane visit order: consecutive host writes land
     // on different channels, maximizing bus-level parallelism.
     const std::uint64_t planes_per_channel =
@@ -81,6 +89,31 @@ BlockManager::nextUserPlane()
     std::uint64_t best = planeOrder[rrCursor];
     Tick best_load = kMaxTick;
     bool best_has_room = false;
+
+    if (dieLoad) {
+        // Fast path: this scan runs once per host write, so room is
+        // read from the incrementally maintained bit and the die is
+        // a table lookup instead of a division.
+        std::uint64_t idx = rrCursor;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint64_t plane = planeOrder[idx];
+            if (++idx == n)
+                idx = 0;
+            const bool has_room = userRoom[plane];
+            if (best_has_room && !has_room)
+                continue;
+            const Tick load = dieLoad[planeDie[plane]];
+            if ((has_room && !best_has_room) || load < best_load) {
+                best = plane;
+                best_load = load;
+                best_has_room = has_room;
+            }
+        }
+        if (++rrCursor == n)
+            rrCursor = 0;
+        return best;
+    }
+
     for (std::uint64_t i = 0; i < n; ++i) {
         const std::uint64_t plane = planeOrder[(rrCursor + i) % n];
         const bool has_room = !freeLists[plane].empty() ||
@@ -90,9 +123,7 @@ BlockManager::nextUserPlane()
                                flash.blockHasRoom(hotActive[plane]));
         if (best_has_room && !has_room)
             continue;
-        const Tick load = dieLoad
-                              ? dieLoad[plane / dieLoadPlanesPerDie]
-                              : loadProbe(plane);
+        const Tick load = loadProbe(plane);
         if ((has_room && !best_has_room) || load < best_load) {
             best = plane;
             best_load = load;
@@ -117,6 +148,9 @@ BlockManager::setDieLoadView(const Tick *die_busy,
                   "die-load view needs planes per die");
     dieLoad = die_busy;
     dieLoadPlanesPerDie = planes_per_die;
+    planeDie.resize(geom.totalPlanes());
+    for (std::uint64_t p = 0; p < planeDie.size(); ++p)
+        planeDie[p] = static_cast<std::uint32_t>(p / planes_per_die);
 }
 
 std::uint64_t
@@ -127,6 +161,7 @@ BlockManager::popFree(std::uint64_t plane, bool for_gc)
     if (!stack.empty()) {
         const std::uint64_t block = stack.back();
         stack.pop_back();
+        --freeCounts[plane];
         if (stack.empty())
             ++zeroFreePlanes;
         return block;
@@ -156,7 +191,11 @@ BlockManager::allocatePage(std::uint64_t plane, Stream stream)
         if (retired != kNoBlock)
             updateCandidate(retired);
     }
-    return flash.programPage(active);
+    const Ppn ppn = flash.programPage(active);
+    // The program may have filled the write point, and the roll-over
+    // above may have drained the free stack.
+    refreshUserRoom(plane);
+    return ppn;
 }
 
 bool
@@ -200,8 +239,10 @@ BlockManager::releaseBlock(std::uint64_t block_index)
         if (freeLists[plane].empty())
             --zeroFreePlanes;
         freeLists[plane].push_back(block_index);
+        ++freeCounts[plane];
     }
     updateCandidate(block_index);
+    refreshUserRoom(plane);
 }
 
 bool
@@ -211,6 +252,17 @@ BlockManager::isActive(std::uint64_t block_index) const
     return userActive[plane] == block_index ||
            hotActive[plane] == block_index ||
            gcActive[plane] == block_index;
+}
+
+void
+BlockManager::refreshUserRoom(std::uint64_t plane)
+{
+    userRoom[plane] =
+        freeCounts[plane] > 0 ||
+        (userActive[plane] != kNoBlock &&
+         flash.blockHasRoom(userActive[plane])) ||
+        (hotActive[plane] != kNoBlock &&
+         flash.blockHasRoom(hotActive[plane]));
 }
 
 void

@@ -101,6 +101,24 @@ class BlockManager
     /** Whether any plane's free stack is empty (emergency GC). */
     bool anyPlaneOutOfFreeBlocks() const { return zeroFreePlanes > 0; }
 
+    /**
+     * Per-plane free-stack depths as one contiguous array, for hot
+     * loops (the GC pacing scan) that read every plane per host
+     * write and cannot afford a bounds-checked call per plane.
+     */
+    const std::vector<std::uint32_t> &
+    freeBlockCounts() const
+    {
+        return freeCounts;
+    }
+
+    /** All plane epochs (see planeEpoch) for hot scan loops. */
+    const std::vector<std::uint64_t> &
+    planeEpochTable() const
+    {
+        return planeEpochs;
+    }
+
     /** Smallest free-stack depth across all planes. */
     std::uint32_t minFreeBlocks() const;
 
@@ -141,6 +159,9 @@ class BlockManager
     /** Re-evaluate one block's membership in the victim index. */
     void updateCandidate(std::uint64_t block_index);
 
+    /** Recompute the cached user-write room bit for @p plane. */
+    void refreshUserRoom(std::uint64_t plane);
+
     FlashArray &flash;
     const Geometry &geom;
     std::vector<std::vector<std::uint64_t>> freeLists; //!< per plane
@@ -161,6 +182,18 @@ class BlockManager
     /** Raw die busy-until view (fast path; overrides loadProbe). */
     const Tick *dieLoad = nullptr;
     std::uint32_t dieLoadPlanesPerDie = 1;
+    std::vector<std::uint32_t> planeDie; //!< plane -> dieLoad index
+
+    /**
+     * Incrementally maintained nextUserPlane() inputs: per-plane
+     * free-stack depth and whether a host write fits on the plane
+     * without popping a free block. Both change only in popFree /
+     * releaseBlock / allocatePage, so the dynamic-allocation scan
+     * reads two flat arrays instead of re-deriving room from the
+     * free lists and active blocks on every plane, every write.
+     */
+    std::vector<std::uint32_t> freeCounts;
+    std::vector<std::uint8_t> userRoom;
 
     /** Per-plane GC-state version counters (see planeEpoch). */
     std::vector<std::uint64_t> planeEpochs;

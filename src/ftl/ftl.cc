@@ -273,22 +273,37 @@ Ftl::advanceGcAll(FlashStepBuffer &steps)
     // Paced background collection: planes at/below the mandatory
     // watermark have first claim on the budget, then opportunistic
     // (quality-gated) collection of planes at the soft watermark.
+    // This scan runs once per host write, so it reads the manager's
+    // flat count/epoch tables, and a plane without an open job whose
+    // epoch still matches the memoized gate refusal is skipped
+    // outright: advanceGc would replay the cached "no" and return 0.
+    const std::vector<std::uint32_t> &free_counts =
+        blockMgr.freeBlockCounts();
+    const std::vector<std::uint64_t> &epochs =
+        blockMgr.planeEpochTable();
     std::uint32_t budget = cfg.gcPagesPerStep;
+    std::uint64_t p = gcCursor;
     for (std::uint64_t i = 0; i < planes && budget > 0; ++i) {
-        const std::uint64_t p = (gcCursor + i) % planes;
-        if (gcJobs[p].active() ||
-            blockMgr.freeBlocks(p) <= cfg.gcLowWater) {
+        const bool active = gcJobs[p].active();
+        if ((active || free_counts[p] <= cfg.gcLowWater) &&
+            (active || epochs[p] != gcGateFailEpoch[p])) {
             budget -= advanceGc(p, budget, steps);
         }
+        if (++p == planes)
+            p = 0;
     }
+    p = gcCursor;
     for (std::uint64_t i = 0; i < planes && budget > 0; ++i) {
-        const std::uint64_t p = (gcCursor + i) % planes;
         if (!gcJobs[p].active() &&
-            blockMgr.freeBlocks(p) <= cfg.gcSoftWater) {
+            free_counts[p] <= cfg.gcSoftWater &&
+            epochs[p] != gcGateFailEpoch[p]) {
             budget -= advanceGc(p, budget, steps);
         }
+        if (++p == planes)
+            p = 0;
     }
-    gcCursor = (gcCursor + 1) % planes;
+    if (++gcCursor == planes)
+        gcCursor = 0;
 }
 
 bool

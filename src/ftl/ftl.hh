@@ -30,7 +30,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "dedup/fingerprint_store.hh"
@@ -42,6 +41,7 @@
 #include "nand/flash_array.hh"
 #include "nand/timing.hh"
 #include "telemetry/stat_registry.hh"
+#include "util/flat_map.hh"
 
 namespace zombie
 {
@@ -265,7 +265,7 @@ class Ftl
     FingerprintStore *store = nullptr;
 
     /** Owner lists for shared (deduplicated) physical pages. */
-    std::unordered_map<Ppn, std::vector<Lpn>> owners;
+    FlatMap<Ppn, std::vector<Lpn>> owners;
 
     /** One incremental GC job per plane. */
     std::vector<GcJob> gcJobs;

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Slab-backed intrusive doubly-linked lists for LRU/MQ chains.
+ *
+ * The DVP variants keep their entries on recency lists. With
+ * std::list every entry is a separate heap node, so walking or
+ * splicing chases pointers across the heap; here all entries live in
+ * one Slab and the links are dense uint32 indices into it, so a chain
+ * costs 8 bytes per entry and entry reuse keeps any heap-allocated
+ * members' capacity (e.g. a PPN vector) across generations.
+ *
+ * One LruSlab can back many chains (the MQ policy keeps 8 queues over
+ * a single entry pool); each LruChain is just {head, tail, count} and
+ * the caller passes the chain a node belongs to. Index assignment is
+ * LIFO over the slab free list, so the acquire/release sequence alone
+ * determines layout — no pointer values leak into behaviour and
+ * seeded runs stay byte-identical.
+ */
+
+#ifndef ZOMBIE_UTIL_INTRUSIVE_LRU_HH
+#define ZOMBIE_UTIL_INTRUSIVE_LRU_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/slab.hh"
+
+namespace zombie
+{
+
+/** Null link/index sentinel for intrusive chains. */
+constexpr std::uint32_t kLruNil = 0xffffffffu;
+
+/** One doubly-linked list threaded through an LruSlab. */
+struct LruChain
+{
+    std::uint32_t head = kLruNil; //!< eviction end (least recent)
+    std::uint32_t tail = kLruNil; //!< insertion end (most recent)
+    std::uint64_t count = 0;
+
+    bool empty() const { return head == kLruNil; }
+};
+
+/** Entry pool with intrusive prev/next links (see file comment). */
+template <typename T>
+class LruSlab
+{
+  public:
+    /**
+     * Pop a free slot with fresh (nil) links. The value member is NOT
+     * reset — callers clear it field by field so heap-allocated
+     * members keep their capacity across reuse.
+     */
+    std::uint32_t
+    acquire()
+    {
+        const std::uint32_t idx = nodes.acquire();
+        Node &node = nodes[idx];
+        node.prev = kLruNil;
+        node.next = kLruNil;
+        return idx;
+    }
+
+    /** Return an unlinked slot to the free list. */
+    void
+    release(std::uint32_t idx)
+    {
+        nodes.release(idx);
+    }
+
+    /** Pre-size the pool so steady-state churn never allocates. */
+    void
+    reserve(std::size_t n)
+    {
+        nodes.reserve(n);
+    }
+
+    T &operator[](std::uint32_t idx) { return nodes[idx].value; }
+    const T &
+    operator[](std::uint32_t idx) const
+    {
+        return nodes[idx].value;
+    }
+
+    /** Slots ever allocated (live + free), i.e. the pool high-water. */
+    std::size_t size() const { return nodes.size(); }
+
+    std::uint32_t nextOf(std::uint32_t idx) const
+    {
+        return nodes[idx].next;
+    }
+
+    std::uint32_t prevOf(std::uint32_t idx) const
+    {
+        return nodes[idx].prev;
+    }
+
+    /** Append @p idx at @p chain's tail (most-recent end). */
+    void
+    pushBack(LruChain &chain, std::uint32_t idx)
+    {
+        Node &node = nodes[idx];
+        node.prev = chain.tail;
+        node.next = kLruNil;
+        if (chain.tail != kLruNil)
+            nodes[chain.tail].next = idx;
+        else
+            chain.head = idx;
+        chain.tail = idx;
+        ++chain.count;
+    }
+
+    /** Detach @p idx from @p chain (it must be linked there). */
+    void
+    unlink(LruChain &chain, std::uint32_t idx)
+    {
+        zombie_assert(chain.count > 0, "unlink from empty LRU chain");
+        Node &node = nodes[idx];
+        if (node.prev != kLruNil)
+            nodes[node.prev].next = node.next;
+        else
+            chain.head = node.next;
+        if (node.next != kLruNil)
+            nodes[node.next].prev = node.prev;
+        else
+            chain.tail = node.prev;
+        node.prev = kLruNil;
+        node.next = kLruNil;
+        --chain.count;
+    }
+
+    /** Refresh recency: move @p idx to @p chain's tail. */
+    void
+    moveToBack(LruChain &chain, std::uint32_t idx)
+    {
+        if (chain.tail == idx)
+            return;
+        unlink(chain, idx);
+        pushBack(chain, idx);
+    }
+
+  private:
+    struct Node
+    {
+        T value{};
+        std::uint32_t prev = kLruNil;
+        std::uint32_t next = kLruNil;
+    };
+
+    Slab<Node> nodes;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_INTRUSIVE_LRU_HH

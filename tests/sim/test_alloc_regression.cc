@@ -67,5 +67,49 @@ TEST(AllocRegression, SteadyStateIsAllocationFreeAtDepthThirtyTwo)
     EXPECT_EQ(steadyStateAllocs(32), 0u);
 }
 
+/**
+ * DVP-heavy cell: a small MQ pool under high unique-value churn, so
+ * capacity evictions, slab slot reuse, ghost-FIFO turnover and
+ * flat-map erase/insert cycles all run constantly. The eviction path
+ * must be just as allocation-free as the request path.
+ */
+TEST(AllocRegression, SteadyStateIsAllocationFreeUnderDvpChurn)
+{
+    WorkloadProfile profile =
+        WorkloadProfile::preset(Workload::Mail, 1, 12'000, 17);
+    // Nearly every write carries a fresh value: dead pages pour
+    // unique fingerprints through the pool instead of refreshing
+    // resident entries.
+    profile.writeRatio = 0.9;
+    profile.newValueProb = 0.95;
+    profile.sameValueProb = 0.0;
+
+    SsdConfig cfg = SsdConfig::forProfile(profile, SystemKind::MqDvp);
+    cfg.queueDepth = 8;
+    // Shrink the pool far below the dead-value working set so every
+    // insert past warm-up evicts.
+    cfg.mq.capacity = 1024;
+
+    Ssd ssd(cfg);
+    ssd.prefill();
+    const auto records = SyntheticTraceGenerator(profile).generateAll();
+    const Tick first = records.front().arrival;
+    const auto replay = [&ssd, &records, first]() {
+        const Tick base = ssd.events().now() + 1;
+        for (const TraceRecord &rec : records) {
+            TraceRecord shifted = rec;
+            shifted.arrival = base + (rec.arrival - first);
+            ssd.process(shifted);
+        }
+        ssd.drain();
+    };
+
+    replay();
+    replay();
+    const std::uint64_t before = heapAllocCount();
+    replay();
+    EXPECT_EQ(heapAllocCount() - before, 0u);
+}
+
 } // namespace
 } // namespace zombie

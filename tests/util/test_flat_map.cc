@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Differential tests for FlatMap/FlatSet against std::unordered_map.
+ *
+ * 100k seeded random operations drive both containers through the
+ * same sequence; after every operation the return values must agree,
+ * and periodically (plus at the end) the full state is compared both
+ * ways, so a divergence pins the first operation that broke.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "hash/fingerprint.hh"
+#include "util/flat_map.hh"
+#include "util/random.hh"
+
+namespace zombie
+{
+namespace
+{
+
+template <typename Flat, typename Ref>
+void
+expectSameState(const Flat &flat, const Ref &ref)
+{
+    ASSERT_EQ(flat.size(), ref.size());
+    // Reference -> flat: every entry must be found with equal value.
+    for (const auto &[key, value] : ref) {
+        auto it = flat.find(key);
+        ASSERT_NE(it, flat.end());
+        ASSERT_EQ(it->second, value);
+    }
+    // Flat -> reference: iteration must visit each entry once.
+    std::uint64_t visited = 0;
+    for (const auto &[key, value] : flat) {
+        auto it = ref.find(key);
+        ASSERT_NE(it, ref.end());
+        ASSERT_EQ(it->second, value);
+        ++visited;
+    }
+    ASSERT_EQ(visited, ref.size());
+}
+
+TEST(FlatMap, DifferentialAgainstUnorderedMap100kOps)
+{
+    Xoshiro256 rng(0xf1a7);
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+
+    // A small key universe forces heavy insert/find/erase collisions
+    // on the same keys, which is what exercises backward-shift erase.
+    const std::uint64_t universe = 4096;
+    for (int op = 0; op < 100000; ++op) {
+        const std::uint64_t key = rng.nextBounded(universe);
+        switch (rng.nextBounded(5)) {
+          case 0: // operator[] insert-or-assign
+          case 1: {
+            const std::uint64_t value = rng();
+            flat[key] = value;
+            ref[key] = value;
+            break;
+          }
+          case 2: { // find
+            auto fit = flat.find(key);
+            auto rit = ref.find(key);
+            ASSERT_EQ(fit == flat.end(), rit == ref.end());
+            if (rit != ref.end()) {
+                ASSERT_EQ(fit->first, key);
+                ASSERT_EQ(fit->second, rit->second);
+            }
+            break;
+          }
+          case 3: // erase by key
+            ASSERT_EQ(flat.erase(key), ref.erase(key));
+            break;
+          case 4: // contains/count
+            ASSERT_EQ(flat.contains(key), ref.count(key) > 0);
+            ASSERT_EQ(flat.count(key), ref.count(key));
+            break;
+        }
+        if (op % 10000 == 9999)
+            expectSameState(flat, ref);
+    }
+    expectSameState(flat, ref);
+}
+
+TEST(FlatMap, DifferentialWithFingerprintKeys)
+{
+    // Fingerprint-sized keys with the production hash, as used by the
+    // DVP index and the dedup store.
+    Xoshiro256 rng(0xdeadf00d);
+    FlatMap<Fingerprint, std::uint32_t, FingerprintHash> flat;
+    std::unordered_map<Fingerprint, std::uint32_t, FingerprintHash> ref;
+
+    for (int op = 0; op < 100000; ++op) {
+        const Fingerprint fp =
+            Fingerprint::fromValueId(rng.nextBounded(2048));
+        switch (rng.nextBounded(3)) {
+          case 0: {
+            const auto value = static_cast<std::uint32_t>(rng());
+            flat[fp] = value;
+            ref[fp] = value;
+            break;
+          }
+          case 1: {
+            auto fit = flat.find(fp);
+            auto rit = ref.find(fp);
+            ASSERT_EQ(fit == flat.end(), rit == ref.end());
+            if (rit != ref.end())
+                ASSERT_EQ(fit->second, rit->second);
+            break;
+          }
+          case 2:
+            ASSERT_EQ(flat.erase(fp), ref.erase(fp));
+            break;
+        }
+    }
+    expectSameState(flat, ref);
+}
+
+TEST(FlatMap, InsertReportsPresence)
+{
+    FlatMap<std::uint64_t, int> map;
+    auto [it1, fresh1] = map.insert({7, 1});
+    EXPECT_TRUE(fresh1);
+    EXPECT_EQ(it1->second, 1);
+    auto [it2, fresh2] = map.insert({7, 2});
+    EXPECT_FALSE(fresh2);
+    EXPECT_EQ(it2->second, 1); // insert does not overwrite
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, EraseByIteratorMatchesEraseByKey)
+{
+    Xoshiro256 rng(77);
+    FlatMap<std::uint64_t, std::uint64_t> flat;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint64_t key = rng.nextBounded(512);
+        if (rng.nextBounded(2) == 0) {
+            flat[key] = key * 3;
+            ref[key] = key * 3;
+        } else {
+            auto fit = flat.find(key);
+            if (fit != flat.end())
+                flat.erase(fit);
+            ref.erase(key);
+        }
+    }
+    expectSameState(flat, ref);
+}
+
+TEST(FlatMap, AtReturnsValueAndReserveKeepsContents)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (std::uint64_t k = 0; k < 100; ++k)
+        map[k] = k + 1;
+    map.reserve(100000);
+    ASSERT_EQ(map.size(), 100u);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_EQ(map.at(k), k + 1);
+}
+
+TEST(FlatMap, ReserveMakesInsertsRehashFree)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    map.reserve(10000);
+    const std::size_t cap = map.capacityBeforeGrowth();
+    ASSERT_GE(cap, 10000u);
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        map[k] = k;
+    EXPECT_EQ(map.capacityBeforeGrowth(), cap);
+}
+
+TEST(FlatMap, LayoutIsAPureFunctionOfOperations)
+{
+    // Two maps fed the identical operation sequence iterate in the
+    // identical order: no pointer or allocator state leaks in.
+    auto build = [] {
+        FlatMap<std::uint64_t, std::uint64_t> map;
+        Xoshiro256 rng(5);
+        for (int op = 0; op < 5000; ++op) {
+            const std::uint64_t key = rng.nextBounded(700);
+            if (rng.nextBounded(3) == 0)
+                map.erase(key);
+            else
+                map[key] = key;
+        }
+        return map;
+    };
+    auto a = build();
+    auto b = build();
+    auto ia = a.begin();
+    auto ib = b.begin();
+    for (; ia != a.end(); ++ia, ++ib)
+        ASSERT_EQ(ia->first, ib->first);
+    ASSERT_EQ(ib, b.end());
+}
+
+TEST(FlatSet, DifferentialAgainstUnorderedSet)
+{
+    Xoshiro256 rng(0x5e7);
+    FlatSet<std::uint64_t> flat;
+    std::unordered_set<std::uint64_t> ref;
+    for (int op = 0; op < 100000; ++op) {
+        const std::uint64_t key = rng.nextBounded(1024);
+        switch (rng.nextBounded(3)) {
+          case 0:
+            ASSERT_EQ(flat.insert(key), ref.insert(key).second);
+            break;
+          case 1:
+            ASSERT_EQ(flat.erase(key), ref.erase(key));
+            break;
+          case 2:
+            ASSERT_EQ(flat.contains(key), ref.count(key) > 0);
+            break;
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    for (const std::uint64_t key : ref)
+        ASSERT_TRUE(flat.contains(key));
+}
+
+TEST(FlatMapDeath, AtPanicsOnMissingKey)
+{
+    FlatMap<std::uint64_t, int> map;
+    map[3] = 1;
+    EXPECT_DEATH({ map.at(4); }, "missing key");
+}
+
+} // namespace
+} // namespace zombie
