@@ -1,0 +1,178 @@
+/**
+ * @file
+ * QoS isolation scenario: one streaming writer sharing a drive with
+ * two latency-sensitive readers, swept across submission-queue
+ * arbiters (rr vs weighted rr) and dead-value pool tenancy (shared
+ * vs partitioned).
+ *
+ * This is the multi-tenant frontend's acceptance scenario: the
+ * arbiter weights are the isolation knob, so weighting the readers
+ * up must measurably pull their p99.9 read latency down versus
+ * plain round-robin, while the drive-wide request totals stay
+ * identical across arbiters (arbitration reorders admission, it
+ * never adds or drops work).
+ */
+
+#include <cstdio>
+
+#include "sim_bench.hh"
+#include "trace/multi_tenant.hh"
+
+using namespace zombie;
+using namespace zombie::bench;
+
+namespace
+{
+
+/** The three tenants: a streaming writer and two readers. */
+std::vector<WorkloadProfile>
+tenantProfiles(std::uint64_t requests, std::uint64_t seed)
+{
+    // Tenant 0: sequential-ish streaming writer, bursty, write-heavy
+    // — the noisy neighbor generating GC pressure.
+    WorkloadProfile writer;
+    writer.name = "writer";
+    writer.requests = requests * 2 / 5;
+    writer.seed = seed;
+    writer.writeRatio = 0.95;
+    writer.newValueProb = 0.8;
+    writer.meanInterarrivalUs = 12.0;
+    writer.burstProb = 0.02;
+    writer.burstLength = 64;
+    writer.burstInterarrivalUs = 0.5;
+
+    // Tenants 1/2: read-mostly, latency-sensitive, lighter load.
+    auto reader = [&](const char *name, std::uint64_t s) {
+        WorkloadProfile p;
+        p.name = name;
+        p.requests = requests * 3 / 10;
+        p.seed = s;
+        p.writeRatio = 0.15;
+        p.readLpnAlpha = 0.9;
+        p.meanInterarrivalUs = 25.0;
+        return p;
+    };
+    return {writer, reader("reader1", seed + 1),
+            reader("reader2", seed + 2)};
+}
+
+struct Cell
+{
+    std::string arbiter;
+    std::string scope;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // 40K requests holds the drive near saturation without tipping
+    // into open-loop collapse; past ~100K every cell's tail is the
+    // same backlog storm and the arbiters become indistinguishable.
+    ArgParser args = standardArgs(
+        "Noisy neighbor: writer vs readers across arbiters and DVP "
+        "tenancy",
+        "40000");
+    args.parse(argc, argv);
+
+    banner("noisy neighbor", "multi-tenant QoS isolation");
+
+    ExperimentOptions base = standardOptions(args);
+    // Deep queue: arbitration only matters while tags are contended.
+    if (base.queueDepth < 8)
+        base.queueDepth = 8;
+
+    const std::vector<Cell> cells = {
+        {"rr", "shared"},          {"rr", "partitioned"},
+        {"wrr:1,4,4", "shared"},   {"wrr:1,4,4", "partitioned"},
+        {"wrr:1,8,8", "shared"},   {"wrr:1,8,8", "partitioned"},
+    };
+    const auto profiles = tenantProfiles(base.requests, base.seed);
+
+    const unsigned jobs = benchJobs(args);
+    std::fprintf(stderr, "  running %zu cells, %u at a time...\n",
+                 cells.size(), jobs);
+    auto results =
+        parallelMap(jobs, cells.size(), [&](std::size_t i) {
+            ExperimentOptions opts = base;
+            opts.arbiter = cells[i].arbiter;
+            opts.dvpScope = cells[i].scope;
+            std::fprintf(stderr, "  running %-9s %-11s...\n",
+                         cells[i].arbiter.c_str(),
+                         cells[i].scope.c_str());
+            return runTenantProfiles(profiles, SystemKind::MqDvp,
+                                     opts);
+        });
+
+    auto us = [](Tick t) { return static_cast<double>(t) / 1e3; };
+
+    // The victim metric: reader read-latency tails per cell.
+    TextTable tails({"arbiter", "dvp-scope", "wr p99 (us)",
+                     "r1 p99 (us)", "r1 p99.9 (us)", "r2 p99 (us)",
+                     "r2 p99.9 (us)"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SimResult &r = results[i];
+        const TenantResult &wr = r.tenantResults[0];
+        const TenantResult &r1 = r.tenantResults[1];
+        const TenantResult &r2 = r.tenantResults[2];
+        tails.addRow(
+            {cells[i].arbiter, cells[i].scope,
+             TextTable::num(us(wr.writeLatency.percentile(0.99)), 1),
+             TextTable::num(us(r1.readLatency.percentile(0.99)), 1),
+             TextTable::num(us(r1.readLatency.percentile(0.999)), 1),
+             TextTable::num(us(r2.readLatency.percentile(0.99)), 1),
+             TextTable::num(us(r2.readLatency.percentile(0.999)),
+                            1)});
+    }
+    std::printf("%s", tails.render().c_str());
+
+    // Admission pressure: who waited at the arbiter's door.
+    TextTable admission({"arbiter", "dvp-scope", "wr blocked",
+                         "r1 blocked", "r2 blocked", "wr wait (us)",
+                         "r1 wait (us)", "r2 wait (us)"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SimResult &r = results[i];
+        auto wait_us = [&us](const TenantResult &t) {
+            return t.submitted
+                       ? us(t.admissionWait) /
+                             static_cast<double>(t.submitted)
+                       : 0.0;
+        };
+        admission.addRow(
+            {cells[i].arbiter, cells[i].scope,
+             std::to_string(r.tenantResults[0].blockedAdmissions),
+             std::to_string(r.tenantResults[1].blockedAdmissions),
+             std::to_string(r.tenantResults[2].blockedAdmissions),
+             TextTable::num(wait_us(r.tenantResults[0])),
+             TextTable::num(wait_us(r.tenantResults[1])),
+             TextTable::num(wait_us(r.tenantResults[2]))});
+    }
+    std::printf("\nadmission pressure:\n%s",
+                admission.render().c_str());
+
+    // Work-conservation invariant: the trace fixes the request mix,
+    // so drive-wide totals must agree across every cell.
+    TextTable totals({"arbiter", "dvp-scope", "requests", "reads",
+                      "writes", "dvp revivals"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const SimResult &r = results[i];
+        totals.addRow({cells[i].arbiter, cells[i].scope,
+                       std::to_string(r.requests),
+                       std::to_string(r.reads),
+                       std::to_string(r.writes),
+                       std::to_string(r.dvpRevivals)});
+    }
+    std::printf("\ndrive-wide totals (request counts identical "
+                "across arbiters):\n%s",
+                totals.render().c_str());
+
+    paperShape(
+        "weighting the readers up (wrr:1,4,4 and wrr:1,8,8) lowers "
+        "their p99.9 read latency versus plain rr and shifts "
+        "admission blocking onto the writer; partitioning the DVP "
+        "fences the readers' pool slice from the writer's churn. "
+        "Drive-wide request totals are identical across arbiters — "
+        "arbitration reorders work, it never adds or drops it.");
+    return 0;
+}

@@ -15,6 +15,7 @@
 #include "sim/ssd.hh"
 #include "trace/generator.hh"
 #include "trace/io.hh"
+#include "trace/multi_tenant.hh"
 #include "trace/summary.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -38,6 +39,13 @@ main(int argc, char **argv)
     args.addOption("queue-depth", "1",
                    "host-interface queue depth (NCQ dispatch "
                    "contexts)");
+    args.addOption("tenants", "1",
+                   "tenant count; >1 splits a generated workload "
+                   "into per-namespace streams");
+    args.addOption("arbiter", "rr",
+                   "submission-queue arbiter: rr | wrr:<w0,w1,..>");
+    args.addOption("dvp-scope", "shared",
+                   "dead-value pool tenancy: shared | partitioned");
     args.addOption("stats-interval", "0",
                    "epoch-sampler interval in simulated microseconds "
                    "(0 = off)");
@@ -53,19 +61,34 @@ main(int argc, char **argv)
 
     const SystemKind system =
         systemKindFromString(args.getString("system"));
+    const auto tenants =
+        static_cast<std::uint32_t>(args.getUint("tenants"));
 
     std::vector<TraceRecord> records;
+    std::vector<std::uint64_t> namespace_pages;
     std::string label;
     if (const std::string path = args.getString("trace");
         !path.empty()) {
+        if (tenants > 1)
+            zombie_fatal("multi-tenant replay needs a generated "
+                         "workload (namespace layout is not stored "
+                         "in trace files); drop --trace");
         records = TraceReader(path).readAll();
         label = path;
     } else {
         const WorkloadProfile profile = WorkloadProfile::preset(
             workloadFromString(args.getString("workload")), 1,
             args.getUint("requests"), args.getUint("seed"));
-        records = SyntheticTraceGenerator(profile).generateAll();
-        label = profile.name;
+        if (tenants > 1) {
+            MultiTenantTraceGenerator gen(
+                splitProfileAcrossTenants(profile, tenants));
+            records = gen.generateAll();
+            namespace_pages = gen.allNamespacePages();
+            label = profile.name + " x" + std::to_string(tenants);
+        } else {
+            records = SyntheticTraceGenerator(profile).generateAll();
+            label = profile.name;
+        }
     }
     if (records.empty())
         zombie_fatal("trace is empty");
@@ -81,6 +104,12 @@ main(int argc, char **argv)
     cfg.mq.capacity = args.getUint("pool");
     cfg.queueDepth =
         static_cast<std::uint32_t>(args.getUint("queue-depth"));
+    cfg.tenants = tenants;
+    const ArbiterSpec arb = parseArbiterSpec(args.getString("arbiter"));
+    cfg.arbiter = arb.kind;
+    cfg.arbiterWeights = arb.weights;
+    cfg.dvpScope = dvpScopeFromString(args.getString("dvp-scope"));
+    cfg.namespacePages = namespace_pages;
     cfg.statsInterval = ticksFromUs(args.getDouble("stats-interval"));
     cfg.opTrace = !args.getString("trace-out").empty();
     cfg.traceLimit = args.getUint("trace-limit");
@@ -97,7 +126,39 @@ main(int argc, char **argv)
 
     Ssd ssd(cfg);
     ssd.run(records);
-    std::printf("%s", ssd.result().toStatSet().format().c_str());
+    const SimResult result = ssd.result();
+    std::printf("%s", result.toStatSet().format().c_str());
+
+    if (result.tenants > 1) {
+        std::printf("\nper-tenant summary\n");
+        TextTable table({"tenant", "submitted", "reads", "writes",
+                         "blocked", "wait_us", "rd_p99_us",
+                         "wr_p99_us", "gc_ms"});
+        for (std::size_t t = 0; t < result.tenantResults.size();
+             ++t) {
+            const TenantResult &tr = result.tenantResults[t];
+            const double wait_us =
+                tr.submitted ? static_cast<double>(tr.admissionWait) /
+                                   (1000.0 * static_cast<double>(
+                                                 tr.submitted))
+                             : 0.0;
+            const auto p99_us = [](const LatencyHistogram &h) {
+                return static_cast<double>(h.percentile(0.99)) /
+                       1000.0;
+            };
+            table.addRow(
+                {std::to_string(t), std::to_string(tr.submitted),
+                 std::to_string(tr.reads), std::to_string(tr.writes),
+                 std::to_string(tr.blockedAdmissions),
+                 TextTable::num(wait_us),
+                 TextTable::num(p99_us(tr.readLatency)),
+                 TextTable::num(p99_us(tr.writeLatency)),
+                 TextTable::num(static_cast<double>(
+                                    tr.gcCollateralTicks) /
+                                1e6)});
+        }
+        std::printf("%s", table.render().c_str());
+    }
 
     // Telemetry artifacts, written after the run so every counter and
     // the final partial epoch are settled.

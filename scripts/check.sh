@@ -74,6 +74,18 @@ for preset in $presets; do
     diff -u tests/golden/telemetry/simulate_trace_stats.txt \
         "$bindir/telemetry.smoke.stats.txt"
 
+    # Multi-tenant smoke: two namespaces behind a 3:1 weighted
+    # arbiter with partitioned pools. Deterministic like the rest,
+    # so the whole stdout (drive-wide stats, tenant.N.* block and
+    # per-tenant table) diffs against a golden.
+    echo "==> multi-tenant smoke [$preset]"
+    "$bindir"/examples/simulate_trace --workload mail --system dvp \
+        --requests 20000 --seed 42 --tenants 2 --arbiter wrr:3,1 \
+        --dvp-scope partitioned --queue-depth 8 \
+        > "$bindir/multi_tenant.smoke.txt"
+    diff -u tests/golden/smoke/multi_tenant.txt \
+        "$bindir/multi_tenant.smoke.txt"
+
     # Harness-throughput guard (default preset only; sanitizer
     # builds are expected to be slow). Re-run the wall-clock report
     # into the build tree and compare the aggregate events/sec

@@ -108,15 +108,31 @@ class DeadValuePool
      * under "dvp.<name()>." ("dvp.mq.hits", ...). The stats struct
      * every implementation returns by reference is a long-lived
      * member, so the registered pointers stay valid for the pool's
-     * lifetime.
+     * lifetime. Virtual so composite pools (PartitionedDvp) can
+     * expose their member pools under per-tenant prefixes.
      */
-    void registerStats(StatRegistry &registry) const;
+    virtual void registerStats(StatRegistry &registry) const;
+
+    /**
+     * Same registrations under an explicit @p prefix (ending in
+     * '.'), for composites that place one pool per tenant in the
+     * namespace ("dvp.tenant0.", ...).
+     */
+    void registerStatsAt(StatRegistry &registry,
+                         const std::string &prefix) const;
 };
 
 inline void
 DeadValuePool::registerStats(StatRegistry &registry) const
 {
-    const std::string p = "dvp." + name() + ".";
+    registerStatsAt(registry, "dvp." + name() + ".");
+}
+
+inline void
+DeadValuePool::registerStatsAt(StatRegistry &registry,
+                               const std::string &prefix) const
+{
+    const std::string &p = prefix;
     const DvpStats &s = stats();
     registry.addCounter(p + "lookups", &s.lookups);
     registry.addCounter(p + "hits", &s.hits);

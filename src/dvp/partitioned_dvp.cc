@@ -1,0 +1,134 @@
+#include "dvp/partitioned_dvp.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+PartitionedDvp::PartitionedDvp(
+    std::vector<std::unique_ptr<DeadValuePool>> pools_,
+    std::vector<Lpn> bases_)
+    : pools(std::move(pools_)), bases(std::move(bases_))
+{
+    if (pools.empty())
+        zombie_fatal("partitioned DVP needs at least one pool");
+    if (bases.size() != pools.size()) {
+        zombie_fatal("partitioned DVP: ", bases.size(),
+                     " namespace bases for ", pools.size(), " pools");
+    }
+    zombie_assert(bases.front() == 0,
+                  "first namespace must start at LPN 0");
+    zombie_assert(std::is_sorted(bases.begin(), bases.end()),
+                  "namespace bases must ascend");
+    for (const auto &p : pools)
+        zombie_assert(p != nullptr, "partitioned DVP got a null pool");
+}
+
+std::uint32_t
+PartitionedDvp::tenantOf(Lpn lpn) const
+{
+    // First base beyond lpn; its predecessor owns the page. Pages
+    // past the last namespace (preconditioned cold filler) route to
+    // the last tenant, whose range is open-ended.
+    const auto it = std::upper_bound(bases.begin(), bases.end(), lpn);
+    return static_cast<std::uint32_t>(it - bases.begin()) - 1;
+}
+
+std::string
+PartitionedDvp::name() const
+{
+    return "part(" + pools.front()->name() + ")";
+}
+
+DvpLookupResult
+PartitionedDvp::lookupForWrite(const Fingerprint &fp, Lpn lpn)
+{
+    return pools[tenantOf(lpn)]->lookupForWrite(fp, lpn);
+}
+
+void
+PartitionedDvp::insertGarbage(const Fingerprint &fp, Lpn lpn, Ppn ppn,
+                              std::uint8_t pop)
+{
+    pools[tenantOf(lpn)]->insertGarbage(fp, lpn, ppn, pop);
+}
+
+void
+PartitionedDvp::onErase(Ppn ppn)
+{
+    for (const auto &p : pools)
+        p->onErase(ppn);
+}
+
+void
+PartitionedDvp::onHostRead(Lpn lpn)
+{
+    pools[tenantOf(lpn)]->onHostRead(lpn);
+}
+
+std::uint64_t
+PartitionedDvp::size() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : pools)
+        total += p->size();
+    return total;
+}
+
+std::uint64_t
+PartitionedDvp::capacity() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : pools)
+        total += p->capacity();
+    return total;
+}
+
+const DvpStats &
+PartitionedDvp::stats() const
+{
+    aggregate = DvpStats{};
+    for (const auto &p : pools) {
+        const DvpStats &s = p->stats();
+        aggregate.lookups += s.lookups;
+        aggregate.hits += s.hits;
+        aggregate.insertions += s.insertions;
+        aggregate.mergedInsertions += s.mergedInsertions;
+        aggregate.capacityEvictions += s.capacityEvictions;
+        aggregate.gcEvictions += s.gcEvictions;
+        aggregate.promotions += s.promotions;
+        aggregate.demotions += s.demotions;
+    }
+    return aggregate;
+}
+
+void
+PartitionedDvp::registerStats(StatRegistry &registry) const
+{
+    for (std::size_t t = 0; t < pools.size(); ++t) {
+        pools[t]->registerStatsAt(registry,
+                                  "dvp.tenant" + std::to_string(t) +
+                                      ".");
+    }
+    // Aggregate counters are recomputed sums, so they register as
+    // gauges (counter registration needs a stable pointer). The
+    // display name "part(mq)" is not a valid stat path segment, so
+    // the aggregate lives under a fixed prefix.
+    const std::string p = "dvp.partitioned.";
+    registry.addGauge(p + "lookups", [this] {
+        return static_cast<double>(stats().lookups);
+    });
+    registry.addGauge(p + "hits", [this] {
+        return static_cast<double>(stats().hits);
+    });
+    registry.addGauge(p + "size", [this] {
+        return static_cast<double>(size());
+    });
+    registry.addGauge(p + "hit_rate", [this] {
+        return stats().hitRate();
+    });
+}
+
+} // namespace zombie

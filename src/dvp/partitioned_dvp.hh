@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Per-tenant partitioned dead-value pool (composite).
+ *
+ * A multi-tenant drive can either share one drive-wide pool across
+ * every namespace or give each tenant a private pool over its own
+ * LPN range. PartitionedDvp implements the latter as a pure
+ * composite: it owns one DeadValuePool per tenant and routes every
+ * call by the request's logical page (namespaces are contiguous LPN
+ * ranges, so a binary search over the base table names the owner).
+ * The member pools are unmodified — isolation comes entirely from
+ * the routing, so any scheme (mq, lru, lx, infinite) partitions.
+ *
+ * Erases broadcast: the pool cannot tell which tenant's entries a
+ * just-erased block held, and onErase is a no-op for pools without a
+ * reference to that PPN, so telling everyone is both correct and
+ * exactly as cheap as the lookup each member pool does anyway.
+ */
+
+#ifndef ZOMBIE_DVP_PARTITIONED_DVP_HH
+#define ZOMBIE_DVP_PARTITIONED_DVP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dvp/dead_value_pool.hh"
+
+namespace zombie
+{
+
+/** One private dead-value pool per tenant, routed by LPN range. */
+class PartitionedDvp : public DeadValuePool
+{
+  public:
+    /**
+     * Take ownership of one pool per tenant. @p bases are the
+     * namespace base LPNs in tenant order (prefix sums of the
+     * namespace sizes), so tenant t owns [bases[t], bases[t+1]).
+     */
+    PartitionedDvp(std::vector<std::unique_ptr<DeadValuePool>> pools,
+                   std::vector<Lpn> bases);
+
+    std::string name() const override;
+
+    DvpLookupResult lookupForWrite(const Fingerprint &fp,
+                                   Lpn lpn) override;
+    void insertGarbage(const Fingerprint &fp, Lpn lpn, Ppn ppn,
+                       std::uint8_t pop) override;
+    void onErase(Ppn ppn) override;
+    void onHostRead(Lpn lpn) override;
+
+    std::uint64_t size() const override;
+    std::uint64_t capacity() const override;
+
+    /** Aggregated counters, summed across every member pool. */
+    const DvpStats &stats() const override;
+
+    /**
+     * Member pools register under "dvp.tenant<t>." and the
+     * aggregate view under "dvp.<name()>." as gauges (the sums are
+     * computed, so they cannot be registered by counter pointer).
+     */
+    void registerStats(StatRegistry &registry) const override;
+
+    std::uint32_t tenants() const
+    {
+        return static_cast<std::uint32_t>(pools.size());
+    }
+
+    /** Tenant owning logical page @p lpn. */
+    std::uint32_t tenantOf(Lpn lpn) const;
+
+    const DeadValuePool &pool(std::uint32_t t) const
+    {
+        return *pools[t];
+    }
+
+  private:
+    std::vector<std::unique_ptr<DeadValuePool>> pools;
+
+    /** Namespace base LPNs, ascending; bases[0] == 0. */
+    std::vector<Lpn> bases;
+
+    /** Scratch for stats(): refreshed on every call. */
+    mutable DvpStats aggregate;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_DVP_PARTITIONED_DVP_HH

@@ -11,7 +11,8 @@ Ftl::Ftl(FlashArray &flash_array, FtlConfig config)
     : array(flash_array), cfg(std::move(config)),
       map(cfg.logicalPages, array.geometry().totalPages()),
       blockMgr(array),
-      policy(cfg.wearTolerance > 0
+      policy(cfg.wearTolerance > 0 &&
+                     cfg.gcPolicy.rfind("wear:", 0) != 0
                  ? std::make_unique<WearAwareGcPolicy>(
                        makeGcPolicy(cfg.gcPolicy, cfg.gcPopWeight),
                        cfg.wearTolerance)

@@ -76,7 +76,12 @@ struct FtlConfig
      */
     std::uint32_t gcPagesPerStep = 2;
 
-    /** "greedy" or "popularity" (paper section IV-D). */
+    /**
+     * "greedy" or "popularity" (paper section IV-D); a "wear:"
+     * prefix names the wear-aware decorator explicitly (the ctor
+     * then skips its own wearTolerance wrap to avoid stacking two
+     * decorators).
+     */
     std::string gcPolicy = "greedy";
     double gcPopWeight = 1.0;
 

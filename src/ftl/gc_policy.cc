@@ -1,5 +1,6 @@
 #include "ftl/gc_policy.hh"
 
+#include "ftl/wear.hh"
 #include "util/logging.hh"
 
 namespace zombie
@@ -63,8 +64,15 @@ makeGcPolicy(const std::string &name, double pop_weight)
         return std::make_unique<GreedyGcPolicy>();
     if (name == "popularity")
         return std::make_unique<PopularityAwareGcPolicy>(pop_weight);
+    // "wear:<base>" wraps the base policy in the wear-aware
+    // tie-breaking decorator at its default tolerance.
+    if (name.rfind("wear:", 0) == 0) {
+        return std::make_unique<WearAwareGcPolicy>(
+            makeGcPolicy(name.substr(5), pop_weight));
+    }
     zombie_fatal("unknown GC policy '", name,
-                 "' (expected greedy | popularity)");
+                 "' (expected greedy | popularity | wear:greedy | "
+                 "wear:popularity)");
 }
 
 } // namespace zombie

@@ -80,7 +80,8 @@ class PopularityAwareGcPolicy : public GcPolicy
     double weight;
 };
 
-/** Factory: "greedy" or "popularity". */
+/** Factory: "greedy", "popularity", or either behind the
+ *  wear-aware decorator as "wear:greedy" / "wear:popularity". */
 std::unique_ptr<GcPolicy> makeGcPolicy(const std::string &name,
                                        double pop_weight = 1.0);
 

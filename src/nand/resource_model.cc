@@ -126,7 +126,7 @@ ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest, bool gc)
     noteDieIssue(die, earliest, completion);
     if (tracer)
         tracer->span(static_cast<std::uint32_t>(die), opSpanName(op),
-                     gc ? "gc" : "host", die_start, completion);
+                     gc ? "gc" : hostCategory, die_start, completion);
     return completion;
 }
 

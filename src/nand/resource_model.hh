@@ -107,6 +107,17 @@ class ResourceModel
     void setTraceSink(TraceSink *sink);
 
     /**
+     * Category stamped on host-op spans (GC ops always record under
+     * "gc"). Must point at static storage (TraceSink contract); the
+     * controller switches it per command to attribute spans to the
+     * issuing tenant. Defaults to "host".
+     */
+    void setHostSpanCategory(const char *category)
+    {
+        hostCategory = category;
+    }
+
+    /**
      * Register per-die busy-tick counters
      * ("nand.chan<c>.chip<k>.die<d>.busy_ticks") and the
      * "nand.max_die_backlog" gauge. The busy tables are sized at
@@ -138,6 +149,9 @@ class ResourceModel
 
     /** Operation tracer; null (the default) disables span recording. */
     TraceSink *tracer = nullptr;
+
+    /** Span category for host-origin ops (static storage). */
+    const char *hostCategory = "host";
 };
 
 /** "chan<c>.chip<k>.die<d>" label for a flat die index. */

@@ -1,0 +1,89 @@
+#include "sim/arbiter.hh"
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+ArbiterKind
+arbiterKindFromString(const std::string &name)
+{
+    if (name == "rr" || name == "round-robin")
+        return ArbiterKind::RoundRobin;
+    if (name == "wrr" || name == "weighted-round-robin")
+        return ArbiterKind::WeightedRoundRobin;
+    zombie_fatal("unknown arbiter '", name, "' (rr | wrr)");
+}
+
+std::string
+toString(ArbiterKind kind)
+{
+    switch (kind) {
+      case ArbiterKind::RoundRobin:
+        return "rr";
+      case ArbiterKind::WeightedRoundRobin:
+        return "wrr";
+    }
+    zombie_panic("unreachable arbiter kind");
+}
+
+ArbiterSpec
+parseArbiterSpec(const std::string &text)
+{
+    ArbiterSpec spec;
+    const std::size_t colon = text.find(':');
+    spec.kind = arbiterKindFromString(text.substr(0, colon));
+    if (colon == std::string::npos)
+        return spec;
+    if (spec.kind != ArbiterKind::WeightedRoundRobin)
+        zombie_fatal("arbiter '", text, "': only wrr takes weights");
+
+    // Comma-separated positive weights, e.g. "wrr:3,1".
+    std::size_t pos = colon + 1;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string field = text.substr(pos, comma - pos);
+        if (field.empty() ||
+            field.find_first_not_of("0123456789") !=
+                std::string::npos) {
+            zombie_fatal("arbiter '", text,
+                         "': weights must be positive integers");
+        }
+        const unsigned long w = std::stoul(field);
+        if (w == 0 || w > 65536)
+            zombie_fatal("arbiter '", text, "': weight ", w,
+                         " outside [1, 65536]");
+        spec.weights.push_back(static_cast<std::uint32_t>(w));
+        pos = comma + 1;
+    }
+    if (spec.weights.empty())
+        zombie_fatal("arbiter '", text, "': no weights after ':'");
+    return spec;
+}
+
+QueueArbiter::QueueArbiter(ArbiterKind kind, std::uint32_t tenants,
+                           const std::vector<std::uint32_t> &weights)
+    : arbKind(kind)
+{
+    if (tenants == 0)
+        zombie_fatal("arbiter needs at least one tenant");
+    if (kind == ArbiterKind::WeightedRoundRobin && !weights.empty()) {
+        if (weights.size() != tenants) {
+            zombie_fatal("arbiter got ", weights.size(),
+                         " weights for ", tenants, " tenants");
+        }
+        for (const std::uint32_t w : weights) {
+            if (w == 0)
+                zombie_fatal("arbiter weights must be positive");
+        }
+        turnWeights = weights;
+    } else {
+        // Round-robin, or weighted with no explicit weights: strict
+        // turns, one command each.
+        turnWeights.assign(tenants, 1);
+    }
+}
+
+} // namespace zombie

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * NVMe-style submission-queue arbiter.
+ *
+ * The controller holds one submission queue per tenant; whenever a
+ * dispatch context (tag) frees up, the arbiter names the tenant whose
+ * queue is served next. Two schemes, mirroring the NVMe arbitration
+ * mechanisms:
+ *
+ *  - round-robin: tenants take strict turns,
+ *  - weighted round-robin: tenant t is served up to weight[t]
+ *    commands per turn before the cursor advances.
+ *
+ * The arbiter is work-conserving: an ineligible tenant (empty queue
+ * or exhausted tag budget) is skipped — forfeiting the remainder of
+ * its turn — so a free tag never idles while any tenant has work.
+ * State is two integers; given the same eligibility sequence the
+ * pick sequence is a pure function, which keeps multi-tenant runs
+ * deterministic.
+ */
+
+#ifndef ZOMBIE_SIM_ARBITER_HH
+#define ZOMBIE_SIM_ARBITER_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zombie
+{
+
+/** Arbitration schemes (NVMe round-robin and weighted variants). */
+enum class ArbiterKind : std::uint8_t
+{
+    RoundRobin,
+    WeightedRoundRobin,
+};
+
+ArbiterKind arbiterKindFromString(const std::string &name);
+std::string toString(ArbiterKind kind);
+
+/** Parsed --arbiter specification. */
+struct ArbiterSpec
+{
+    ArbiterKind kind = ArbiterKind::RoundRobin;
+
+    /** Per-tenant weights (wrr only; empty = equal weights). */
+    std::vector<std::uint32_t> weights;
+};
+
+/**
+ * Parse "rr" or "wrr:<w0,w1,..>" ("wrr" alone = equal weights).
+ * Fatal (user error) on anything else.
+ */
+ArbiterSpec parseArbiterSpec(const std::string &text);
+
+/** Weighted-round-robin cursor over per-tenant submission queues. */
+class QueueArbiter
+{
+  public:
+    /** Returned by pick() when no tenant is eligible. */
+    static constexpr std::uint32_t kNone = ~0u;
+
+    /**
+     * @p weights must be empty (equal weights) or hold one positive
+     * entry per tenant; round-robin ignores weights entirely.
+     */
+    QueueArbiter(ArbiterKind kind, std::uint32_t tenants,
+                 const std::vector<std::uint32_t> &weights);
+
+    std::uint32_t tenants() const
+    {
+        return static_cast<std::uint32_t>(turnWeights.size());
+    }
+
+    ArbiterKind kind() const { return arbKind; }
+
+    const std::vector<std::uint32_t> &weights() const
+    {
+        return turnWeights;
+    }
+
+    /**
+     * Name the next tenant to serve. @p eligible is consulted at
+     * most once per tenant; the first eligible tenant in weighted
+     * turn order wins and consumes one unit of its turn credit.
+     * @return kNone when no tenant is eligible (no state changes).
+     */
+    template <typename EligibleFn>
+    std::uint32_t
+    pick(EligibleFn &&eligible)
+    {
+        const auto n = tenants();
+        // Spent turn credit ends the turn before the scan, so every
+        // probed tenant holds fresh credit (weights are positive).
+        if (served >= turnWeights[cursor]) {
+            cursor = cursor + 1 == n ? 0 : cursor + 1;
+            served = 0;
+        }
+        for (std::uint32_t scanned = 0; scanned < n; ++scanned) {
+            if (eligible(cursor)) {
+                ++served;
+                return cursor;
+            }
+            // Work-conserving skip forfeits the rest of the turn.
+            cursor = cursor + 1 == n ? 0 : cursor + 1;
+            served = 0;
+        }
+        return kNone;
+    }
+
+  private:
+    ArbiterKind arbKind;
+    std::vector<std::uint32_t> turnWeights;
+    std::uint32_t cursor = 0;
+
+    /** Commands granted to `cursor` in its current turn. */
+    std::uint32_t served = 0;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_SIM_ARBITER_HH

@@ -51,6 +51,29 @@ toString(SystemKind kind)
     zombie_panic("unreachable system kind");
 }
 
+DvpScope
+dvpScopeFromString(const std::string &name)
+{
+    if (name == "shared")
+        return DvpScope::Shared;
+    if (name == "partitioned" || name == "part")
+        return DvpScope::Partitioned;
+    zombie_fatal("unknown DVP scope '", name,
+                 "' (shared | partitioned)");
+}
+
+std::string
+toString(DvpScope scope)
+{
+    switch (scope) {
+      case DvpScope::Shared:
+        return "shared";
+      case DvpScope::Partitioned:
+        return "partitioned";
+    }
+    zombie_panic("unreachable DVP scope");
+}
+
 bool
 usesHashEngine(SystemKind kind)
 {
@@ -84,6 +107,23 @@ SsdConfig::resolvedGcPolicy() const
     if (gcPolicy != "auto")
         return gcPolicy;
     return usesDvp(system) ? "popularity" : "greedy";
+}
+
+std::vector<Lpn>
+SsdConfig::namespaceBases() const
+{
+    std::vector<Lpn> bases;
+    bases.reserve(std::max<std::size_t>(1, namespacePages.size()));
+    Lpn base = 0;
+    if (namespacePages.empty()) {
+        bases.push_back(0);
+        return bases;
+    }
+    for (const std::uint64_t pages : namespacePages) {
+        bases.push_back(base);
+        base += pages;
+    }
+    return bases;
 }
 
 double
@@ -172,6 +212,18 @@ SsdConfig::describe() const
         << "%, gc=" << resolvedGcPolicy();
     if (queueDepth != 1)
         oss << ", qd=" << queueDepth;
+    if (tenants > 1) {
+        oss << ", tenants=" << tenants << " arbiter="
+            << toString(arbiter);
+        if (!arbiterWeights.empty()) {
+            oss << "[";
+            for (std::size_t t = 0; t < arbiterWeights.size(); ++t)
+                oss << (t ? ":" : "") << arbiterWeights[t];
+            oss << "]";
+        }
+        if (dvpScope == DvpScope::Partitioned && usesDvp(system))
+            oss << " dvp-scope=partitioned";
+    }
     if (usesDvp(system))
         oss << ", pool=" << mq.capacity << " entries";
     oss << ")";
@@ -195,8 +247,39 @@ SsdConfig::validate() const
         zombie_fatal("SsdConfig: queueDepth ", queueDepth,
                      " exceeds the 65536-tag ceiling");
     if (gcPolicy != "auto" && gcPolicy != "greedy" &&
-        gcPolicy != "popularity") {
+        gcPolicy != "popularity" && gcPolicy != "wear:greedy" &&
+        gcPolicy != "wear:popularity") {
         zombie_fatal("SsdConfig: bad gcPolicy '", gcPolicy, "'");
+    }
+    if (tenants == 0 || tenants > kMaxTenants) {
+        zombie_fatal("SsdConfig: tenants ", tenants,
+                     " outside [1, ", kMaxTenants, "]");
+    }
+    if (!arbiterWeights.empty() && arbiterWeights.size() != tenants) {
+        zombie_fatal("SsdConfig: ", arbiterWeights.size(),
+                     " arbiter weights for ", tenants, " tenants");
+    }
+    for (const std::uint32_t w : arbiterWeights) {
+        if (w == 0)
+            zombie_fatal("SsdConfig: arbiter weights must be > 0");
+    }
+    if (tenants > 1) {
+        if (namespacePages.size() != tenants) {
+            zombie_fatal("SsdConfig: ", namespacePages.size(),
+                         " namespace sizes for ", tenants,
+                         " tenants");
+        }
+        std::uint64_t total = 0;
+        for (const std::uint64_t pages : namespacePages) {
+            if (pages == 0)
+                zombie_fatal("SsdConfig: empty namespace");
+            total += pages;
+        }
+        if (total > logicalPages) {
+            zombie_fatal("SsdConfig: namespaces cover ", total,
+                         " pages but the drive exports only ",
+                         logicalPages);
+        }
     }
 }
 

@@ -18,11 +18,14 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dvp/mq_dvp.hh"
 #include "nand/geometry.hh"
 #include "nand/timing.hh"
+#include "sim/arbiter.hh"
 #include "trace/profile.hh"
+#include "trace/record.hh"
 
 namespace zombie
 {
@@ -41,6 +44,21 @@ enum class SystemKind
 
 SystemKind systemKindFromString(const std::string &name);
 std::string toString(SystemKind kind);
+
+/**
+ * Dead-value pool tenancy when the drive hosts several tenants:
+ * Shared exposes one drive-wide pool to every namespace;
+ * Partitioned gives each tenant a private pool over its namespace
+ * range (see dvp/partitioned_dvp.hh).
+ */
+enum class DvpScope : std::uint8_t
+{
+    Shared,
+    Partitioned,
+};
+
+DvpScope dvpScopeFromString(const std::string &name);
+std::string toString(DvpScope scope);
 
 /** Whether this system computes content hashes on the write path. */
 bool usesHashEngine(SystemKind kind);
@@ -78,6 +96,29 @@ struct SsdConfig
      * admit bursts concurrently.
      */
     std::uint32_t queueDepth = 1;
+
+    /**
+     * Multi-tenant frontend (NVMe-style namespaces). tenants == 1 —
+     * the default — keeps the historical single-queue path
+     * byte-for-byte; more tenants give each its own submission
+     * queue behind the arbiter, with command tags split into
+     * weight-proportional budgets.
+     */
+    std::uint32_t tenants = 1;
+    ArbiterKind arbiter = ArbiterKind::RoundRobin;
+
+    /** Per-tenant wrr weights; empty = equal weights. */
+    std::vector<std::uint32_t> arbiterWeights;
+
+    /** Shared or per-tenant dead-value pools (tenants > 1 only). */
+    DvpScope dvpScope = DvpScope::Shared;
+
+    /**
+     * Namespace sizes in pages, tenant order; required whenever
+     * tenants > 1 (the trace frontend supplies them). Their prefix
+     * sums are the namespace base LPNs.
+     */
+    std::vector<std::uint64_t> namespacePages;
 
     /** Hot/cold write-stream separation (see FtlConfig). */
     bool hotColdSeparation = false;
@@ -119,6 +160,9 @@ struct SsdConfig
 
     /** Resolved GC policy name for the chosen system. */
     std::string resolvedGcPolicy() const;
+
+    /** Namespace base LPNs (prefix sums of namespacePages). */
+    std::vector<Lpn> namespaceBases() const;
 
     /** Implied over-provisioning fraction. */
     double overProvisioning() const;

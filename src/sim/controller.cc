@@ -1,6 +1,7 @@
 #include "sim/controller.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "util/logging.hh"
 
@@ -40,16 +41,52 @@ FlashScheduler::issue(const FlashStepBuffer &steps, Tick t)
     return FlashIssue{completion, gc_tail};
 }
 
+/** Static span-category literals, one per possible tenant (the
+ *  TraceSink contract requires static storage). */
+static const char *
+tenantSpanCategory(std::uint32_t tenant)
+{
+    static const char *const kNames[kMaxTenants] = {
+        "tenant0",  "tenant1",  "tenant2",  "tenant3",
+        "tenant4",  "tenant5",  "tenant6",  "tenant7",
+        "tenant8",  "tenant9",  "tenant10", "tenant11",
+        "tenant12", "tenant13", "tenant14", "tenant15"};
+    return tenant < kMaxTenants ? kNames[tenant] : "host";
+}
+
 Controller::Controller(const SsdConfig &config, Ftl &ftl_,
                        ResourceModel &resources, ReadCache &cache,
                        EventEngine &events)
     : cfg(config), ftl(ftl_), engine(events),
+      queues(std::max<std::uint32_t>(1, config.tenants)),
+      arbiter(config.arbiter,
+              std::max<std::uint32_t>(1, config.tenants),
+              config.arbiterWeights),
       flash(resources, cache), depth(config.queueDepth),
+      numTenants(std::max<std::uint32_t>(1, config.tenants)),
       ctxFreeAt(std::max<std::uint32_t>(1, config.queueDepth), 0)
 {
     zombie_assert(depth >= 1, "controller needs at least one tag");
     engine.setSink(this);
     inDispatch.reserve(depth);
+    tenantTags.assign(numTenants, 0);
+    // Weight-proportional tag budgets, at least one tag each. With
+    // one tenant the budget equals the depth, which tryDispatch
+    // treats as "no constraint" — admission is then gated purely by
+    // context availability, exactly the historical behaviour.
+    tagBudget.assign(numTenants, depth);
+    if (numTenants > 1) {
+        const auto &w = arbiter.weights();
+        std::uint64_t weight_sum = 0;
+        for (const std::uint32_t wt : w)
+            weight_sum += wt;
+        for (std::uint32_t t = 0; t < numTenants; ++t) {
+            tagBudget[t] = std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(
+                       (std::uint64_t(depth) * w[t]) / weight_sum));
+        }
+        tstats.resize(numTenants);
+    }
     // Completion tags free at dispatch, so flash completions stream
     // out-of-order without a queue-depth bound: the reorder window
     // is limited only by how much work the dies can hold. Reserve
@@ -66,6 +103,11 @@ Controller::Controller(const SsdConfig &config, Ftl &ftl_,
 void
 Controller::submit(const TraceRecord &rec)
 {
+    if (rec.tenant >= numTenants) {
+        zombie_fatal("record for tenant ", rec.tenant,
+                     " on a drive configured for ", numTenants,
+                     " tenant(s)");
+    }
     if (submitted == 0)
         cstats.firstArrival = rec.arrival;
     arrivals.push_back(HostCommand{rec, submitted++});
@@ -99,9 +141,17 @@ Controller::event(Tick now, EventKind kind, std::uint32_t ctx,
 {
     switch (kind) {
       case EventKind::HostArrival: {
-        // Arrivals fire in submission order: pull the next command.
-        queue.push(arrivals.front());
+        // Arrivals fire in submission order: route the next command
+        // to its tenant's submission queue and mirror the admission
+        // counters drive-wide (hqTotal backs the "ctrl.queue.*"
+        // stats across any tenant count).
+        const HostCommand &cmd = arrivals.front();
+        queues[cmd.rec.tenant].push(cmd);
         arrivals.pop_front();
+        ++hqTotal.submitted;
+        ++waitingNow;
+        if (waitingNow > hqTotal.maxWaiting)
+            hqTotal.maxWaiting = waitingNow;
         tryDispatch(now);
         break;
       }
@@ -113,6 +163,7 @@ Controller::event(Tick now, EventKind kind, std::uint32_t ctx,
       case EventKind::DispatchDone: {
         const HostCommand cmd = inDispatch[ctx];
         inDispatch.release(ctx);
+        --tenantTags[cmd.rec.tenant];
         onDispatched(cmd, now);
         break;
       }
@@ -144,7 +195,7 @@ Controller::event(Tick now, EventKind kind, std::uint32_t ctx,
 void
 Controller::tryDispatch(Tick now)
 {
-    while (!queue.empty()) {
+    while (waitingNow > 0) {
         // Earliest-free context; stable lowest-index tie-break.
         std::uint32_t best = 0;
         for (std::uint32_t k = 1; k < depth; ++k) {
@@ -153,7 +204,26 @@ Controller::tryDispatch(Tick now)
         }
         if (ctxFreeAt[best] > now)
             return; // every tag busy; retried at next dispatch-done
-        const HostCommand cmd = queue.pop(now);
+
+        // The arbiter names the queue this tag serves. A tenant is
+        // eligible while it has work and tags under its budget; a
+        // full-depth budget (the single-tenant case) never gates, so
+        // admission degenerates to the historical context-only check.
+        const std::uint32_t t = arbiter.pick([this](std::uint32_t q) {
+            return !queues[q].empty() &&
+                   (tagBudget[q] >= depth ||
+                    tenantTags[q] < tagBudget[q]);
+        });
+        if (t == QueueArbiter::kNone)
+            return; // every non-empty queue is over budget
+
+        const HostCommand cmd = queues[t].pop(now);
+        --waitingNow;
+        if (now > cmd.rec.arrival) {
+            ++hqTotal.blockedAdmissions;
+            hqTotal.admissionWait += now - cmd.rec.arrival;
+        }
+        ++tenantTags[t];
         ctxFreeAt[best] = now + cfg.timing.ftlOverhead;
         const std::uint32_t slot = inDispatch.acquire();
         inDispatch[slot] = cmd;
@@ -179,6 +249,10 @@ Controller::onDispatched(const HostCommand &cmd, Tick now)
         cmd.rec.isWrite() ? ftl.write(cmd.rec.lpn, cmd.rec.fp, steps)
                           : ftl.read(cmd.rec.lpn, steps);
     (void)result;
+    // Tag host-op trace spans with the issuing tenant; with one
+    // tenant the category stays the historical "host" literal.
+    if (numTenants > 1)
+        flash.setHostSpanCategory(tenantSpanCategory(cmd.rec.tenant));
     const FlashIssue issued = flash.issue(steps, t);
 
     cstats.lastCompletion =
@@ -194,6 +268,19 @@ Controller::onDispatched(const HostCommand &cmd, Tick now)
         cstats.readLatency.record(latency);
     }
     cstats.allLatency.record(latency);
+
+    if (numTenants > 1) {
+        TenantResult &ts = tstats[cmd.rec.tenant];
+        if (cmd.rec.isWrite()) {
+            ++ts.writes;
+            ts.writeLatency.record(latency);
+        } else {
+            ++ts.reads;
+            ts.readLatency.record(latency);
+        }
+        if (issued.gcTail > issued.completion)
+            ts.gcCollateralTicks += issued.gcTail - issued.completion;
+    }
 
     engine.schedule(issued.completion, EventKind::FlashDone, 0,
                     cmd.idx);
@@ -242,18 +329,65 @@ Controller::registerStats(StatRegistry &registry) const
     registry.addHistogram("ctrl.latency.write", &cstats.writeLatency);
     registry.addHistogram("ctrl.latency.all", &cstats.allLatency);
 
-    const HostQueueStats &hq = queue.stats();
-    registry.addCounter("ctrl.queue.submitted", &hq.submitted);
+    registry.addCounter("ctrl.queue.submitted", &hqTotal.submitted);
     registry.addCounter("ctrl.queue.blocked_admissions",
-                        &hq.blockedAdmissions);
+                        &hqTotal.blockedAdmissions);
     registry.addCounter("ctrl.queue.admission_wait_ticks",
-                        &hq.admissionWait);
+                        &hqTotal.admissionWait);
     registry.addGauge("ctrl.queue.waiting", [this] {
-        return static_cast<double>(queue.waiting());
+        return static_cast<double>(waitingNow);
     });
     registry.addGauge("ctrl.outstanding", [this] {
         return static_cast<double>(outstanding());
     });
+
+    // Per-tenant slices exist only on a multi-tenant drive, so the
+    // single-tenant registry dump stays byte-identical. Storage lives
+    // in `queues` / `tstats`, both sized once at construction.
+    if (numTenants <= 1)
+        return;
+    for (std::uint32_t t = 0; t < numTenants; ++t) {
+        const std::string p = "tenant." + std::to_string(t) + ".";
+        const HostQueueStats &hq = queues[t].stats();
+        registry.addCounter(p + "submitted", &hq.submitted);
+        registry.addCounter(p + "blocked_admissions",
+                            &hq.blockedAdmissions);
+        registry.addCounter(p + "admission_wait_ticks",
+                            &hq.admissionWait);
+        registry.addGauge(p + "waiting", [this, t] {
+            return static_cast<double>(queues[t].waiting());
+        });
+        const TenantResult &ts = tstats[t];
+        registry.addCounter(p + "reads", &ts.reads);
+        registry.addCounter(p + "writes", &ts.writes);
+        registry.addCounter(p + "gc_collateral_ticks",
+                            &ts.gcCollateralTicks);
+        registry.addHistogram(p + "latency.read", &ts.readLatency);
+        registry.addHistogram(p + "latency.write", &ts.writeLatency);
+    }
+}
+
+TenantResult
+Controller::tenantResult(std::uint32_t t) const
+{
+    zombie_assert(t < numTenants, "tenant index out of range");
+    TenantResult out;
+    if (numTenants > 1) {
+        out = tstats[t];
+    } else {
+        // One tenant owns the whole pipeline: its slice is the
+        // drive-wide view (tstats is not maintained on this path).
+        out.reads = cstats.reads;
+        out.writes = cstats.writes;
+        out.readLatency = cstats.readLatency;
+        out.writeLatency = cstats.writeLatency;
+        out.gcCollateralTicks = cstats.gcTailTicks;
+    }
+    const HostQueueStats &hq = queues[t].stats();
+    out.submitted = hq.submitted;
+    out.blockedAdmissions = hq.blockedAdmissions;
+    out.admissionWait = hq.admissionWait;
+    return out;
 }
 
 void

@@ -6,10 +6,16 @@
  * coordinated by the EventEngine:
  *
  *  1. Host interface (HostQueue): commands are submitted in arrival
- *     order and admitted NCQ-style into one of `queueDepth` command
- *     contexts (tags). While every context is busy, later commands
- *     wait in the host queue — that admission delay is the knob deep
- *     host queues turn.
+ *     order to their tenant's submission queue and admitted
+ *     NCQ-style into one of `queueDepth` command contexts (tags).
+ *     With several tenants a QueueArbiter (rr/wrr) names the queue
+ *     each freed tag serves, and per-tenant tag budgets cap how many
+ *     contexts one tenant may hold; a single tenant owns one queue
+ *     and the full tag pool, reproducing the historical path
+ *     byte-for-byte. While every context is busy (or the tenant's
+ *     budget is spent), later commands wait in their submission
+ *     queue — that admission delay is the knob deep host queues and
+ *     arbitration weights turn.
  *  2. Dispatcher: each admitted command occupies its context for the
  *     FTL overhead (mapping-table work). Contexts process commands
  *     concurrently, but FTL state transitions themselves execute in
@@ -44,6 +50,7 @@
 
 #include "ftl/ftl.hh"
 #include "nand/resource_model.hh"
+#include "sim/arbiter.hh"
 #include "sim/config.hh"
 #include "sim/event.hh"
 #include "sim/host_queue.hh"
@@ -86,6 +93,13 @@ class FlashScheduler
 
     FlashIssue issue(const FlashStepBuffer &steps, Tick t);
 
+    /** Category label stamped on host-op trace spans (see
+     *  ResourceModel::setHostSpanCategory). */
+    void setHostSpanCategory(const char *category)
+    {
+        res.setHostSpanCategory(category);
+    }
+
   private:
     ResourceModel &res;
     ReadCache &readCache;
@@ -115,6 +129,30 @@ struct ControllerStats
     LatencyHistogram allLatency;
 };
 
+/**
+ * One tenant's slice of the pipeline observations. Only maintained
+ * when the config names more than one tenant, so the single-tenant
+ * hot path stays exactly as it was.
+ */
+struct TenantResult
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t blockedAdmissions = 0;
+    Tick admissionWait = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    /**
+     * Ticks of collateral GC tail charged to commands this tenant
+     * issued (who pays for collections the drive needed anyway —
+     * the noisy-neighbor attribution signal).
+     */
+    Tick gcCollateralTicks = 0;
+
+    LatencyHistogram readLatency;
+    LatencyHistogram writeLatency;
+};
+
 /** The controller pipeline servicing one drive's host stream. */
 class Controller : public EventSink
 {
@@ -137,8 +175,23 @@ class Controller : public EventSink
                std::uint64_t arg) override;
 
     const ControllerStats &stats() const { return cstats; }
-    const HostQueueStats &hostStats() const { return queue.stats(); }
+
+    /** Drive-wide admission counters, summed across every tenant's
+     *  submission queue (identical to the single queue's own stats
+     *  when tenants == 1). */
+    const HostQueueStats &hostStats() const { return hqTotal; }
+
     std::uint32_t queueDepth() const { return depth; }
+    std::uint32_t tenants() const { return numTenants; }
+
+    /** Tenant @p t's pipeline + admission observations. */
+    TenantResult tenantResult(std::uint32_t t) const;
+
+    /** Tag budget (max concurrently held contexts) of tenant @p t. */
+    std::uint32_t tagBudgetOf(std::uint32_t t) const
+    {
+        return tagBudget[t];
+    }
 
     /** Commands submitted but not yet completed. */
     std::uint64_t outstanding() const { return submitted - completed; }
@@ -167,10 +220,37 @@ class Controller : public EventSink
     const SsdConfig &cfg;
     Ftl &ftl;
     EventEngine &engine;
-    HostQueue queue;
+
+    /** One submission queue per tenant (tenant 0 only by default).
+     *  Sized at construction; never reallocates, so registered stat
+     *  pointers into each queue stay valid. */
+    std::vector<HostQueue> queues;
+    QueueArbiter arbiter;
     FlashScheduler flash;
 
     std::uint32_t depth;
+    std::uint32_t numTenants;
+
+    /**
+     * Per-tenant admission caps: weight-proportional shares of the
+     * tag pool (at least one tag each). A budget equal to the full
+     * depth imposes no constraint — notably the single-tenant case,
+     * where admission is gated by context availability alone,
+     * exactly as before the multi-tenant frontend.
+     */
+    std::vector<std::uint32_t> tagBudget;
+
+    /** Dispatch contexts currently charged to each tenant. */
+    std::vector<std::uint32_t> tenantTags;
+
+    /** Drive-wide admission counters (see hostStats()). */
+    HostQueueStats hqTotal;
+
+    /** Commands waiting across all queues (drive-wide maxWaiting). */
+    std::uint64_t waitingNow = 0;
+
+    /** Per-tenant counters; empty unless numTenants > 1. */
+    std::vector<TenantResult> tstats;
 
     /** Busy-until tick of each dispatch context (command tag). */
     std::vector<Tick> ctxFreeAt;

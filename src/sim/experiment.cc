@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "trace/generator.hh"
+#include "trace/multi_tenant.hh"
 #include "util/logging.hh"
 
 namespace zombie
@@ -49,22 +50,65 @@ writeTelemetry(Ssd &ssd, const ExperimentOptions &opts)
     }
 }
 
+/** Apply the option knobs shared by every entry point. */
+void
+applyOptions(SsdConfig &cfg, const ExperimentOptions &opts)
+{
+    cfg.mq.capacity = opts.poolCapacity;
+    cfg.mq.numQueues = opts.mqQueues;
+    cfg.gcPolicy = opts.gcPolicy;
+    cfg.queueDepth = opts.queueDepth;
+    const ArbiterSpec arb = parseArbiterSpec(opts.arbiter);
+    cfg.arbiter = arb.kind;
+    cfg.arbiterWeights = arb.weights;
+    cfg.dvpScope = dvpScopeFromString(opts.dvpScope);
+    cfg.statsInterval = opts.statsInterval;
+    cfg.opTrace = !opts.traceOut.empty();
+    cfg.traceLimit = opts.traceLimit;
+}
+
 } // namespace
 
 SimResult
 runSystemOnProfile(const WorkloadProfile &profile, SystemKind system,
                    const ExperimentOptions &opts)
 {
+    if (opts.tenants > 1) {
+        return runTenantProfiles(
+            splitProfileAcrossTenants(profile, opts.tenants), system,
+            opts);
+    }
+
     SyntheticTraceGenerator gen(profile);
 
     SsdConfig cfg = SsdConfig::forProfile(profile, system);
-    cfg.mq.capacity = opts.poolCapacity;
-    cfg.mq.numQueues = opts.mqQueues;
-    cfg.gcPolicy = opts.gcPolicy;
-    cfg.queueDepth = opts.queueDepth;
-    cfg.statsInterval = opts.statsInterval;
-    cfg.opTrace = !opts.traceOut.empty();
-    cfg.traceLimit = opts.traceLimit;
+    applyOptions(cfg, opts);
+    if (opts.tweak)
+        opts.tweak(cfg);
+
+    Ssd ssd(cfg);
+    ssd.prefill();
+    TraceRecord rec;
+    while (gen.next(rec))
+        ssd.process(rec);
+    SimResult result = ssd.result();
+    writeTelemetry(ssd, opts);
+    return result;
+}
+
+SimResult
+runTenantProfiles(const std::vector<WorkloadProfile> &profiles,
+                  SystemKind system, const ExperimentOptions &opts)
+{
+    MultiTenantTraceGenerator gen(profiles);
+
+    // Size the drive for the combined footprint; each namespace is
+    // a contiguous LPN range at its tenant's base.
+    SsdConfig cfg =
+        SsdConfig::forFootprint(gen.totalLpnSpace(), system);
+    applyOptions(cfg, opts);
+    cfg.tenants = gen.tenants();
+    cfg.namespacePages = gen.allNamespacePages();
     if (opts.tweak)
         opts.tweak(cfg);
 

@@ -36,6 +36,20 @@ struct ExperimentOptions
     std::uint32_t queueDepth = 1;
 
     /**
+     * Multi-tenant frontend. tenants > 1 splits the workload into
+     * that many per-tenant streams (equal request shares, distinct
+     * seeds) merged deterministically by arrival; 1 — the default —
+     * keeps the historical single-stream path byte-identical.
+     */
+    std::uint32_t tenants = 1;
+
+    /** Arbiter spec: "rr" or "wrr:<w0,w1,..>" (sim/arbiter.hh). */
+    std::string arbiter = "rr";
+
+    /** Dead-value pool tenancy: "shared" | "partitioned". */
+    std::string dvpScope = "shared";
+
+    /**
      * Telemetry (src/telemetry): all off by default, so standard
      * experiment runs stay byte-identical and allocation-free. The
      * epoch sampler runs when statsInterval > 0; the op trace records
@@ -59,10 +73,23 @@ struct ExperimentOptions
 SimResult runSystem(Workload workload, SystemKind system,
                     const ExperimentOptions &opts = {});
 
-/** Same, from an explicit profile. */
+/** Same, from an explicit profile. opts.tenants > 1 splits the
+ *  profile into per-tenant streams (see splitProfileAcrossTenants)
+ *  before simulating. */
 SimResult runSystemOnProfile(const WorkloadProfile &profile,
                              SystemKind system,
                              const ExperimentOptions &opts = {});
+
+/**
+ * Simulate one drive shared by explicitly-profiled tenants (one
+ * namespace per profile, in order). The QoS-scenario entry point:
+ * each tenant brings its own workload shape, and opts.arbiter /
+ * opts.dvpScope pick the isolation mechanisms. opts.tenants is
+ * ignored — the profile list defines the tenant count.
+ */
+SimResult runTenantProfiles(const std::vector<WorkloadProfile> &profiles,
+                            SystemKind system,
+                            const ExperimentOptions &opts = {});
 
 /** Baseline + the listed systems over one workload. */
 struct Comparison

@@ -5,6 +5,7 @@
 #include "dvp/lru_dvp.hh"
 #include "dvp/lx_dvp.hh"
 #include "dvp/mq_dvp.hh"
+#include "dvp/partitioned_dvp.hh"
 #include "util/logging.hh"
 
 namespace zombie
@@ -79,6 +80,23 @@ SimResult::toStatSet() const
     }
     if (hasDedup)
         s.set("dedup.hit_rate", dedupStats.hitRate());
+    for (std::size_t t = 0; t < tenantResults.size(); ++t) {
+        const TenantResult &tr = tenantResults[t];
+        const std::string p = "tenant." + std::to_string(t) + ".";
+        s.set(p + "submitted", static_cast<double>(tr.submitted));
+        s.set(p + "reads", static_cast<double>(tr.reads));
+        s.set(p + "writes", static_cast<double>(tr.writes));
+        s.set(p + "blocked_admissions",
+              static_cast<double>(tr.blockedAdmissions));
+        s.set(p + "gc_collateral_ticks",
+              static_cast<double>(tr.gcCollateralTicks));
+        s.set(p + "latency.read.p99_us",
+              static_cast<double>(tr.readLatency.percentile(0.99)) /
+                  1000.0);
+        s.set(p + "latency.write.p99_us",
+              static_cast<double>(tr.writeLatency.percentile(0.99)) /
+                  1000.0);
+    }
     return s;
 }
 
@@ -108,22 +126,57 @@ tailLatencyImprovement(const SimResult &sys, const SimResult &base)
         static_cast<double>(base.allLatency.percentile(0.99)));
 }
 
+namespace
+{
+
+/** One pool of the configured scheme with @p entries capacity. */
 std::unique_ptr<DeadValuePool>
-Ssd::makePool(const SsdConfig &cfg)
+makeSinglePool(const SsdConfig &cfg, std::uint64_t entries)
 {
     switch (cfg.system) {
       case SystemKind::MqDvp:
-      case SystemKind::DvpDedup:
-        return std::make_unique<MqDvp>(cfg.mq);
+      case SystemKind::DvpDedup: {
+        MqDvpConfig mq = cfg.mq;
+        mq.capacity = entries;
+        return std::make_unique<MqDvp>(mq);
+      }
       case SystemKind::LruDvp:
-        return std::make_unique<LruDvp>(cfg.mq.capacity);
+        return std::make_unique<LruDvp>(entries);
       case SystemKind::LxSsd:
-        return std::make_unique<LxDvp>(cfg.mq.capacity);
+        return std::make_unique<LxDvp>(entries);
       case SystemKind::Ideal:
         return std::make_unique<InfiniteDvp>();
       default:
         return nullptr;
     }
+}
+
+} // namespace
+
+std::unique_ptr<DeadValuePool>
+Ssd::makePool(const SsdConfig &cfg)
+{
+    if (cfg.tenants > 1 && cfg.dvpScope == DvpScope::Partitioned &&
+        usesDvp(cfg.system)) {
+        // Private per-tenant pools over equal slices of the shared
+        // budget (the last tenant absorbs the remainder), routed by
+        // namespace LPN range.
+        std::vector<std::unique_ptr<DeadValuePool>> pools;
+        pools.reserve(cfg.tenants);
+        const std::uint64_t share =
+            std::max<std::uint64_t>(1, cfg.mq.capacity / cfg.tenants);
+        for (std::uint32_t t = 0; t < cfg.tenants; ++t) {
+            const bool last = t + 1 == cfg.tenants;
+            const std::uint64_t entries =
+                last ? std::max<std::uint64_t>(
+                           share, cfg.mq.capacity - share * t)
+                     : share;
+            pools.push_back(makeSinglePool(cfg, entries));
+        }
+        return std::make_unique<PartitionedDvp>(std::move(pools),
+                                                cfg.namespaceBases());
+    }
+    return makeSinglePool(cfg, cfg.mq.capacity);
 }
 
 Ssd::Ssd(SsdConfig config)
@@ -270,6 +323,12 @@ Ssd::result()
 
     r.queueDepth = controller_.queueDepth();
     r.hostQueue = controller_.hostStats();
+    r.tenants = controller_.tenants();
+    if (r.tenants > 1) {
+        r.tenantResults.reserve(r.tenants);
+        for (std::uint32_t t = 0; t < r.tenants; ++t)
+            r.tenantResults.push_back(controller_.tenantResult(t));
+    }
     r.oooCompletions = cs.oooCompletions;
     r.maxDieBacklog = resources.maxDieBacklog();
     r.events = engine.dispatched();

@@ -75,6 +75,14 @@ struct SimResult
     std::uint64_t maxDieBacklog = 0;
 
     /**
+     * Multi-tenant frontend observations. tenantResults holds one
+     * slice per tenant when tenants > 1, empty otherwise — a
+     * single-tenant run's StatSet stays byte-identical.
+     */
+    std::uint32_t tenants = 1;
+    std::vector<TenantResult> tenantResults;
+
+    /**
      * Engine events dispatched over the run (harness-throughput side
      * channel; deliberately absent from toStatSet so pinned stdout
      * tables stay byte-identical across engine changes).

@@ -13,7 +13,11 @@ namespace
 
 constexpr char kBinaryMagic[8] = {'Z', 'O', 'M', 'B', 'T', 'R', 'C', '1'};
 
-/** Fixed-width on-disk record for the binary format. */
+/**
+ * Fixed-width on-disk record for the binary format. The tenant id
+ * occupies two little-endian bytes of what used to be padding, so
+ * pre-tenant traces (zeroed pad) read back as tenant 0.
+ */
 struct PackedRecord
 {
     std::uint64_t arrival;
@@ -21,7 +25,9 @@ struct PackedRecord
     std::uint64_t value_id;
     std::uint8_t op;
     std::uint8_t fp[16];
-    std::uint8_t pad[7];
+    std::uint8_t tenant_lo;
+    std::uint8_t tenant_hi;
+    std::uint8_t pad[5];
 };
 static_assert(sizeof(PackedRecord) == 48, "packed record layout drifted");
 
@@ -56,6 +62,10 @@ TraceWriter::write(const TraceRecord &rec)
             out << '-';
         else
             out << rec.valueId;
+        // Trailing tenant column only when non-default, so
+        // single-tenant text traces keep their historical bytes.
+        if (rec.tenant != 0)
+            out << ' ' << rec.tenant;
         out << '\n';
     } else {
         PackedRecord packed{};
@@ -64,6 +74,8 @@ TraceWriter::write(const TraceRecord &rec)
         packed.value_id = rec.valueId;
         packed.op = static_cast<std::uint8_t>(rec.op);
         std::memcpy(packed.fp, rec.fp.bytes.data(), 16);
+        packed.tenant_lo = static_cast<std::uint8_t>(rec.tenant);
+        packed.tenant_hi = static_cast<std::uint8_t>(rec.tenant >> 8);
         out.write(reinterpret_cast<const char *>(&packed), sizeof(packed));
     }
     ++count;
@@ -111,6 +123,8 @@ TraceReader::next(TraceRecord &out)
             zombie_fatal("corrupt op byte in binary trace: ", path_);
         out.op = static_cast<OpType>(packed.op);
         std::memcpy(out.fp.bytes.data(), packed.fp, 16);
+        out.tenant = static_cast<std::uint16_t>(
+            packed.tenant_lo | (packed.tenant_hi << 8));
         return true;
     }
 
@@ -137,6 +151,10 @@ TraceReader::next(TraceRecord &out)
         out.fp = Fingerprint::fromHex(fp_hex);
         out.valueId = vid_text == "-" ? TraceRecord::kNoValueId
                                       : std::stoull(vid_text);
+        std::uint64_t tenant = 0;
+        out.tenant = (iss >> tenant)
+                         ? static_cast<std::uint16_t>(tenant)
+                         : 0;
         return true;
     }
     return false;

@@ -4,7 +4,9 @@
  *
  * Two interchangeable formats:
  *  - text: one request per line, "ts_ns OP lpn fp_hex value_id"
- *    (value_id = "-" for external traces), easy to inspect/diff;
+ *    (value_id = "-" for external traces) plus a trailing tenant
+ *    column when the record belongs to a tenant other than 0, easy
+ *    to inspect/diff;
  *  - binary: packed little-endian records behind a magic header,
  *    ~10x smaller and faster for multi-million-request traces.
  */

@@ -27,6 +27,13 @@ enum class OpType : std::uint8_t
     Write = 1,
 };
 
+/**
+ * Ceiling on host-visible tenants (NVMe-style namespaces). Sixteen
+ * keeps per-tenant value-id salts (tenant << 56) clear of the
+ * generator's cold-read (0xC0..) and prefill (0xF0..) id regions.
+ */
+constexpr std::uint32_t kMaxTenants = 16;
+
 /** A single 4KB I/O request. */
 struct TraceRecord
 {
@@ -46,6 +53,9 @@ struct TraceRecord
      * record came from an external trace file).
      */
     std::uint64_t valueId = kNoValueId;
+
+    /** Submitting tenant (namespace index); 0 for single-tenant. */
+    std::uint16_t tenant = 0;
 
     static constexpr std::uint64_t kNoValueId = ~0ULL;
 

@@ -97,9 +97,28 @@ TEST(GcPolicyFactory, BuildsBothPolicies)
               "popularity-aware");
 }
 
+TEST(GcPolicyFactory, WearPrefixWrapsBasePolicy)
+{
+    EXPECT_EQ(makeGcPolicy("wear:greedy")->name(),
+              "wear-aware(greedy)");
+    EXPECT_EQ(makeGcPolicy("wear:popularity", 3.0)->name(),
+              "wear-aware(popularity-aware)");
+}
+
+TEST(GcPolicyFactory, WearWrappedGreedyStillPicksMostInvalid)
+{
+    FlashArray flash(tinyGeom());
+    makeVictim(flash, 0, 2, 0);
+    makeVictim(flash, 1, 6, 0);
+    auto policy = makeGcPolicy("wear:greedy");
+    EXPECT_EQ(policy->selectVictim(flash, {0, 1}), 1u);
+}
+
 TEST(GcPolicyFactoryDeath, UnknownNameIsFatal)
 {
     EXPECT_EXIT((void)makeGcPolicy("random"),
+                testing::ExitedWithCode(1), "unknown GC policy");
+    EXPECT_EXIT((void)makeGcPolicy("wear:random"),
                 testing::ExitedWithCode(1), "unknown GC policy");
 }
 

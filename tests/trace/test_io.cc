@@ -123,6 +123,38 @@ TEST_F(TraceIoTest, WriterCountsRecords)
     EXPECT_EQ(writer.recordsWritten(), 2u);
 }
 
+TEST_F(TraceIoTest, TenantRoundTripsInBothFormats)
+{
+    auto trace = sampleTrace(100);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        trace[i].tenant = static_cast<std::uint16_t>(i % 3);
+    for (const TraceFormat fmt :
+         {TraceFormat::Text, TraceFormat::Binary}) {
+        writeTraceFile(tempPath(), fmt, trace);
+        const auto back = TraceReader(tempPath()).readAll();
+        ASSERT_EQ(back.size(), trace.size());
+        for (std::size_t i = 0; i < trace.size(); ++i)
+            EXPECT_EQ(back[i].tenant, trace[i].tenant);
+    }
+}
+
+TEST_F(TraceIoTest, TextWithoutTenantColumnReadsTenantZero)
+{
+    // Pre-multi-tenant trace files have no trailing tenant column;
+    // they must keep parsing as tenant 0.
+    {
+        std::ofstream out(tempPath());
+        out << "100 W 5 " << Fingerprint::fromValueId(1).hex()
+            << " 1\n";
+        out << "200 W 6 " << Fingerprint::fromValueId(2).hex()
+            << " 2 3\n";
+    }
+    const auto records = TraceReader(tempPath()).readAll();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].tenant, 0u);
+    EXPECT_EQ(records[1].tenant, 3u);
+}
+
 TEST_F(TraceIoTest, MalformedTextLineIsFatal)
 {
     {
