@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the SoA flash-state layout
+ * (DESIGN.md section 7.14): the GC inner loops — valid-page
+ * relocation cursor, garbage-page purge cursor, victim-score gather —
+ * against a faithful AoS reference (one 24-byte struct per page /
+ * block, byte-state scans), quantifying what the bitmap word scans
+ * and dense counter arrays buy per collection.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "nand/flash_array.hh"
+#include "nand/geometry.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace zombie;
+
+/** The pre-7.14 layout: one struct per page, scanned byte-wise. */
+struct AosPage
+{
+    PageState state = PageState::Free;
+    std::uint8_t popularity = 0;
+};
+
+/** The pre-7.14 per-block record (mirrors the old BlockInfo array). */
+struct AosBlock
+{
+    std::uint32_t writePtr = 0;
+    std::uint32_t validCount = 0;
+    std::uint32_t invalidCount = 0;
+    std::uint32_t eraseCount = 0;
+    std::uint64_t garbagePopularity = 0;
+};
+
+/** Deterministic mixed page population: ~45% valid, ~45% garbage. */
+template <typename Setter>
+void
+populate(const Geometry &geom, Setter &&set)
+{
+    Xoshiro256 rng(7);
+    for (Ppn ppn = 0; ppn < geom.totalPages(); ++ppn) {
+        const std::uint64_t r = rng.nextBounded(100);
+        if (r < 45)
+            set(ppn, PageState::Valid);
+        else if (r < 90)
+            set(ppn, PageState::Invalid);
+    }
+}
+
+Geometry
+benchGeometry()
+{
+    return Geometry::tableI(16);
+}
+
+/** AoS baseline: walk every block's pages byte-by-byte, visiting
+ *  valid pages (the relocation loop shape before the bitmaps). */
+void
+BM_ScanValidAos(benchmark::State &state)
+{
+    const Geometry geom = benchGeometry();
+    std::vector<AosPage> pages(geom.totalPages());
+    populate(geom, [&](Ppn ppn, PageState s) {
+        pages[ppn].state = s;
+    });
+    const std::uint32_t per_block = geom.pagesPerBlock();
+
+    for (auto _ : state) {
+        std::uint64_t visited = 0;
+        for (std::uint64_t b = 0; b < geom.totalBlocks(); ++b) {
+            const Ppn base = b * per_block;
+            for (std::uint32_t p = 0; p < per_block; ++p) {
+                if (pages[base + p].state == PageState::Valid)
+                    visited += base + p;
+            }
+        }
+        benchmark::DoNotOptimize(visited);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(geom.totalPages()));
+}
+
+/** SoA bitmap scan: the same visit via nextValidPage word scans. */
+void
+BM_ScanValidSoa(benchmark::State &state)
+{
+    const Geometry geom = benchGeometry();
+    FlashArray array(geom);
+    // Same rng stream as the AoS population: program every page in
+    // order and kill the non-valid ones, so the valid sets the two
+    // scans visit are identical (the scan reads only the valid
+    // bitmap, making Free-vs-Invalid immaterial here).
+    Xoshiro256 rng(7);
+    for (Ppn ppn = 0; ppn < geom.totalPages(); ++ppn) {
+        array.programPage(geom.blockOfPpn(ppn));
+        if (rng.nextBounded(100) >= 45)
+            array.invalidatePage(ppn, 1);
+    }
+    const std::uint32_t per_block = geom.pagesPerBlock();
+
+    for (auto _ : state) {
+        std::uint64_t visited = 0;
+        for (std::uint64_t b = 0; b < geom.totalBlocks(); ++b) {
+            const Ppn base = b * per_block;
+            for (std::uint32_t p = array.nextValidPage(b, 0);
+                 p < per_block; p = array.nextValidPage(b, p + 1)) {
+                visited += base + p;
+            }
+        }
+        benchmark::DoNotOptimize(visited);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(geom.totalPages()));
+}
+
+/** AoS victim scoring: stride through 24-byte block structs. */
+void
+BM_VictimScoreAos(benchmark::State &state)
+{
+    const Geometry geom = benchGeometry();
+    std::vector<AosBlock> blocks(geom.totalBlocks());
+    Xoshiro256 rng(13);
+    for (AosBlock &blk : blocks) {
+        blk.invalidCount = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.pagesPerBlock()));
+        blk.garbagePopularity = blk.invalidCount * 3ull;
+    }
+
+    for (auto _ : state) {
+        std::uint64_t best = 0, best_score = 0;
+        for (std::uint64_t b = 0; b < blocks.size(); ++b) {
+            const std::uint64_t score =
+                2ull * blocks[b].invalidCount +
+                blocks[b].garbagePopularity;
+            if (score > best_score) {
+                best_score = score;
+                best = b;
+            }
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(geom.totalBlocks()));
+}
+
+/** SoA victim scoring: gather from the dense counter arrays. */
+void
+BM_VictimScoreSoa(benchmark::State &state)
+{
+    const Geometry geom = benchGeometry();
+    FlashArray array(geom);
+    Xoshiro256 rng(13);
+    for (std::uint64_t b = 0; b < geom.totalBlocks(); ++b) {
+        const auto garbage = static_cast<std::uint32_t>(
+            rng.nextBounded(geom.pagesPerBlock()));
+        for (std::uint32_t p = 0; p < garbage; ++p)
+            array.invalidatePage(array.programPage(b), 3);
+    }
+    const std::uint32_t *invalid = array.invalidCounts();
+    const std::uint64_t *pop = array.garbagePopularities();
+
+    for (auto _ : state) {
+        std::uint64_t best = 0, best_score = 0;
+        for (std::uint64_t b = 0; b < geom.totalBlocks(); ++b) {
+            const std::uint64_t score = 2ull * invalid[b] + pop[b];
+            if (score > best_score) {
+                best_score = score;
+                best = b;
+            }
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(geom.totalBlocks()));
+}
+
+BENCHMARK(BM_ScanValidAos);
+BENCHMARK(BM_ScanValidSoa);
+BENCHMARK(BM_VictimScoreAos);
+BENCHMARK(BM_VictimScoreSoa);
+
+} // namespace
+
+BENCHMARK_MAIN();

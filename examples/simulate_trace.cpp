@@ -39,6 +39,9 @@ main(int argc, char **argv)
     args.addOption("queue-depth", "1",
                    "host-interface queue depth (NCQ dispatch "
                    "contexts)");
+    args.addOption("shards", "1",
+                   "flash-phase shards (channel-parallel GC issue; "
+                   "byte-identical to 1)");
     args.addOption("tenants", "1",
                    "tenant count; >1 splits a generated workload "
                    "into per-namespace streams");
@@ -104,6 +107,7 @@ main(int argc, char **argv)
     cfg.mq.capacity = args.getUint("pool");
     cfg.queueDepth =
         static_cast<std::uint32_t>(args.getUint("queue-depth"));
+    cfg.shards = static_cast<std::uint32_t>(args.getUint("shards"));
     cfg.tenants = tenants;
     const ArbiterSpec arb = parseArbiterSpec(args.getString("arbiter"));
     cfg.arbiter = arb.kind;

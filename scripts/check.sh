@@ -86,6 +86,45 @@ for preset in $presets; do
     diff -u tests/golden/smoke/multi_tenant.txt \
         "$bindir/multi_tenant.smoke.txt"
 
+    # Sharded flash-phase differential: the channel-sharded issue
+    # path must reproduce the serial run byte-for-byte. Run under
+    # every preset — under tsan this is also the data-race probe for
+    # the worker band (small request count: tsan is ~10x slower).
+    echo "==> sharded differential [$preset]"
+    "$bindir"/examples/simulate_trace --workload mail --system dvp \
+        --requests 100000 --seed 42 --queue-depth 8 \
+        > "$bindir/sharded.serial.txt"
+    "$bindir"/examples/simulate_trace --workload mail --system dvp \
+        --requests 100000 --seed 42 --queue-depth 8 --shards 4 \
+        > "$bindir/sharded.smoke.txt"
+    diff -u "$bindir/sharded.serial.txt" "$bindir/sharded.smoke.txt"
+
+    # Single-trace latency guard (default preset only): best-of-1
+    # probe of the committed 1M-request cell, warning (non-fatally,
+    # like the harness guard below) when the serial requests/sec
+    # drop more than 20% below BENCH_singletrace.json.
+    if [ "$preset" = default ] && [ -f BENCH_singletrace.json ]; then
+        echo "==> single-trace guard [$preset]"
+        BINDIR="$bindir" RUNS=1 OUT="$bindir/singletrace.probe.json" \
+            scripts/singletrace_probe.sh > /dev/null 2>&1
+        awk '
+            FNR == 1 { file += 1 }
+            /"serial":/ {
+                v = $0; sub(/.*"reqs_per_s": /, "", v)
+                sub(/[^0-9.].*/, "", v)
+                if (!(file in rate))
+                    rate[file] = v
+            }
+            END {
+                printf "    serial reqs/s: now %.0f, committed %.0f\n", \
+                    rate[1], rate[2]
+                if (rate[2] > 0 && rate[1] < 0.8 * rate[2])
+                    printf "WARNING: single-trace throughput " \
+                        "regressed >20%% vs BENCH_singletrace.json\n"
+            }' "$bindir/singletrace.probe.json" \
+            BENCH_singletrace.json | tee "$bindir/singletrace.guard.txt"
+    fi
+
     # Harness-throughput guard (default preset only; sanitizer
     # builds are expected to be slow). Re-run the wall-clock report
     # into the build tree and compare the aggregate events/sec
@@ -120,6 +159,8 @@ for preset in $presets; do
     bindir="$(bindir_for "$preset")"
     [ -f "$bindir/throughput.guard.txt" ] &&
         grep WARNING "$bindir/throughput.guard.txt" || true
+    [ -f "$bindir/singletrace.guard.txt" ] &&
+        grep WARNING "$bindir/singletrace.guard.txt" || true
 done
 
 echo "==> all checks passed"

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Single-trace latency probe (DESIGN.md section 7.14): time the
+# 1M-request mail/dvp cell through simulate_trace — serial and with
+# the channel-sharded flash phase — byte-diff the sharded stdout
+# against the serial stdout, and write the wall-clock record.
+#
+#   scripts/singletrace_probe.sh                 # refresh baseline
+#   BINDIR=build-x OUT=/tmp/p.json RUNS=1 scripts/singletrace_probe.sh
+#
+# Wall clock is host- and load-dependent (the reference host shows
+# ~15% jitter), so each configuration runs RUNS times and the best
+# run is recorded. Plain shell + awk only; no python/jq dependency.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bindir="${BINDIR:-build}"
+requests="${REQUESTS:-1000000}"
+shards="${SHARDS:-4}"
+runs="${RUNS:-3}"
+out="${OUT:-BENCH_singletrace.json}"
+scratch="${SCRATCH:-$bindir}"
+
+# Best-of-$runs wall seconds for one shard count; stdout of the last
+# run lands in $2 for the byte-identity diff below.
+time_cell() {
+    best=""
+    i=0
+    while [ "$i" -lt "$runs" ]; do
+        start="$(date +%s.%N)"
+        "$bindir"/examples/simulate_trace --workload mail \
+            --system dvp --requests "$requests" --seed 42 \
+            --shards "$1" > "$2"
+        end="$(date +%s.%N)"
+        best="$(awk -v a="$start" -v b="$end" -v best="${best:-0}" \
+            'BEGIN { w = b - a
+                     printf "%.3f", (best > 0 && best < w) ? best : w }')"
+        i=$((i + 1))
+    done
+    echo "$best"
+}
+
+echo "==> single-trace probe (requests=$requests runs=$runs)" >&2
+serial_s="$(time_cell 1 "$scratch/singletrace.serial.txt")"
+sharded_s="$(time_cell "$shards" "$scratch/singletrace.sharded.txt")"
+
+# The sharded run must reproduce the serial run byte-for-byte; any
+# drift is a determinism bug, not a tuning matter.
+diff -u "$scratch/singletrace.serial.txt" \
+    "$scratch/singletrace.sharded.txt"
+
+awk -v requests="$requests" -v shards="$shards" -v runs="$runs" \
+    -v serial="$serial_s" -v sharded="$sharded_s" '
+BEGIN {
+    printf "{\n"
+    printf "  \"generated_by\": \"scripts/singletrace_probe.sh\",\n"
+    printf "  \"workload\": \"mail\",\n"
+    printf "  \"system\": \"dvp\",\n"
+    printf "  \"requests\": %d,\n", requests
+    printf "  \"runs_per_config\": %d,\n", runs
+    printf "  \"serial\": {\"shards\": 1, \"wall_s\": %.3f, " \
+           "\"reqs_per_s\": %.1f},\n", serial, requests / serial
+    printf "  \"sharded\": {\"shards\": %d, \"wall_s\": %.3f, " \
+           "\"reqs_per_s\": %.1f}\n", shards, sharded, \
+           requests / sharded
+    printf "}\n"
+}' > "$out"
+
+echo "==> wrote $out" >&2
+cat "$out"

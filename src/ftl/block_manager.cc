@@ -38,9 +38,22 @@ BlockManager::BlockManager(FlashArray &array)
     for (std::uint64_t plane = 0; plane < planes; ++plane)
         freeCounts[plane] =
             static_cast<std::uint32_t>(freeLists[plane].size());
-    userRoom.resize(planes);
+    userRoom.assign(planes, 1);
     for (std::uint64_t plane = 0; plane < planes; ++plane)
         refreshUserRoom(plane);
+
+    // GC pacing masks: sized one bit per plane, trailing bits clear.
+    // Watermarks default to 0 until the FTL configures its own; the
+    // zero mask and the gate bits are meaningful regardless.
+    const std::size_t mask_words = (planes + 63) / 64;
+    zeroMask.assign(mask_words, 0);
+    lowMask.assign(mask_words, 0);
+    softMask.assign(mask_words, 0);
+    gateOkMask.assign(mask_words, 0);
+    for (std::uint64_t plane = 0; plane < planes; ++plane) {
+        gateOkMask[plane >> 6] |= 1ULL << (plane & 63);
+        refreshWaterBits(plane);
+    }
 
     // Channel-first plane visit order: consecutive host writes land
     // on different channels, maximizing bus-level parallelism.
@@ -67,10 +80,46 @@ BlockManager::BlockManager(FlashArray &array)
         updateCandidate(b);
     // Every notified transition changes a victim score or candidate
     // set, so the plane epoch bumps even when membership is stable.
-    flash.setBlockListener([this](std::uint64_t block) {
-        ++planeEpochs[geom.planeOfBlock(block)];
-        updateCandidate(block);
-    });
+    // Plain function pointer + context: this fires per invalidation.
+    flash.setBlockListener(&BlockManager::onBlockChanged, this);
+}
+
+void
+BlockManager::onBlockChanged(void *ctx, std::uint64_t block)
+{
+    auto *self = static_cast<BlockManager *>(ctx);
+    self->bumpPlaneEpoch(self->geom.planeOfBlock(block));
+    self->updateCandidate(block);
+}
+
+void
+BlockManager::configureGcWatermarks(std::uint32_t low_water,
+                                    std::uint32_t soft_water)
+{
+    gcLowWater = low_water;
+    gcSoftWater = soft_water;
+    for (std::uint64_t plane = 0; plane < freeCounts.size(); ++plane)
+        refreshWaterBits(plane);
+}
+
+void
+BlockManager::refreshWaterBits(std::uint64_t plane)
+{
+    const std::uint64_t bit = 1ULL << (plane & 63);
+    const std::uint64_t word = plane >> 6;
+    const std::uint32_t free = freeCounts[plane];
+    if (free == 0)
+        zeroMask[word] |= bit;
+    else
+        zeroMask[word] &= ~bit;
+    if (free <= gcLowWater)
+        lowMask[word] |= bit;
+    else
+        lowMask[word] &= ~bit;
+    if (free <= gcSoftWater)
+        softMask[word] |= bit;
+    else
+        softMask[word] &= ~bit;
 }
 
 std::uint64_t
@@ -95,6 +144,35 @@ BlockManager::nextUserPlane()
         // read from the incrementally maintained bit and the die is
         // a table lookup instead of a division.
         std::uint64_t idx = rrCursor;
+        if (noRoomPlanes == 0) {
+            // Every plane has room (the steady state): the rotated
+            // strict-< argmin over positions picks the first rotated
+            // position whose die carries the globally smallest load.
+            // Scan the die table (planes / planesPerDie entries) for
+            // that minimum, then take the nearest-at-or-after-cursor
+            // position among the dies that carry it — far cheaper
+            // than gathering the load of all planes.
+            Tick min_load = dieLoad[0];
+            for (std::uint32_t d = 1; d < dieCount; ++d)
+                min_load = std::min(min_load, dieLoad[d]);
+            // Unwrapped positions (pos, or pos + n once wrapped) are
+            // all >= rrCursor, so their plain min is the rotated min.
+            std::uint64_t first_pos = 2 * n;
+            for (std::uint32_t d = 0; d < dieCount; ++d) {
+                if (dieLoad[d] != min_load)
+                    continue;
+                const auto &pos = diePositions[d];
+                const auto it = std::lower_bound(pos.begin(),
+                                                 pos.end(), rrCursor);
+                const std::uint64_t cand =
+                    it != pos.end() ? *it : pos.front() + n;
+                first_pos = std::min(first_pos, cand);
+            }
+            idx = first_pos >= n ? first_pos - n : first_pos;
+            if (++rrCursor == n)
+                rrCursor = 0;
+            return planeOrder[idx];
+        }
         for (std::uint64_t i = 0; i < n; ++i) {
             const std::uint64_t plane = planeOrder[idx];
             if (++idx == n)
@@ -151,17 +229,27 @@ BlockManager::setDieLoadView(const Tick *die_busy,
     planeDie.resize(geom.totalPlanes());
     for (std::uint64_t p = 0; p < planeDie.size(); ++p)
         planeDie[p] = static_cast<std::uint32_t>(p / planes_per_die);
+    dieCount = planeDie.empty() ? 0 : planeDie.back() + 1;
+    orderDie.resize(planeOrder.size());
+    for (std::uint64_t i = 0; i < planeOrder.size(); ++i)
+        orderDie[i] = planeDie[planeOrder[i]];
+    diePositions.assign(dieCount, {});
+    for (auto &list : diePositions)
+        list.reserve(planes_per_die);
+    for (std::uint32_t i = 0; i < orderDie.size(); ++i)
+        diePositions[orderDie[i]].push_back(i);
 }
 
 std::uint64_t
 BlockManager::popFree(std::uint64_t plane, bool for_gc)
 {
-    ++planeEpochs[plane];
+    bumpPlaneEpoch(plane);
     auto &stack = freeLists[plane];
     if (!stack.empty()) {
         const std::uint64_t block = stack.back();
         stack.pop_back();
         --freeCounts[plane];
+        refreshWaterBits(plane);
         if (stack.empty())
             ++zeroFreePlanes;
         return block;
@@ -223,9 +311,9 @@ void
 BlockManager::releaseBlock(std::uint64_t block_index)
 {
     const std::uint64_t plane = geom.planeOfBlock(block_index);
-    zombie_assert(flash.block(block_index).writePtr == 0,
+    zombie_assert(flash.writePtrOf(block_index) == 0,
                   "releasing a non-erased block ", block_index);
-    ++planeEpochs[plane];
+    bumpPlaneEpoch(plane);
     if (userActive[plane] == block_index)
         userActive[plane] = kNoBlock;
     if (hotActive[plane] == block_index)
@@ -240,6 +328,7 @@ BlockManager::releaseBlock(std::uint64_t block_index)
             --zeroFreePlanes;
         freeLists[plane].push_back(block_index);
         ++freeCounts[plane];
+        refreshWaterBits(plane);
     }
     updateCandidate(block_index);
     refreshUserRoom(plane);
@@ -257,22 +346,25 @@ BlockManager::isActive(std::uint64_t block_index) const
 void
 BlockManager::refreshUserRoom(std::uint64_t plane)
 {
-    userRoom[plane] =
+    const std::uint8_t had = userRoom[plane];
+    const std::uint8_t has =
         freeCounts[plane] > 0 ||
         (userActive[plane] != kNoBlock &&
          flash.blockHasRoom(userActive[plane])) ||
         (hotActive[plane] != kNoBlock &&
          flash.blockHasRoom(hotActive[plane]));
+    userRoom[plane] = has;
+    noRoomPlanes += static_cast<std::uint64_t>(had) - has;
 }
 
 void
 BlockManager::updateCandidate(std::uint64_t block_index)
 {
-    const BlockInfo &info = flash.block(block_index);
     // Only fully written blocks are collected; partially written
     // inactive blocks do not exist by construction.
-    const bool want = info.invalidCount > 0 &&
-                      info.writePtr == geom.pagesPerBlock() &&
+    const bool want = flash.invalidCountOf(block_index) > 0 &&
+                      flash.writePtrOf(block_index) ==
+                          geom.pagesPerBlock() &&
                       !isActive(block_index);
     if (want == static_cast<bool>(inCandidates[block_index]))
         return;

@@ -123,6 +123,58 @@ class BlockManager
     std::uint32_t minFreeBlocks() const;
 
     /**
+     * GC pacing bitmaps (one bit per plane, 64 planes per word,
+     * trailing bits always clear). The paced-GC scan in
+     * Ftl::advanceGcAll runs twice per host write; these masks turn
+     * its O(planes) eligibility probing into a handful of word
+     * loads. Maintained incrementally at every free-stack pop /
+     * release against the watermarks configured below.
+     */
+    void configureGcWatermarks(std::uint32_t low_water,
+                               std::uint32_t soft_water);
+
+    /** Planes with an empty free stack (emergency GC). */
+    const std::uint64_t *gcZeroMask() const { return zeroMask.data(); }
+
+    /** Planes at/below the mandatory (low) watermark. */
+    const std::uint64_t *gcLowMask() const { return lowMask.data(); }
+
+    /** Planes at/below the opportunistic (soft) watermark. */
+    const std::uint64_t *gcSoftMask() const { return softMask.data(); }
+
+    /**
+     * Planes whose GC-relevant state changed since the victim gate
+     * last declined there (see gcGateOk). A clear bit replays the
+     * memoized "no" for free.
+     */
+    const std::uint64_t *gcGateOkMask() const
+    {
+        return gateOkMask.data();
+    }
+
+    /** Words in each plane mask above. */
+    std::size_t planeMaskWords() const { return zeroMask.size(); }
+
+    /**
+     * Whether the victim gate on @p plane could answer differently
+     * than its last memoized refusal. Equivalent to the historical
+     * `planeEpoch(plane) != <epoch at last refusal>` check: the bit
+     * sets at every epoch bump and clears at markGcGateFailed().
+     */
+    bool
+    gcGateOk(std::uint64_t plane) const
+    {
+        return (gateOkMask[plane >> 6] >> (plane & 63)) & 1;
+    }
+
+    /** Memoize a victim-gate refusal on @p plane. */
+    void
+    markGcGateFailed(std::uint64_t plane)
+    {
+        gateOkMask[plane >> 6] &= ~(1ULL << (plane & 63));
+    }
+
+    /**
      * Version counter of @p plane's GC-relevant state. Bumped by
      * every change to candidate membership or scores (the array's
      * invalidate/revive/erase notifications), every free-stack pop
@@ -154,6 +206,9 @@ class BlockManager
     victimCandidates(std::uint64_t plane) const;
 
   private:
+    /** FlashArray block-listener thunk (ctx is the manager). */
+    static void onBlockChanged(void *ctx, std::uint64_t block);
+
     std::uint64_t popFree(std::uint64_t plane, bool for_gc);
 
     /** Re-evaluate one block's membership in the victim index. */
@@ -161,6 +216,17 @@ class BlockManager
 
     /** Recompute the cached user-write room bit for @p plane. */
     void refreshUserRoom(std::uint64_t plane);
+
+    /** Recompute @p plane's watermark bits after a count change. */
+    void refreshWaterBits(std::uint64_t plane);
+
+    /** Bump @p plane's epoch and reopen its victim gate. */
+    void
+    bumpPlaneEpoch(std::uint64_t plane)
+    {
+        ++planeEpochs[plane];
+        gateOkMask[plane >> 6] |= 1ULL << (plane & 63);
+    }
 
     FlashArray &flash;
     const Geometry &geom;
@@ -182,7 +248,17 @@ class BlockManager
     /** Raw die busy-until view (fast path; overrides loadProbe). */
     const Tick *dieLoad = nullptr;
     std::uint32_t dieLoadPlanesPerDie = 1;
+    std::uint32_t dieCount = 0;          //!< entries in dieLoad
     std::vector<std::uint32_t> planeDie; //!< plane -> dieLoad index
+
+    /** planeOrder position -> dieLoad index, so the rotated argmin
+     *  scan gathers loads without the planeOrder indirection. */
+    std::vector<std::uint32_t> orderDie;
+
+    /** Per die, its planeOrder positions in ascending order, so the
+     *  all-room fast path can jump to the first at-or-after-cursor
+     *  position of a least-loaded die instead of walking. */
+    std::vector<std::vector<std::uint32_t>> diePositions;
 
     /**
      * Incrementally maintained nextUserPlane() inputs: per-plane
@@ -200,6 +276,17 @@ class BlockManager
 
     /** Planes whose free stack is empty right now. */
     std::uint64_t zeroFreePlanes = 0;
+
+    /** Planes whose userRoom bit is currently clear. */
+    std::uint64_t noRoomPlanes = 0;
+
+    // GC pacing masks (see the accessors above).
+    std::uint32_t gcLowWater = 0;
+    std::uint32_t gcSoftWater = 0;
+    std::vector<std::uint64_t> zeroMask;
+    std::vector<std::uint64_t> lowMask;
+    std::vector<std::uint64_t> softMask;
+    std::vector<std::uint64_t> gateOkMask;
 
     /**
      * Incremental victim index: per plane, the sorted block indices

@@ -1,6 +1,7 @@
 #include "ftl/ftl.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/logging.hh"
 
@@ -18,10 +19,11 @@ Ftl::Ftl(FlashArray &flash_array, FtlConfig config)
                        cfg.wearTolerance)
                  : makeGcPolicy(cfg.gcPolicy, cfg.gcPopWeight)),
       gcJobs(array.geometry().totalPlanes()),
-      gcGateFailEpoch(array.geometry().totalPlanes(), ~0ULL)
+      gcActiveMask((array.geometry().totalPlanes() + 63) / 64, 0)
 {
     if (cfg.gcPagesPerStep == 0)
         zombie_fatal("gcPagesPerStep must be > 0");
+    blockMgr.configureGcWatermarks(cfg.gcLowWater, cfg.gcSoftWater);
     const std::uint64_t physical = array.geometry().totalPages();
     if (cfg.logicalPages > physical)
         zombie_fatal("logical space exceeds physical capacity");
@@ -258,6 +260,7 @@ void
 Ftl::advanceGcAll(FlashStepBuffer &steps)
 {
     const std::uint64_t planes = array.geometry().totalPlanes();
+    const std::size_t words = blockMgr.planeMaskWords();
 
     // Emergency: a plane with no free block left drains its victim in
     // one shot (the GC reserve guarantees relocation space) so the
@@ -265,44 +268,65 @@ Ftl::advanceGcAll(FlashStepBuffer &steps)
     // below keep planes from ever reaching this point, which is why
     // the scan is gated on the manager's zero-free count.
     if (blockMgr.anyPlaneOutOfFreeBlocks()) {
-        for (std::uint64_t p = 0; p < planes; ++p) {
-            if (blockMgr.freeBlocks(p) == 0)
-                advanceGc(p, array.geometry().pagesPerBlock(), steps);
+        const std::uint64_t *zero = blockMgr.gcZeroMask();
+        const std::uint32_t drain = array.geometry().pagesPerBlock();
+        for (std::size_t w = 0; w < words; ++w) {
+            // Per-word snapshot: advanceGc(p) only mutates plane p's
+            // bits, so later bits of the word are still live-exact.
+            for (std::uint64_t m = zero[w]; m; m &= m - 1) {
+                const std::uint64_t p =
+                    (w << 6) +
+                    static_cast<unsigned>(std::countr_zero(m));
+                advanceGc(p, drain, steps);
+            }
         }
     }
 
     // Paced background collection: planes at/below the mandatory
     // watermark have first claim on the budget, then opportunistic
     // (quality-gated) collection of planes at the soft watermark.
-    // This scan runs once per host write, so it reads the manager's
-    // flat count/epoch tables, and a plane without an open job whose
-    // epoch still matches the memoized gate refusal is skipped
-    // outright: advanceGc would replay the cached "no" and return 0.
-    const std::vector<std::uint32_t> &free_counts =
-        blockMgr.freeBlockCounts();
-    const std::vector<std::uint64_t> &epochs =
-        blockMgr.planeEpochTable();
+    // This scan runs twice per host write, so eligibility is read
+    // from the plane bitmaps: a word of 64 planes costs a handful of
+    // loads and the scan skips straight between set bits. A clear
+    // gate bit replays the memoized victim-gate "no" for free —
+    // advanceGc would re-score the candidates only to refuse again.
+    const std::uint64_t *act = gcActiveMask.data();
+    const std::uint64_t *low = blockMgr.gcLowMask();
+    const std::uint64_t *soft = blockMgr.gcSoftMask();
+    const std::uint64_t *gate = blockMgr.gcGateOkMask();
     std::uint32_t budget = cfg.gcPagesPerStep;
-    std::uint64_t p = gcCursor;
-    for (std::uint64_t i = 0; i < planes && budget > 0; ++i) {
-        const bool active = gcJobs[p].active();
-        if ((active || free_counts[p] <= cfg.gcLowWater) &&
-            (active || epochs[p] != gcGateFailEpoch[p])) {
-            budget -= advanceGc(p, budget, steps);
+
+    // Rotate the sweep from gcCursor exactly like the historical
+    // per-plane loop: bits >= the cursor first (segment A), then the
+    // wrap-around remainder (segment B).
+    const std::size_t sw = gcCursor >> 6;
+    const std::uint64_t head = ~0ULL << (gcCursor & 63);
+    const auto sweep = [&](auto eligible) {
+        std::uint64_t wmask = head;
+        for (std::size_t w = sw; w < words && budget > 0; ++w) {
+            for (std::uint64_t m = eligible(w) & wmask;
+                 m && budget > 0; m &= m - 1) {
+                const std::uint64_t p =
+                    (w << 6) +
+                    static_cast<unsigned>(std::countr_zero(m));
+                budget -= advanceGc(p, budget, steps);
+            }
+            wmask = ~0ULL;
         }
-        if (++p == planes)
-            p = 0;
-    }
-    p = gcCursor;
-    for (std::uint64_t i = 0; i < planes && budget > 0; ++i) {
-        if (!gcJobs[p].active() &&
-            free_counts[p] <= cfg.gcSoftWater &&
-            epochs[p] != gcGateFailEpoch[p]) {
-            budget -= advanceGc(p, budget, steps);
+        for (std::size_t w = 0; w <= sw && budget > 0; ++w) {
+            const std::uint64_t tail = w == sw ? ~head : ~0ULL;
+            for (std::uint64_t m = eligible(w) & tail;
+                 m && budget > 0; m &= m - 1) {
+                const std::uint64_t p =
+                    (w << 6) +
+                    static_cast<unsigned>(std::countr_zero(m));
+                budget -= advanceGc(p, budget, steps);
+            }
         }
-        if (++p == planes)
-            p = 0;
-    }
+    };
+    sweep([&](std::size_t w) { return act[w] | (low[w] & gate[w]); });
+    sweep([&](std::size_t w) { return soft[w] & ~act[w] & gate[w]; });
+
     if (++gcCursor == planes)
         gcCursor = 0;
 }
@@ -312,15 +336,15 @@ Ftl::startGcJob(std::uint64_t plane)
 {
     // Gate memoization: every input of the decision below (candidate
     // membership, per-block garbage/wear scores, the free-block
-    // count) bumps the plane's epoch, so an unchanged epoch replays
-    // the cached "no" without re-scoring the candidates.
-    const std::uint64_t epoch = blockMgr.planeEpoch(plane);
-    if (epoch == gcGateFailEpoch[plane])
+    // count) reopens the plane's gate bit when it changes, so a
+    // still-clear bit replays the cached "no" without re-scoring the
+    // candidates.
+    if (!blockMgr.gcGateOk(plane))
         return false;
 
     const auto &candidates = blockMgr.victimCandidates(plane);
     if (candidates.empty()) {
-        gcGateFailEpoch[plane] = epoch;
+        blockMgr.markGcGateFailed(plane);
         return false;
     }
     const std::uint64_t victim = policy->selectVictim(array, candidates);
@@ -328,25 +352,29 @@ Ftl::startGcJob(std::uint64_t plane)
     // Thin garbage is not worth hundreds of relocations per erase;
     // above the mandatory watermark, wait for invalidations to
     // concentrate rather than collecting a poor victim.
-    if (array.block(victim).invalidCount < cfg.gcMinInvalid &&
+    if (array.invalidCountOf(victim) < cfg.gcMinInvalid &&
         blockMgr.freeBlocks(plane) > cfg.gcLowWater) {
-        gcGateFailEpoch[plane] = epoch;
+        blockMgr.markGcGateFailed(plane);
         return false;
     }
 
     GcJob &job = gcJobs[plane];
     job.victim = victim;
     job.nextPage = 0;
+    gcActiveMask[plane >> 6] |= 1ULL << (plane & 63);
     ++fstats.gcInvocations;
 
     // The victim's garbage pages are now doomed: purge their pool
-    // entries so no write revives a page scheduled for erase.
+    // entries so no write revives a page scheduled for erase. The
+    // invalid bitmap yields each garbage page in ascending order a
+    // word (64 pages) at a time.
     if (pool) {
         const Geometry &geom = array.geometry();
         const Ppn first = geom.firstPpnOfBlock(victim);
-        for (std::uint32_t i = 0; i < geom.pagesPerBlock(); ++i) {
-            if (array.state(first + i) == PageState::Invalid)
-                pool->onErase(first + i);
+        const std::uint32_t pages = geom.pagesPerBlock();
+        for (std::uint32_t i = array.nextInvalidPage(victim, 0);
+             i < pages; i = array.nextInvalidPage(victim, i + 1)) {
+            pool->onErase(first + i);
         }
     }
     return true;
@@ -393,15 +421,22 @@ Ftl::advanceGc(std::uint64_t plane, std::uint32_t budget,
 
     const Geometry &geom = array.geometry();
     const Ppn first = geom.firstPpnOfBlock(job.victim);
+    const std::uint32_t pages = geom.pagesPerBlock();
 
+    // The relocation cursor hops valid bitmap bits instead of
+    // probing every page: a budget-bounded walk leaves nextPage just
+    // past the last page it moved, exactly like the per-page loop.
     std::uint32_t moved = 0;
-    while (moved < budget && job.nextPage < geom.pagesPerBlock()) {
-        const Ppn src = first + job.nextPage;
-        if (array.state(src) == PageState::Valid) {
-            relocatePage(plane, src, steps);
-            ++moved;
+    while (moved < budget) {
+        const std::uint32_t page =
+            array.nextValidPage(job.victim, job.nextPage);
+        if (page == pages) {
+            job.nextPage = pages;
+            break;
         }
-        ++job.nextPage;
+        relocatePage(plane, first + page, steps);
+        ++moved;
+        job.nextPage = page + 1;
     }
 
     if (job.nextPage == geom.pagesPerBlock()) {
@@ -412,6 +447,7 @@ Ftl::advanceGc(std::uint64_t plane, std::uint32_t budget,
         steps.gcSteps.push_back(FlashStep{FlashOp::Erase, first});
         blockMgr.releaseBlock(job.victim);
         job.reset();
+        gcActiveMask[plane >> 6] &= ~(1ULL << (plane & 63));
     }
     return moved;
 }

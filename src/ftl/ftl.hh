@@ -277,15 +277,12 @@ class Ftl
     std::uint64_t gcCursor = 0;
 
     /**
-     * Victim-gate memoization: the BlockManager epoch at which
-     * startGcJob last declined to open a job on each plane. The gate
-     * decision is a pure function of plane state the epoch versions
-     * (candidate membership and scores, free-block count), so while
-     * the epoch is unchanged the answer is still "no" — the paced GC
-     * tiers would otherwise re-score the same candidates on every
-     * host write near the soft watermark.
+     * Planes with an open GC job, one bit per plane (same word
+     * layout as the BlockManager pacing masks). Together with the
+     * manager's low/soft/gate masks this turns the twice-per-write
+     * advanceGcAll eligibility scan into a few word operations.
      */
-    std::vector<std::uint64_t> gcGateFailEpoch;
+    std::vector<std::uint64_t> gcActiveMask;
 
     FtlStats fstats;
 };

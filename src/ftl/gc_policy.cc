@@ -13,10 +13,14 @@ GreedyGcPolicy::selectVictim(
 {
     zombie_assert(!candidates.empty(), "victim selection with no "
                                        "candidates");
+    // Gather straight from the SoA invalid-count array: the scoring
+    // loop touches one dense uint32 per candidate instead of a
+    // BlockInfo stride.
+    const std::uint32_t *invalid_counts = flash.invalidCounts();
     std::uint64_t best = candidates.front();
-    std::uint32_t best_invalid = flash.block(best).invalidCount;
+    std::uint32_t best_invalid = invalid_counts[best];
     for (const std::uint64_t block : candidates) {
-        const std::uint32_t invalid = flash.block(block).invalidCount;
+        const std::uint32_t invalid = invalid_counts[block];
         if (invalid > best_invalid) {
             best = block;
             best_invalid = invalid;
@@ -29,13 +33,14 @@ double
 PopularityAwareGcPolicy::score(const FlashArray &flash,
                                std::uint64_t block) const
 {
-    const BlockInfo &info = flash.block(block);
     // Normalize the popularity sum by the 1-byte counter range so a
     // fully popular garbage page cancels roughly `weight / 255` of a
     // reclaimable page.
     const double popularity_penalty =
-        weight * static_cast<double>(info.garbagePopularity) / 255.0;
-    return static_cast<double>(info.invalidCount) - popularity_penalty;
+        weight *
+        static_cast<double>(flash.garbagePopularityOf(block)) / 255.0;
+    return static_cast<double>(flash.invalidCountOf(block)) -
+           popularity_penalty;
 }
 
 std::uint64_t

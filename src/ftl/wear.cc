@@ -17,10 +17,11 @@ summarizeWear(const FlashArray &flash)
 
     double sum = 0.0;
     double sum_sq = 0.0;
-    summary.minErase = flash.block(0).eraseCount;
-    summary.maxErase = flash.block(0).eraseCount;
+    const std::uint32_t *erase_counts = flash.eraseCounts();
+    summary.minErase = erase_counts[0];
+    summary.maxErase = erase_counts[0];
     for (std::uint64_t b = 0; b < blocks; ++b) {
-        const std::uint32_t erases = flash.block(b).eraseCount;
+        const std::uint32_t erases = erase_counts[b];
         summary.minErase = std::min(summary.minErase, erases);
         summary.maxErase = std::max(summary.maxErase, erases);
         sum += erases;
@@ -60,19 +61,20 @@ WearAwareGcPolicy::selectVictim(
 
     // Treat candidates within `tol` garbage pages of the preferred
     // victim as equivalent and pick the least-worn among them.
-    const std::uint32_t best_invalid =
-        flash.block(preferred).invalidCount;
+    const std::uint32_t *invalid_counts = flash.invalidCounts();
+    const std::uint32_t *erase_counts = flash.eraseCounts();
+    const std::uint32_t best_invalid = invalid_counts[preferred];
     std::uint64_t chosen = preferred;
-    std::uint32_t chosen_erases = flash.block(preferred).eraseCount;
+    std::uint32_t chosen_erases = erase_counts[preferred];
     for (const std::uint64_t block : candidates) {
-        const BlockInfo &info = flash.block(block);
-        if (info.invalidCount + tol < best_invalid)
+        const std::uint32_t invalid = invalid_counts[block];
+        if (invalid + tol < best_invalid)
             continue;
-        if (info.invalidCount > best_invalid + tol)
+        if (invalid > best_invalid + tol)
             continue;
-        if (info.eraseCount < chosen_erases) {
+        if (erase_counts[block] < chosen_erases) {
             chosen = block;
-            chosen_erases = info.eraseCount;
+            chosen_erases = erase_counts[block];
         }
     }
     return chosen;

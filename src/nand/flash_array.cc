@@ -1,17 +1,55 @@
 #include "nand/flash_array.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/logging.hh"
 
 namespace zombie
 {
+namespace
+{
+
+/**
+ * First set bit index in [begin, end) of @p words, or @p end when
+ * none: the word-at-a-time kernel behind both bitmap cursors. Block
+ * page ranges need not be word-aligned (tiny test geometries), so
+ * the first word is masked below `begin` and the hit is clamped to
+ * `end`.
+ */
+std::uint64_t
+nextSetBit(const std::uint64_t *words, std::uint64_t begin,
+           std::uint64_t end)
+{
+    if (begin >= end)
+        return end;
+    std::uint64_t w = begin >> 6;
+    const std::uint64_t last = (end - 1) >> 6;
+    std::uint64_t word = words[w] & (~0ULL << (begin & 63));
+    for (;;) {
+        if (word) {
+            const std::uint64_t bit =
+                (w << 6) + std::countr_zero(word);
+            return bit < end ? bit : end;
+        }
+        if (w == last)
+            return end;
+        word = words[++w];
+    }
+}
+
+} // namespace
 
 FlashArray::FlashArray(const Geometry &geometry)
     : geom(geometry),
-      pageState(geom.totalPages(), PageState::Free),
+      validBits((geom.totalPages() + 63) / 64, 0),
+      invalidBits((geom.totalPages() + 63) / 64, 0),
       garbagePop(geom.totalPages(), 0),
-      blocks(geom.totalBlocks()),
+      blkWritePtr(geom.totalBlocks(), 0),
+      blkValidCount(geom.totalBlocks(), 0),
+      blkInvalidCount(geom.totalBlocks(), 0),
+      blkEraseCount(geom.totalBlocks(), 0),
+      blkGarbagePop(geom.totalBlocks(), 0),
       freePages(geom.totalPages())
 {
 }
@@ -19,15 +57,17 @@ FlashArray::FlashArray(const Geometry &geometry)
 Ppn
 FlashArray::programPage(std::uint64_t block_index)
 {
-    BlockInfo &blk = blocks[block_index];
-    zombie_assert(blk.writePtr < geom.pagesPerBlock(),
+    zombie_assert(block_index < blkWritePtr.size(),
+                  "block index out of bounds");
+    std::uint32_t &write_ptr = blkWritePtr[block_index];
+    zombie_assert(write_ptr < geom.pagesPerBlock(),
                   "program into a full block ", block_index);
-    const Ppn ppn = geom.firstPpnOfBlock(block_index) + blk.writePtr;
-    zombie_assert(pageState[ppn] == PageState::Free,
+    const Ppn ppn = geom.firstPpnOfBlock(block_index) + write_ptr;
+    zombie_assert(state(ppn) == PageState::Free,
                   "program of a non-free page ", ppn);
-    ++blk.writePtr;
-    ++blk.validCount;
-    pageState[ppn] = PageState::Valid;
+    ++write_ptr;
+    ++blkValidCount[block_index];
+    validBits[ppn >> 6] |= 1ULL << (ppn & 63);
     --freePages;
     ++validPages;
     ++stats.programs;
@@ -47,19 +87,22 @@ FlashArray::invalidatePage(Ppn ppn, std::uint8_t popularity)
 {
     zombie_assert(state(ppn) == PageState::Valid,
                   "invalidate of a non-valid page ", ppn);
-    pageState[ppn] = PageState::Invalid;
+    const std::uint64_t bit = 1ULL << (ppn & 63);
+    validBits[ppn >> 6] &= ~bit;
+    invalidBits[ppn >> 6] |= bit;
     garbagePop[ppn] = popularity;
 
-    BlockInfo &blk = blocks[geom.blockOfPpn(ppn)];
-    zombie_assert(blk.validCount > 0, "block valid count underflow");
-    --blk.validCount;
-    ++blk.invalidCount;
-    blk.garbagePopularity += popularity;
+    const std::uint64_t block = geom.blockOfPpn(ppn);
+    zombie_assert(blkValidCount[block] > 0,
+                  "block valid count underflow");
+    --blkValidCount[block];
+    ++blkInvalidCount[block];
+    blkGarbagePop[block] += popularity;
 
     --validPages;
     ++invalidPages;
     ++stats.invalidations;
-    notifyBlock(geom.blockOfPpn(ppn));
+    notifyBlock(block);
 }
 
 void
@@ -67,59 +110,92 @@ FlashArray::revivePage(Ppn ppn)
 {
     zombie_assert(state(ppn) == PageState::Invalid,
                   "revive of a non-garbage page ", ppn);
-    pageState[ppn] = PageState::Valid;
+    const std::uint64_t bit = 1ULL << (ppn & 63);
+    invalidBits[ppn >> 6] &= ~bit;
+    validBits[ppn >> 6] |= bit;
 
-    BlockInfo &blk = blocks[geom.blockOfPpn(ppn)];
-    zombie_assert(blk.invalidCount > 0, "block invalid count underflow");
-    --blk.invalidCount;
-    ++blk.validCount;
-    blk.garbagePopularity -= std::min<std::uint64_t>(
-        blk.garbagePopularity, garbagePop[ppn]);
+    const std::uint64_t block = geom.blockOfPpn(ppn);
+    zombie_assert(blkInvalidCount[block] > 0,
+                  "block invalid count underflow");
+    --blkInvalidCount[block];
+    ++blkValidCount[block];
+    blkGarbagePop[block] -= std::min<std::uint64_t>(
+        blkGarbagePop[block], garbagePop[ppn]);
     garbagePop[ppn] = 0;
 
     --invalidPages;
     ++validPages;
     ++stats.revivals;
-    notifyBlock(geom.blockOfPpn(ppn));
+    notifyBlock(block);
 }
 
 void
 FlashArray::eraseBlock(std::uint64_t block_index)
 {
-    BlockInfo &blk = blocks[block_index];
-    zombie_assert(blk.validCount == 0,
+    zombie_assert(block_index < blkWritePtr.size(),
+                  "block index out of bounds");
+    zombie_assert(blkValidCount[block_index] == 0,
                   "erase of block ", block_index,
-                  " with ", blk.validCount, " valid pages");
+                  " with ", blkValidCount[block_index],
+                  " valid pages");
 
+    // With no valid pages left, the page census moves exactly the
+    // block's garbage count from invalid to free — no page loop.
+    const std::uint32_t garbage = blkInvalidCount[block_index];
+    invalidPages -= garbage;
+    freePages += garbage;
+
+    // Clear the block's slice of the invalid bit-plane (the valid
+    // plane is already clear) and its popularity bytes. The slice
+    // need not be word-aligned in tiny test geometries, so edge
+    // words are masked rather than stored whole.
     const Ppn first = geom.firstPpnOfBlock(block_index);
-    for (std::uint32_t i = 0; i < geom.pagesPerBlock(); ++i) {
-        const Ppn ppn = first + i;
-        if (pageState[ppn] == PageState::Invalid) {
-            --invalidPages;
-            ++freePages;
-        } else if (pageState[ppn] == PageState::Free) {
-            // already free; nothing to adjust
-        }
-        pageState[ppn] = PageState::Free;
-        garbagePop[ppn] = 0;
+    const Ppn end = first + geom.pagesPerBlock();
+    std::uint64_t w = first >> 6;
+    const std::uint64_t last = (end - 1) >> 6;
+    const std::uint64_t head_mask = ~0ULL << (first & 63);
+    const std::uint64_t tail_mask =
+        (end & 63) ? ~(~0ULL << (end & 63)) : ~0ULL;
+    if (w == last) {
+        invalidBits[w] &= ~(head_mask & tail_mask);
+    } else {
+        invalidBits[w] &= ~head_mask;
+        while (++w < last)
+            invalidBits[w] = 0;
+        invalidBits[last] &= ~tail_mask;
     }
+    std::memset(garbagePop.data() + first, 0,
+                geom.pagesPerBlock());
 
     // Pages beyond writePtr were never programmed and stay free.
-    blk.writePtr = 0;
-    blk.invalidCount = 0;
-    blk.garbagePopularity = 0;
-    ++blk.eraseCount;
+    blkWritePtr[block_index] = 0;
+    blkInvalidCount[block_index] = 0;
+    blkGarbagePop[block_index] = 0;
+    maxErase = std::max(maxErase, ++blkEraseCount[block_index]);
     ++stats.erases;
     notifyBlock(block_index);
 }
 
 std::uint32_t
-FlashArray::maxEraseCount() const
+FlashArray::nextValidPage(std::uint64_t block_index,
+                          std::uint32_t from_page) const
 {
-    std::uint32_t max_erases = 0;
-    for (const auto &blk : blocks)
-        max_erases = std::max(max_erases, blk.eraseCount);
-    return max_erases;
+    const Ppn first = geom.firstPpnOfBlock(block_index);
+    const std::uint64_t hit =
+        nextSetBit(validBits.data(), first + from_page,
+                   first + geom.pagesPerBlock());
+    return static_cast<std::uint32_t>(hit - first);
+}
+
+std::uint32_t
+FlashArray::nextInvalidPage(std::uint64_t block_index,
+                            std::uint32_t from_page) const
+{
+    const Ppn first = geom.firstPpnOfBlock(block_index);
+    const std::uint64_t hit =
+        nextSetBit(invalidBits.data(), first + from_page,
+                   first + geom.pagesPerBlock());
+    return static_cast<std::uint32_t>(hit - first);
 }
 
 void

@@ -13,13 +13,24 @@
  * Each garbage page also remembers the popularity degree its LPN had
  * when it died; the popularity-aware GC victim metric (paper section
  * IV-D) is the weighted sum of these per block.
+ *
+ * Storage is struct-of-arrays (DESIGN.md section 7.14): the 2-bit
+ * page state is packed as two parallel bitmaps (one valid bit and
+ * one invalid bit per page, one uint64_t word per 64 pages; both
+ * clear = Free, both set = impossible by construction), and the
+ * per-block counters live in parallel flat arrays instead of an
+ * array of BlockInfo structs. The GC inner loops that used to walk
+ * pages one at a time (victim relocation, pool purge, erase reset)
+ * scan 64 pages per word via std::countr_zero, and victim scoring
+ * gathers from a dense uint32_t array instead of striding through
+ * 24-byte structs.
  */
 
 #ifndef ZOMBIE_NAND_FLASH_ARRAY_HH
 #define ZOMBIE_NAND_FLASH_ARRAY_HH
 
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "nand/geometry.hh"
@@ -38,7 +49,7 @@ enum class PageState : std::uint8_t
     Invalid = 2, //!< garbage ("dead"/zombie candidate)
 };
 
-/** Per-block bookkeeping. */
+/** Per-block bookkeeping (a gathered view; storage is SoA). */
 struct BlockInfo
 {
     std::uint32_t writePtr = 0; //!< next page to program (sequential)
@@ -77,14 +88,21 @@ class FlashArray
      * planes (programs are not reported: they only affect candidacy
      * through the write-point roll-over, which the BlockManager
      * observes directly).
+     *
+     * A plain function pointer + context, not std::function: the
+     * callback fires on every invalidation (millions per run) and
+     * must not pay a type-erased indirect call or risk a capture
+     * allocation.
      */
-    using BlockListener = std::function<void(std::uint64_t block)>;
+    using BlockListenerFn = void (*)(void *ctx, std::uint64_t block);
 
-    /** Install @p listener (replaces any previous one). */
+    /** Install @p fn/@p ctx (replaces any previous listener;
+     *  nullptr fn detaches). */
     void
-    setBlockListener(BlockListener listener)
+    setBlockListener(BlockListenerFn fn, void *ctx)
     {
-        onBlockChange = std::move(listener);
+        onBlockChange = fn;
+        onBlockChangeCtx = ctx;
     }
 
     // The page/block accessors below are on the GC scoring and write
@@ -94,8 +112,13 @@ class FlashArray
     PageState
     state(Ppn ppn) const
     {
-        zombie_assert(ppn < pageState.size(), "PPN out of bounds");
-        return pageState[ppn];
+        zombie_assert(ppn < geom.totalPages(), "PPN out of bounds");
+        const std::uint64_t word = ppn >> 6;
+        const std::uint64_t bit = 1ULL << (ppn & 63);
+        if (validBits[word] & bit)
+            return PageState::Valid;
+        return (invalidBits[word] & bit) ? PageState::Invalid
+                                         : PageState::Free;
     }
 
     /** Popularity recorded when the page was invalidated. */
@@ -107,12 +130,62 @@ class FlashArray
         return garbagePop[ppn];
     }
 
-    const BlockInfo &
+    /** Gathered per-block view (tests/reporting; hot loops use the
+     *  field accessors or raw arrays below). */
+    BlockInfo
     block(std::uint64_t block_index) const
     {
-        zombie_assert(block_index < blocks.size(),
+        zombie_assert(block_index < blkEraseCount.size(),
                       "block index out of bounds");
-        return blocks[block_index];
+        return BlockInfo{blkWritePtr[block_index],
+                         blkValidCount[block_index],
+                         blkInvalidCount[block_index],
+                         blkEraseCount[block_index],
+                         blkGarbagePop[block_index]};
+    }
+
+    std::uint32_t
+    writePtrOf(std::uint64_t block_index) const
+    {
+        return blkWritePtr[block_index];
+    }
+
+    std::uint32_t
+    validCountOf(std::uint64_t block_index) const
+    {
+        return blkValidCount[block_index];
+    }
+
+    std::uint32_t
+    invalidCountOf(std::uint64_t block_index) const
+    {
+        return blkInvalidCount[block_index];
+    }
+
+    std::uint32_t
+    eraseCountOf(std::uint64_t block_index) const
+    {
+        return blkEraseCount[block_index];
+    }
+
+    std::uint64_t
+    garbagePopularityOf(std::uint64_t block_index) const
+    {
+        return blkGarbagePop[block_index];
+    }
+
+    /** Dense per-block arrays for victim-scoring gather loops. */
+    const std::uint32_t *invalidCounts() const
+    {
+        return blkInvalidCount.data();
+    }
+    const std::uint32_t *eraseCounts() const
+    {
+        return blkEraseCount.data();
+    }
+    const std::uint64_t *garbagePopularities() const
+    {
+        return blkGarbagePop.data();
     }
 
     /**
@@ -125,13 +198,17 @@ class FlashArray
     bool
     blockHasRoom(std::uint64_t block_index) const
     {
-        return block(block_index).writePtr < geom.pagesPerBlock();
+        zombie_assert(block_index < blkWritePtr.size(),
+                      "block index out of bounds");
+        return blkWritePtr[block_index] < geom.pagesPerBlock();
     }
 
     std::uint32_t
     freePagesInBlock(std::uint64_t block_index) const
     {
-        return geom.pagesPerBlock() - block(block_index).writePtr;
+        zombie_assert(block_index < blkWritePtr.size(),
+                      "block index out of bounds");
+        return geom.pagesPerBlock() - blkWritePtr[block_index];
     }
 
     /** Count a host/GC read of a valid page. */
@@ -156,6 +233,19 @@ class FlashArray
      */
     void eraseBlock(std::uint64_t block_index);
 
+    /**
+     * First page index >= @p from_page of @p block_index whose page
+     * is Valid, or pagesPerBlock() when none remains. Scans the
+     * valid bitmap a word (64 pages) at a time — this is the GC
+     * relocation cursor.
+     */
+    std::uint32_t nextValidPage(std::uint64_t block_index,
+                                std::uint32_t from_page) const;
+
+    /** Likewise over the invalid (garbage) bitmap. */
+    std::uint32_t nextInvalidPage(std::uint64_t block_index,
+                                  std::uint32_t from_page) const;
+
     const FlashCounters &counters() const { return stats; }
 
     /**
@@ -170,8 +260,8 @@ class FlashArray
     std::uint64_t totalValidPages() const { return validPages; }
     std::uint64_t totalInvalidPages() const { return invalidPages; }
 
-    /** Max per-block erase count (wear skew reporting). */
-    std::uint32_t maxEraseCount() const;
+    /** Max per-block erase count, maintained at erase time (O(1)). */
+    std::uint32_t maxEraseCount() const { return maxErase; }
 
   private:
     /** Report a garbage transition on @p block_index, if observed. */
@@ -179,18 +269,34 @@ class FlashArray
     notifyBlock(std::uint64_t block_index)
     {
         if (onBlockChange)
-            onBlockChange(block_index);
+            onBlockChange(onBlockChangeCtx, block_index);
     }
 
     Geometry geom;
-    BlockListener onBlockChange;
-    std::vector<PageState> pageState;
+    BlockListenerFn onBlockChange = nullptr;
+    void *onBlockChangeCtx = nullptr;
+
+    /**
+     * Page-state bit-planes: bit ppn of validBits / invalidBits is
+     * the high/low half of the packed 2-bit state. Never both set.
+     */
+    std::vector<std::uint64_t> validBits;
+    std::vector<std::uint64_t> invalidBits;
+
     std::vector<std::uint8_t> garbagePop;
-    std::vector<BlockInfo> blocks;
+
+    // Per-block bookkeeping, struct-of-arrays.
+    std::vector<std::uint32_t> blkWritePtr;
+    std::vector<std::uint32_t> blkValidCount;
+    std::vector<std::uint32_t> blkInvalidCount;
+    std::vector<std::uint32_t> blkEraseCount;
+    std::vector<std::uint64_t> blkGarbagePop;
+
     FlashCounters stats;
     std::uint64_t freePages;
     std::uint64_t validPages = 0;
     std::uint64_t invalidPages = 0;
+    std::uint32_t maxErase = 0;
 };
 
 } // namespace zombie

@@ -19,6 +19,15 @@ Geometry::Geometry(std::uint32_t channels,
         !planes_per_die || !blocks_per_plane || !pages_per_block) {
         zombie_fatal("every geometry dimension must be >= 1");
     }
+    tChips = std::uint64_t(nChannels) * nChips;
+    tDies = tChips * nDies;
+    tPlanes = tDies * nPlanes;
+    tBlocks = tPlanes * nBlocks;
+    tPages = tBlocks * nPages;
+    divPages = FastDiv(nPages, tPages);
+    divBlocks = FastDiv(nBlocks, tBlocks);
+    divPlanes = FastDiv(nPlanes, tPlanes);
+    divChanDies = FastDiv(std::uint64_t(nDies) * nChips, tDies);
 }
 
 Geometry
@@ -26,36 +35,6 @@ Geometry::tableI(std::uint32_t blocks_per_plane)
 {
     // 8x8 dimension, 4 dies/chip, 2 planes/die, 256 pages/block.
     return Geometry(8, 8, 4, 2, blocks_per_plane, 256);
-}
-
-std::uint64_t
-Geometry::totalChips() const
-{
-    return std::uint64_t(nChannels) * nChips;
-}
-
-std::uint64_t
-Geometry::totalDies() const
-{
-    return totalChips() * nDies;
-}
-
-std::uint64_t
-Geometry::totalPlanes() const
-{
-    return totalDies() * nPlanes;
-}
-
-std::uint64_t
-Geometry::totalBlocks() const
-{
-    return totalPlanes() * nBlocks;
-}
-
-std::uint64_t
-Geometry::totalPages() const
-{
-    return totalBlocks() * nPages;
 }
 
 std::uint64_t
@@ -107,48 +86,9 @@ Geometry::blockIndex(const PageAddress &addr) const
 }
 
 std::uint64_t
-Geometry::blockOfPpn(Ppn ppn) const
-{
-    zombie_assert(ppn < totalPages(), "PPN out of bounds");
-    return ppn / nPages;
-}
-
-std::uint64_t
 Geometry::planeIndex(const PageAddress &addr) const
 {
     return blockIndex(addr) / nBlocks;
-}
-
-std::uint64_t
-Geometry::planeOfPpn(Ppn ppn) const
-{
-    return blockOfPpn(ppn) / nBlocks;
-}
-
-std::uint64_t
-Geometry::planeOfBlock(std::uint64_t block_index) const
-{
-    zombie_assert(block_index < totalBlocks(), "block index out of bounds");
-    return block_index / nBlocks;
-}
-
-std::uint64_t
-Geometry::dieOfPpn(Ppn ppn) const
-{
-    return planeOfPpn(ppn) / nPlanes;
-}
-
-std::uint32_t
-Geometry::channelOfPpn(Ppn ppn) const
-{
-    return static_cast<std::uint32_t>(dieOfPpn(ppn) / (nDies * nChips));
-}
-
-Ppn
-Geometry::firstPpnOfBlock(std::uint64_t block_index) const
-{
-    zombie_assert(block_index < totalBlocks(), "block index out of bounds");
-    return block_index * nPages;
 }
 
 } // namespace zombie

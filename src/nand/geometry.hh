@@ -7,6 +7,13 @@
  * the scaling knob: the paper models a 1TB drive, the simulator scales
  * capacity to the trace footprint while keeping every structural ratio
  * (see DESIGN.md, substitution table).
+ *
+ * The flat-index codecs (PPN -> block/plane/die/channel) run on every
+ * flash state transition and every resource-model charge, so they are
+ * inline and divide through precomputed FastDiv reciprocals instead
+ * of hardware division; the totals are cached at construction for the
+ * same reason (the bounds asserts would otherwise multiply four
+ * dimensions per call).
  */
 
 #ifndef ZOMBIE_NAND_GEOMETRY_HH
@@ -14,6 +21,8 @@
 
 #include <cstdint>
 
+#include "util/fast_div.hh"
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -51,31 +60,72 @@ class Geometry
     std::uint32_t blocksPerPlane() const { return nBlocks; }
     std::uint32_t pagesPerBlock() const { return nPages; }
 
-    std::uint64_t totalChips() const;
-    std::uint64_t totalDies() const;
-    std::uint64_t totalPlanes() const;
-    std::uint64_t totalBlocks() const;
-    std::uint64_t totalPages() const;
+    std::uint64_t totalChips() const { return tChips; }
+    std::uint64_t totalDies() const { return tDies; }
+    std::uint64_t totalPlanes() const { return tPlanes; }
+    std::uint64_t totalBlocks() const { return tBlocks; }
+    std::uint64_t totalPages() const { return tPages; }
     std::uint64_t capacityBytes() const;
 
     /** Flat block index in [0, totalBlocks). */
     std::uint64_t blockIndex(const PageAddress &addr) const;
-    std::uint64_t blockOfPpn(Ppn ppn) const;
+
+    std::uint64_t
+    blockOfPpn(Ppn ppn) const
+    {
+        zombie_assert(ppn < tPages, "PPN ", ppn, " out of bounds");
+        return divPages(ppn);
+    }
 
     /** Flat plane index in [0, totalPlanes). */
     std::uint64_t planeIndex(const PageAddress &addr) const;
-    std::uint64_t planeOfPpn(Ppn ppn) const;
-    std::uint64_t planeOfBlock(std::uint64_t block_index) const;
+
+    std::uint64_t
+    planeOfPpn(Ppn ppn) const
+    {
+        return divBlocks(blockOfPpn(ppn));
+    }
+
+    std::uint64_t
+    planeOfBlock(std::uint64_t block_index) const
+    {
+        zombie_assert(block_index < tBlocks,
+                      "block index out of bounds");
+        return divBlocks(block_index);
+    }
 
     /** Flat die index in [0, totalDies). */
-    std::uint64_t dieOfPpn(Ppn ppn) const;
-    std::uint32_t channelOfPpn(Ppn ppn) const;
+    std::uint64_t
+    dieOfPpn(Ppn ppn) const
+    {
+        return divPlanes(planeOfPpn(ppn));
+    }
+
+    std::uint32_t
+    channelOfPpn(Ppn ppn) const
+    {
+        return static_cast<std::uint32_t>(divChanDies(dieOfPpn(ppn)));
+    }
+
+    /** Page offset of @p ppn within its block. */
+    std::uint32_t
+    pageOfPpn(Ppn ppn) const
+    {
+        zombie_assert(ppn < tPages, "PPN ", ppn, " out of bounds");
+        return static_cast<std::uint32_t>(divPages.mod(ppn));
+    }
 
     Ppn encode(const PageAddress &addr) const;
     PageAddress decode(Ppn ppn) const;
 
     /** First PPN of the given flat block index. */
-    Ppn firstPpnOfBlock(std::uint64_t block_index) const;
+    Ppn
+    firstPpnOfBlock(std::uint64_t block_index) const
+    {
+        zombie_assert(block_index < tBlocks,
+                      "block index out of bounds");
+        return block_index * nPages;
+    }
 
   private:
     std::uint32_t nChannels;
@@ -84,6 +134,19 @@ class Geometry
     std::uint32_t nPlanes;
     std::uint32_t nBlocks;
     std::uint32_t nPages;
+
+    // Cached totals (products of the dimensions above).
+    std::uint64_t tChips;
+    std::uint64_t tDies;
+    std::uint64_t tPlanes;
+    std::uint64_t tBlocks;
+    std::uint64_t tPages;
+
+    // Invariant-divisor reciprocals for the codecs above.
+    FastDiv divPages;    //!< ppn -> block (by pages per block)
+    FastDiv divBlocks;   //!< block -> plane (by blocks per plane)
+    FastDiv divPlanes;   //!< plane -> die (by planes per die)
+    FastDiv divChanDies; //!< die -> channel (by dies per channel)
 };
 
 } // namespace zombie

@@ -14,7 +14,7 @@ ResourceModel::ResourceModel(const Geometry &geometry,
       dieBusyUntil(geom.totalDies(), 0),
       channelBusyTotal(geom.channels(), 0),
       dieBusyTotal(geom.totalDies(), 0),
-      dieOutstanding(geom.totalDies())
+      dieOutstanding(geom.totalDies()), backlogHigh(geom.totalDies(), 0)
 {
     // A die's backlog window peaks when paced GC stacks a few
     // blocks' worth of relocation ops behind the host stream; two
@@ -149,7 +149,7 @@ ResourceModel::registerStats(StatRegistry &registry) const
                                 ".busy_ticks",
                             &dieBusyTotal[die]);
     registry.addGauge("nand.max_die_backlog", [this] {
-        return static_cast<double>(maxBacklog);
+        return static_cast<double>(maxDieBacklog());
     });
 }
 
@@ -166,8 +166,17 @@ ResourceModel::noteDieIssue(std::uint64_t die, Tick issued,
     while (!out.empty() && out.front() <= issued)
         out.pop_front();
     out.push_back(completion);
-    if (out.size() > maxBacklog)
-        maxBacklog = out.size();
+    if (out.size() > backlogHigh[die])
+        backlogHigh[die] = out.size();
+}
+
+std::uint64_t
+ResourceModel::maxDieBacklog() const
+{
+    std::uint64_t high = 0;
+    for (const std::uint64_t h : backlogHigh)
+        high = std::max(high, h);
+    return high;
 }
 
 std::uint32_t

@@ -88,14 +88,27 @@ class ResourceModel
      */
     std::uint32_t pendingAt(std::uint64_t die, Tick now) const;
 
-    /** High-water mark of any die's backlog over the run. */
-    std::uint64_t maxDieBacklog() const { return maxBacklog; }
+    /**
+     * High-water mark of any die's backlog over the run. The
+     * high-water is tracked per die (so backlog accounting stays
+     * channel-local under the sharded flash phase) and folded with
+     * max here; the fold equals the historical global running
+     * maximum exactly.
+     */
+    std::uint64_t maxDieBacklog() const;
 
     /** Fraction of [0, horizon] each resource class was busy. */
     double channelUtilization(Tick horizon) const;
     double dieUtilization(Tick horizon) const;
 
     const TimingModel &timing() const { return times; }
+
+    /** Geometry this model was built for. */
+    const Geometry &geometry() const { return geom; }
+
+    /** Whether an operation tracer is attached (sharding must then
+     *  fall back to serial issue: spans record in issue order). */
+    bool hasTracer() const { return tracer != nullptr; }
 
     /**
      * Attach an operation tracer (not owned; nullptr detaches). One
@@ -145,7 +158,9 @@ class ResourceModel
      * allocator once each ring reaches its backlog high-water mark.
      */
     std::vector<RingBuffer<Tick>> dieOutstanding;
-    std::uint64_t maxBacklog = 0;
+
+    /** Per-die backlog high-water marks (see maxDieBacklog). */
+    std::vector<std::uint64_t> backlogHigh;
 
     /** Operation tracer; null (the default) disables span recording. */
     TraceSink *tracer = nullptr;

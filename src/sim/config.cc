@@ -243,6 +243,8 @@ SsdConfig::validate() const
         zombie_fatal("SsdConfig: gcPagesPerStep must be > 0");
     if (queueDepth == 0)
         zombie_fatal("SsdConfig: queueDepth must be >= 1");
+    if (shards == 0)
+        zombie_fatal("SsdConfig: shards must be >= 1");
     if (queueDepth > 65536)
         zombie_fatal("SsdConfig: queueDepth ", queueDepth,
                      " exceeds the 65536-tag ceiling");

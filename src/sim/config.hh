@@ -141,6 +141,16 @@ struct SsdConfig
     std::uint32_t gcPagesPerStep = 2;
 
     /**
+     * Flash-phase shards: GC bursts are partitioned by channel across
+     * this many executors (sim/controller.hh). 1 — the default —
+     * keeps the historical single-threaded issue path; any value is
+     * byte-identical to 1 because shards touch disjoint channel/die
+     * state and join before the next command issues. An attached op
+     * tracer forces serial issue regardless.
+     */
+    std::uint32_t shards = 1;
+
+    /**
      * Epoch-sampler interval in simulated ticks; 0 — the default —
      * disables sampling entirely (no events, no snapshots), keeping
      * the request path allocation-free and runs byte-identical to

@@ -32,13 +32,84 @@ FlashScheduler::issue(const FlashStepBuffer &steps, Tick t)
     // behind the collection. Steps on one die serialize through its
     // busy-until in issue order; planes collect in parallel.
     Tick gc_tail = completion;
+    if (shards > 1 && !res.hasTracer() &&
+        steps.gcSteps.size() >= kMinShardSteps) {
+        gc_tail = std::max(gc_tail, issueGcSharded(steps, t));
+    } else {
+        for (const FlashStep &step : steps.gcSteps) {
+            if (step.op == FlashOp::Program)
+                readCache.invalidate(step.ppn);
+            gc_tail = std::max(
+                gc_tail, res.scheduleOp(step.op, step.ppn, t, true));
+        }
+    }
+    return FlashIssue{completion, gc_tail};
+}
+
+void
+FlashScheduler::configureShards(std::uint32_t shard_count,
+                                WorkerBand *worker_band)
+{
+    if (shard_count <= 1 || !worker_band) {
+        shards = 1;
+        band = nullptr;
+        return;
+    }
+    shards = shard_count;
+    band = worker_band;
+    const Geometry &geom = res.geometry();
+    chanSteps.resize(geom.channels());
+    // One victim block of relocation pairs per collecting plane is
+    // the natural burst; reserving that up front keeps the partition
+    // pass allocation-free in steady state (DESIGN.md section 7.10).
+    for (std::vector<FlashStep> &c : chanSteps)
+        c.reserve(2ul * geom.pagesPerBlock());
+    shardTails.assign(shards, 0);
+}
+
+Tick
+FlashScheduler::issueGcSharded(const FlashStepBuffer &steps, Tick t)
+{
+    // Serial pre-pass: read-cache invalidations stay on the calling
+    // thread (the cache is shared across channels). GC steps never
+    // *read* the cache and the command's user steps were charged
+    // above, so hoisting the invalidations ahead of the resource
+    // charging cannot change any outcome.
+    const Geometry &geom = res.geometry();
     for (const FlashStep &step : steps.gcSteps) {
         if (step.op == FlashOp::Program)
             readCache.invalidate(step.ppn);
-        gc_tail = std::max(gc_tail,
-                           res.scheduleOp(step.op, step.ppn, t, true));
+        chanSteps[geom.channelOfPpn(step.ppn)].push_back(step);
     }
-    return FlashIssue{completion, gc_tail};
+    // Each channel's subsequence preserves the burst's issue order,
+    // so per-channel busy-until/backlog state evolves exactly as the
+    // serial loop would leave it; shards touch disjoint channels and
+    // the band joins before any later command issues.
+    burstStart = t;
+    std::fill(shardTails.begin(), shardTails.end(), 0);
+    band->run(&shardThunk, this, shards);
+    Tick gc_tail = 0;
+    for (const Tick tail : shardTails)
+        gc_tail = std::max(gc_tail, tail);
+    for (std::vector<FlashStep> &c : chanSteps)
+        c.clear();
+    return gc_tail;
+}
+
+void
+FlashScheduler::shardThunk(void *ctx, unsigned shard)
+{
+    auto *self = static_cast<FlashScheduler *>(ctx);
+    Tick tail = 0;
+    const std::size_t channels = self->chanSteps.size();
+    for (std::size_t c = shard; c < channels; c += self->shards) {
+        for (const FlashStep &step : self->chanSteps[c])
+            tail = std::max(tail,
+                            self->res.scheduleOp(step.op, step.ppn,
+                                                 self->burstStart,
+                                                 true));
+    }
+    self->shardTails[shard] = tail;
 }
 
 /** Static span-category literals, one per possible tenant (the
@@ -94,10 +165,28 @@ Controller::Controller(const SsdConfig &config, Ftl &ftl_,
     // regrow the heap, costing an allocation, not correctness).
     completedAhead.reserve(std::max<std::size_t>(
         8192, 2ul * depth));
+    // At most one DispatchDone per tag is ever pending.
+    engine.reserveLane(EventEngine::kDispatchLane, depth + 4);
     // Scratch high-water: one user step plus, in the worst (survival
     // mode) case, a whole victim block of relocation reads/programs
     // and the closing erase — per plane that drained this command.
     steps.reserve(2, 2 * cfg.geom.pagesPerBlock() + 8);
+}
+
+void
+Controller::reserveSubmissions(std::uint64_t count)
+{
+    // One up-front reservation for a trace of known length: the
+    // arrival ring and lane never regrow mid-run (each regrow copies
+    // the full ring). The heap only ever carries the in-flight
+    // events, so it keeps its small reservation.
+    const std::size_t need = count + 4ul * depth + 16;
+    if (need <= eventReserve)
+        return;
+    eventReserve = need;
+    arrivals.reserve(count);
+    engine.reserveLane(EventEngine::kArrivalLane, need);
+    engine.reserve(4ul * depth + 64);
 }
 
 void
@@ -111,18 +200,23 @@ Controller::submit(const TraceRecord &rec)
     if (submitted == 0)
         cstats.firstArrival = rec.arrival;
     arrivals.push_back(HostCommand{rec, submitted++});
-    // Keep the event heap ahead of its worst-case occupancy: one
-    // HostArrival per outstanding submission plus a few in-flight
-    // events (dispatch, flash, GC tail) per tag. Growing by doubling
-    // here — where occupancy actually grows — makes the heap's
-    // capacity a function of the submission high-water mark alone,
-    // so replaying an identical trace never regrows it mid-run.
+    // Keep the event storages ahead of their worst-case occupancy:
+    // one HostArrival per outstanding submission in the arrival lane
+    // plus a few in-flight events (flash, GC tail) per tag on the
+    // heap. Growing by doubling here — where occupancy actually
+    // grows — makes each capacity a function of the submission
+    // high-water mark alone, so replaying an identical trace never
+    // regrows them mid-run.
     const std::size_t need = arrivals.size() + 4ul * depth + 16;
     if (need > eventReserve) {
         eventReserve = std::max(need, 2 * eventReserve);
         engine.reserve(eventReserve);
+        engine.reserveLane(EventEngine::kArrivalLane, eventReserve);
     }
-    engine.schedule(rec.arrival, EventKind::HostArrival);
+    // Arrivals are nondecreasing by the submit() contract, so the
+    // whole trace rides the O(1) arrival lane instead of the heap.
+    engine.scheduleMonotone(EventEngine::kArrivalLane, rec.arrival,
+                            EventKind::HostArrival);
 
     // First submission after an idle period re-arms the sampler at
     // the next absolute epoch boundary (boundaries are multiples of
@@ -227,8 +321,11 @@ Controller::tryDispatch(Tick now)
         ctxFreeAt[best] = now + cfg.timing.ftlOverhead;
         const std::uint32_t slot = inDispatch.acquire();
         inDispatch[slot] = cmd;
-        engine.schedule(ctxFreeAt[best], EventKind::DispatchDone,
-                        slot);
+        // Dispatch-done ticks are `now + ftlOverhead` with `now`
+        // monotone, so they ride the second O(1) lane.
+        engine.scheduleMonotone(EventEngine::kDispatchLane,
+                                ctxFreeAt[best],
+                                EventKind::DispatchDone, slot);
     }
 }
 

@@ -60,6 +60,7 @@
 #include "util/ring.hh"
 #include "util/slab.hh"
 #include "util/stats.hh"
+#include "util/worker_band.hh"
 
 namespace zombie
 {
@@ -82,6 +83,19 @@ struct FlashIssue
  * itself). Read-cache hits complete in controller RAM and still
  * advance the chain. GC steps all start at the command's issue tick
  * and serialize per die through the busy-until schedule.
+ *
+ * Sharded GC issue (configureShards): a GC burst — up to a whole
+ * victim block of relocation ops per collecting plane — is the one
+ * flash phase whose ops do not depend on each other across channels:
+ * every op touches only the busy-until/backlog state of its own die
+ * and channel, and GC relocation chains never cross planes. The
+ * burst is therefore partitioned by channel and executed on a
+ * WorkerBand, all shards joining before issue() returns (the
+ * conservative epoch barrier: nothing after this command's issue can
+ * observe partial state). Results are byte-identical to serial issue
+ * because each channel's subsequence executes in original order
+ * against disjoint state and the gc-tail fold (max) is
+ * order-independent.
  */
 class FlashScheduler
 {
@@ -93,6 +107,14 @@ class FlashScheduler
 
     FlashIssue issue(const FlashStepBuffer &steps, Tick t);
 
+    /**
+     * Enable channel-sharded GC issue. @p shard_count <= 1 or a null
+     * @p worker_band keep the serial path; an attached op tracer
+     * forces serial issue regardless (spans record in issue order).
+     */
+    void configureShards(std::uint32_t shard_count,
+                         WorkerBand *worker_band);
+
     /** Category label stamped on host-op trace spans (see
      *  ResourceModel::setHostSpanCategory). */
     void setHostSpanCategory(const char *category)
@@ -101,8 +123,25 @@ class FlashScheduler
     }
 
   private:
+    /** Sharded GC burst; returns the burst's gc-tail fold. */
+    Tick issueGcSharded(const FlashStepBuffer &steps, Tick t);
+
+    /** WorkerBand thunk: run every channel of one shard. */
+    static void shardThunk(void *ctx, unsigned shard);
+
     ResourceModel &res;
     ReadCache &readCache;
+
+    /** Sharded-issue state (unused until configureShards). */
+    std::uint32_t shards = 1;
+    WorkerBand *band = nullptr;
+    std::vector<std::vector<FlashStep>> chanSteps; //!< per channel
+    std::vector<Tick> shardTails;                  //!< per shard
+    Tick burstStart = 0;                           //!< current burst's t
+
+    /** GC bursts below this many steps stay serial: the fan-out
+     *  handshake costs more than the work it would spread. */
+    static constexpr std::size_t kMinShardSteps = 24;
 };
 
 /** Aggregate pipeline counters for one run. */
@@ -166,6 +205,20 @@ class Controller : public EventSink
      * The command is serviced when the engine drains.
      */
     void submit(const TraceRecord &rec);
+
+    /**
+     * Optional hint that @p count submissions are coming: reserves
+     * the arrival storages once instead of growing them by doubling
+     * mid-run. Pure capacity management; never affects results.
+     */
+    void reserveSubmissions(std::uint64_t count);
+
+    /** Enable channel-sharded GC issue (FlashScheduler). */
+    void configureFlashShards(std::uint32_t shard_count,
+                              WorkerBand *worker_band)
+    {
+        flash.configureShards(shard_count, worker_band);
+    }
 
     /** Run the engine until every submitted command completed. */
     void drain();

@@ -2,30 +2,79 @@
 
 #include <algorithm>
 
-#include "util/logging.hh"
-
 namespace zombie
 {
 
 void
-EventEngine::schedule(Tick when, EventKind kind, std::uint32_t ctx,
-                      std::uint64_t arg)
+EventEngine::heapPush(const Event &ev)
 {
-    zombie_assert(when >= current,
-                  "event scheduled in the past (", when, " < ",
-                  current, ")");
-    heap.push_back(Event{when, nextSeq++, arg, ctx, kind});
-    std::push_heap(heap.begin(), heap.end(), later);
+    heap.push_back(ev);
+    std::size_t i = heap.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        if (!before(heap[i], heap[parent]))
+            break;
+        std::swap(heap[i], heap[parent]);
+        i = parent;
+    }
+}
+
+void
+EventEngine::heapPopMin()
+{
+    const Event last = heap.back();
+    heap.pop_back();
+    if (heap.empty())
+        return;
+    const std::size_t n = heap.size();
+    std::size_t i = 0;
+    for (;;) {
+        const std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        const std::size_t stop = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < stop; ++c) {
+            if (before(heap[c], heap[best]))
+                best = c;
+        }
+        if (!before(heap[best], last))
+            break;
+        heap[i] = heap[best];
+        i = best;
+    }
+    heap[i] = last;
+}
+
+const EventEngine::Event *
+EventEngine::peekNext(int &lane_out) const
+{
+    lane_out = -1;
+    const Event *best = heap.empty() ? nullptr : &heap[0];
+    for (std::uint32_t l = 0; l < kMonotoneLanes; ++l) {
+        if (lanes[l].empty())
+            continue;
+        const Event &front = lanes[l].front();
+        if (!best || before(front, *best)) {
+            best = &front;
+            lane_out = static_cast<int>(l);
+        }
+    }
+    return best;
 }
 
 void
 EventEngine::step()
 {
-    zombie_assert(!heap.empty(), "step() on an empty event queue");
     zombie_assert(target, "step() with no event sink attached");
-    std::pop_heap(heap.begin(), heap.end(), later);
-    const Event ev = heap.back();
-    heap.pop_back();
+    int lane = -1;
+    const Event *next = peekNext(lane);
+    zombie_assert(next, "step() on an empty event queue");
+    const Event ev = *next;
+    if (lane < 0)
+        heapPopMin();
+    else
+        lanes[lane].pop_front();
     current = ev.when;
     ++fired;
     target->event(ev.when, ev.kind, ev.ctx, ev.arg);
@@ -34,23 +83,30 @@ EventEngine::step()
 void
 EventEngine::run()
 {
-    while (!heap.empty())
+    while (!empty())
         step();
 }
 
 void
 EventEngine::runUntil(Tick until)
 {
-    while (!heap.empty() && heap.front().when <= until)
+    for (;;) {
+        int lane = -1;
+        const Event *next = peekNext(lane);
+        if (!next || next->when > until)
+            break;
         step();
+    }
     current = std::max(current, until);
 }
 
 Tick
 EventEngine::nextAt() const
 {
-    zombie_assert(!heap.empty(), "nextAt() on an empty event queue");
-    return heap.front().when;
+    int lane = -1;
+    const Event *next = peekNext(lane);
+    zombie_assert(next, "nextAt() on an empty event queue");
+    return next->when;
 }
 
 } // namespace zombie

@@ -11,10 +11,31 @@
  *
  * Events are typed and POD-sized: a tagged EventKind plus a small
  * fixed payload (context index, argument), dispatched to a single
- * EventSink. The heap is a flat vector of these records, so the
- * engine performs zero heap allocations once the queue has reached
- * its high-water mark — no std::function captures, no per-event
- * nodes (DESIGN.md section 7.10).
+ * EventSink. Storage is split by how a stream is scheduled
+ * (DESIGN.md section 7.14):
+ *
+ *  - Monotone lanes: streams whose schedule ticks are nondecreasing
+ *    (host arrivals; dispatch-done events, which add a constant
+ *    overhead to a monotone clock) are plain FIFO rings. Their front
+ *    is their minimum, so insert and extract are O(1) instead of
+ *    O(log n) — crucial because a whole trace's arrivals are pending
+ *    at once and would otherwise make every heap operation walk a
+ *    million-entry heap.
+ *  - A 4-ary min-heap for everything that genuinely completes out of
+ *    order (flash completions, GC tails, sampler boundaries). This
+ *    heap only ever holds the in-flight flash window, so it stays a
+ *    few cache lines hot.
+ *
+ * A dispatch picks the earliest of the heap top and the lane fronts
+ * by (when, seq). Sequence numbers are allocated globally at
+ * schedule time across all storages, so the dispatch order is
+ * exactly the order a single heap would produce: the split is purely
+ * an implementation detail and byte-identity is preserved.
+ *
+ * Everything is flat vectors/rings, so the engine performs zero heap
+ * allocations once each storage has reached its high-water mark — no
+ * std::function captures, no per-event nodes (DESIGN.md section
+ * 7.10).
  *
  * Handlers may schedule further events at or after the tick being
  * dispatched; scheduling strictly in the past is a model bug and
@@ -27,6 +48,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/logging.hh"
+#include "util/ring.hh"
 #include "util/types.hh"
 
 namespace zombie
@@ -58,12 +81,50 @@ class EventSink
 class EventEngine
 {
   public:
+    /**
+     * FIFO lanes for monotone event streams. A producer that can
+     * prove its schedule ticks are nondecreasing (asserted per push)
+     * gets O(1) insert/extract instead of a heap walk.
+     */
+    static constexpr std::uint32_t kMonotoneLanes = 2;
+
+    /** Lane assignments used by the controller. */
+    static constexpr std::uint32_t kArrivalLane = 0;
+    static constexpr std::uint32_t kDispatchLane = 1;
+
     /** Route all dispatched events to @p sink (not owned). */
     void setSink(EventSink *sink) { target = sink; }
 
     /** Enqueue @p kind at @p when (>= now()) with its payload. */
-    void schedule(Tick when, EventKind kind, std::uint32_t ctx = 0,
-                  std::uint64_t arg = 0);
+    void
+    schedule(Tick when, EventKind kind, std::uint32_t ctx = 0,
+             std::uint64_t arg = 0)
+    {
+        zombie_assert(when >= current,
+                      "event scheduled in the past (", when, " < ",
+                      current, ")");
+        heapPush(Event{when, nextSeq++, arg, ctx, kind});
+    }
+
+    /**
+     * Enqueue on monotone lane @p lane: @p when must be >= the
+     * lane's previous push (and >= now()). Dispatch order is
+     * identical to schedule() — the lane only changes the cost.
+     */
+    void
+    scheduleMonotone(std::uint32_t lane, Tick when, EventKind kind,
+                     std::uint32_t ctx = 0, std::uint64_t arg = 0)
+    {
+        zombie_assert(when >= current,
+                      "event scheduled in the past (", when, " < ",
+                      current, ")");
+        zombie_assert(lane < kMonotoneLanes, "lane out of range");
+        zombie_assert(when >= laneTail[lane],
+                      "non-monotone push on lane ", lane, " (", when,
+                      " < ", laneTail[lane], ")");
+        laneTail[lane] = when;
+        lanes[lane].push_back(Event{when, nextSeq++, arg, ctx, kind});
+    }
 
     /** Fire the earliest pending event. Panics when empty. */
     void step();
@@ -77,8 +138,34 @@ class EventEngine
     /** Pre-size the heap so steady state never reallocates. */
     void reserve(std::size_t n) { heap.reserve(n); }
 
-    bool empty() const { return heap.empty(); }
-    std::size_t pending() const { return heap.size(); }
+    /** Pre-size lane @p lane's ring likewise. */
+    void
+    reserveLane(std::uint32_t lane, std::size_t n)
+    {
+        zombie_assert(lane < kMonotoneLanes, "lane out of range");
+        lanes[lane].reserve(n);
+    }
+
+    bool
+    empty() const
+    {
+        if (!heap.empty())
+            return false;
+        for (const auto &lane : lanes) {
+            if (!lane.empty())
+                return false;
+        }
+        return true;
+    }
+
+    std::size_t
+    pending() const
+    {
+        std::size_t n = heap.size();
+        for (const auto &lane : lanes)
+            n += lane.size();
+        return n;
+    }
 
     /** Tick of the event currently or most recently dispatched. */
     Tick now() const { return current; }
@@ -90,7 +177,7 @@ class EventEngine
     std::uint64_t dispatched() const { return fired; }
 
   private:
-    /** One scheduled event: POD, lives inline in the heap vector. */
+    /** One scheduled event: POD, lives inline in its storage. */
     struct Event
     {
         Tick when;
@@ -100,16 +187,36 @@ class EventEngine
         EventKind kind;
     };
 
-    /** Min-heap order: earliest tick first, then schedule order. */
+    /** Dispatch order: earliest tick first, then schedule order. */
     static bool
-    later(const Event &a, const Event &b)
+    before(const Event &a, const Event &b)
     {
         if (a.when != b.when)
-            return a.when > b.when;
-        return a.seq > b.seq;
+            return a.when < b.when;
+        return a.seq < b.seq;
     }
 
+    /**
+     * Earliest pending event across the heap and the lane fronts, or
+     * nullptr when idle. Lane fronts are lane minima (pushes are
+     * monotone and FIFO breaks same-tick ties by seq), so comparing
+     * at most kMonotoneLanes + 1 candidates finds the global min.
+     * @p lane_out reports which lane held it (-1 = heap).
+     */
+    const Event *peekNext(int &lane_out) const;
+
+    void heapPush(const Event &ev);
+    void heapPopMin();
+
+    /** 4-ary min-heap: shallower than binary for the same size, so
+     *  extract touches fewer cache lines. */
     std::vector<Event> heap;
+
+    RingBuffer<Event> lanes[kMonotoneLanes];
+
+    /** Last tick pushed per lane (monotonicity guard). */
+    Tick laneTail[kMonotoneLanes] = {};
+
     EventSink *target = nullptr;
     Tick current = 0;
     std::uint64_t nextSeq = 0;

@@ -58,6 +58,7 @@ applyOptions(SsdConfig &cfg, const ExperimentOptions &opts)
     cfg.mq.numQueues = opts.mqQueues;
     cfg.gcPolicy = opts.gcPolicy;
     cfg.queueDepth = opts.queueDepth;
+    cfg.shards = opts.shards;
     const ArbiterSpec arb = parseArbiterSpec(opts.arbiter);
     cfg.arbiter = arb.kind;
     cfg.arbiterWeights = arb.weights;

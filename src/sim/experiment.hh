@@ -35,6 +35,9 @@ struct ExperimentOptions
     /** Host-interface queue depth (SsdConfig::queueDepth). */
     std::uint32_t queueDepth = 1;
 
+    /** Flash-phase shards (SsdConfig::shards); 1 = serial issue. */
+    std::uint32_t shards = 1;
+
     /**
      * Multi-tenant frontend. tenants > 1 splits the workload into
      * that many per-tenant streams (equal request shares, distinct

@@ -232,6 +232,10 @@ Ssd::Ssd(SsdConfig config)
         tracer_ = std::make_unique<PerfettoTraceWriter>(cfg.traceLimit);
         resources.setTraceSink(tracer_.get());
     }
+    if (cfg.shards > 1) {
+        band_ = std::make_unique<WorkerBand>(cfg.shards - 1);
+        controller_.configureFlashShards(cfg.shards, band_.get());
+    }
 }
 
 void
@@ -282,6 +286,7 @@ Ssd::run(const std::vector<TraceRecord> &records)
 {
     if (!prefilled && cfg.prefillFraction > 0.0)
         prefill();
+    controller_.reserveSubmissions(records.size());
     for (const auto &rec : records)
         process(rec);
     drain();

@@ -35,6 +35,7 @@
 #include "telemetry/stat_registry.hh"
 #include "trace/record.hh"
 #include "util/stats.hh"
+#include "util/worker_band.hh"
 
 namespace zombie
 {
@@ -166,6 +167,9 @@ class Ssd
     ReadCache cache;
     EventEngine engine;
     Controller controller_;
+
+    /** Flash-phase worker band; null unless cfg.shards > 1. */
+    std::unique_ptr<WorkerBand> band_;
 
     /** Stat namespace over every component (pure observation). */
     StatRegistry registry_;

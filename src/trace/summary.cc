@@ -30,6 +30,7 @@ TraceSummary
 summarizeTrace(const std::vector<TraceRecord> &records)
 {
     TraceSummarizer s;
+    s.reserve(records.size());
     for (const auto &rec : records)
         s.observe(rec);
     return s.finish();

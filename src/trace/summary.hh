@@ -63,6 +63,17 @@ class TraceSummarizer
     void observe(const TraceRecord &rec);
     TraceSummary finish() const { return summary; }
 
+    /** Size the distinct-value sets for @p records records up front
+     *  (summarizing a day-long trace rehashes megabytes otherwise). */
+    void
+    reserve(std::uint64_t records)
+    {
+        const auto n = static_cast<std::size_t>(records);
+        writeValues.reserve(n);
+        readValues.reserve(n);
+        lpns.reserve(n);
+    }
+
   private:
     TraceSummary summary;
     std::unordered_set<Fingerprint, FingerprintHash> writeValues;

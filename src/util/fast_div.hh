@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Exact division by a runtime-constant divisor via one multiply.
+ *
+ * The geometry codecs (PPN -> block/plane/die/channel) sit on every
+ * flash-state transition — millions of integer divisions per
+ * simulated second, each 20+ cycles on current cores. The divisors
+ * are fixed at construction, so the classic invariant-divisor
+ * transformation applies: precompute m = floor(2^64 / d) + 1 once
+ * and replace n / d with the high 64 bits of the 128-bit product
+ * m * n.
+ *
+ * Exactness (Granlund & Montgomery, "Division by Invariant Integers
+ * using Multiplication"): with e = m*d - 2^64 (0 < e <= d),
+ * m*n / 2^64 = (n + e*n/2^64) / d, so the floored quotient is exact
+ * for every n with e*n < 2^64 — a bound the constructor checks
+ * against the caller-declared maximum dividend. Dividends here are
+ * page/block indices (far below 2^56), so the check never fails in
+ * practice; if it ever did, the functor falls back to hardware
+ * division and stays correct.
+ *
+ * Powers of two (most geometry dimensions) skip the multiply
+ * entirely and compile to a shift.
+ */
+
+#ifndef ZOMBIE_UTIL_FAST_DIV_HH
+#define ZOMBIE_UTIL_FAST_DIV_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+/** n / d for a divisor fixed at construction; always exact. */
+class FastDiv
+{
+  public:
+    FastDiv() = default;
+
+    /**
+     * @param divisor the fixed divisor (>= 1).
+     * @param max_dividend largest n this functor must handle; the
+     *        magic-multiply path is only taken when it is provably
+     *        exact over [0, max_dividend].
+     */
+    FastDiv(std::uint64_t divisor, std::uint64_t max_dividend)
+        : d(divisor)
+    {
+        zombie_assert(divisor > 0, "division by zero divisor");
+        if ((d & (d - 1)) == 0) {
+            // Power of two: pure shift.
+            shift = ctz(d);
+            kind = Kind::Shift;
+            return;
+        }
+        magic = ~std::uint64_t(0) / d + 1; // floor(2^64/d) + 1
+        const std::uint64_t err =
+            magic * d; // == m*d - 2^64 (mod 2^64), the e above
+        const bool exact =
+            static_cast<unsigned __int128>(err) * max_dividend <
+            (static_cast<unsigned __int128>(1) << 64);
+        kind = exact ? Kind::Magic : Kind::Divide;
+    }
+
+    std::uint64_t
+    operator()(std::uint64_t n) const
+    {
+        switch (kind) {
+          case Kind::Shift:
+            return n >> shift;
+          case Kind::Magic:
+            return static_cast<std::uint64_t>(
+                (static_cast<unsigned __int128>(magic) * n) >> 64);
+          default:
+            return n / d;
+        }
+    }
+
+    std::uint64_t divisor() const { return d; }
+
+    /** n % d, sharing the fast quotient. */
+    std::uint64_t mod(std::uint64_t n) const { return n - (*this)(n)*d; }
+
+  private:
+    enum class Kind : std::uint8_t { Divide, Shift, Magic };
+
+    static std::uint32_t
+    ctz(std::uint64_t v)
+    {
+        std::uint32_t s = 0;
+        while (!(v & 1)) {
+            v >>= 1;
+            ++s;
+        }
+        return s;
+    }
+
+    std::uint64_t d = 1;
+    std::uint64_t magic = 0;
+    std::uint32_t shift = 0;
+    Kind kind = Kind::Shift;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_FAST_DIV_HH

@@ -1,0 +1,85 @@
+#include "util/worker_band.hh"
+
+namespace zombie
+{
+
+WorkerBand::WorkerBand(unsigned extra_workers)
+    : nExecutors(extra_workers + 1)
+{
+    threads.reserve(extra_workers);
+    for (unsigned id = 0; id < extra_workers; ++id)
+        threads.emplace_back([this, id] { workerLoop(id); });
+}
+
+WorkerBand::~WorkerBand()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &t : threads)
+        t.join();
+}
+
+void
+WorkerBand::run(TaskFn run_fn, void *run_ctx, unsigned run_shards)
+{
+    if (threads.empty() || run_shards <= 1) {
+        for (unsigned s = 0; s < run_shards; ++s)
+            run_fn(run_ctx, s);
+        return;
+    }
+    const unsigned stride = executors();
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        fn = run_fn;
+        ctx = run_ctx;
+        shards = run_shards;
+        pendingWorkers = static_cast<unsigned>(threads.size());
+        ++generation;
+    }
+    wake.notify_all();
+    // The caller is executor 0 and works its share while the band
+    // runs; the join below is the epoch barrier the sharded flash
+    // phase relies on.
+    for (unsigned s = 0; s < run_shards; s += stride)
+        run_fn(run_ctx, s);
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [this] { return pendingWorkers == 0; });
+}
+
+void
+WorkerBand::workerLoop(unsigned id)
+{
+    std::uint64_t seen = 0;
+    const unsigned stride = executors();
+    for (;;) {
+        TaskFn task;
+        void *task_ctx;
+        unsigned task_shards;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wake.wait(lock, [this, seen] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            task = fn;
+            task_ctx = ctx;
+            task_shards = shards;
+        }
+        for (unsigned s = id + 1; s < task_shards; s += stride)
+            task(task_ctx, s);
+        bool last;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            last = --pendingWorkers == 0;
+        }
+        if (last)
+            done.notify_one();
+    }
+}
+
+} // namespace zombie

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Persistent worker band for the channel-sharded flash phase.
+ *
+ * Unlike ThreadPool (futures + heap-allocated tasks, built for the
+ * experiment harness), a WorkerBand dispatches one plain function
+ * pointer to a fixed set of long-lived workers with zero allocation
+ * per run: the simulator's steady-state request path must stay
+ * allocation-free (DESIGN.md section 7.10) even when GC bursts fan
+ * out across channel shards thousands of times per second.
+ *
+ * run(fn, ctx, shards) executes fn(ctx, s) for every shard s in
+ * [0, shards) and returns when all calls finished. The calling
+ * thread is executor 0 and always participates; shard s runs on
+ * executor s % executors(). Shards must touch disjoint state — the
+ * band provides a completion barrier, not any ordering between
+ * shards of the same run.
+ */
+
+#ifndef ZOMBIE_UTIL_WORKER_BAND_HH
+#define ZOMBIE_UTIL_WORKER_BAND_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zombie
+{
+
+/** Fixed band of workers; allocation-free fan-out/join per run. */
+class WorkerBand
+{
+  public:
+    /** Shard body: called once per assigned shard. */
+    using TaskFn = void (*)(void *ctx, unsigned shard);
+
+    /**
+     * @param extra_workers worker threads to spawn in addition to
+     * the calling thread (0 makes run() purely inline).
+     */
+    explicit WorkerBand(unsigned extra_workers);
+
+    /** Joins the workers (any in-flight run must have returned). */
+    ~WorkerBand();
+
+    WorkerBand(const WorkerBand &) = delete;
+    WorkerBand &operator=(const WorkerBand &) = delete;
+
+    /** Total executors: the spawned workers plus the caller. */
+    unsigned executors() const { return nExecutors; }
+
+    /**
+     * Execute fn(ctx, s) for all s in [0, shards), the caller
+     * handling executor 0's share, and join. Not reentrant: one run
+     * at a time per band.
+     */
+    void run(TaskFn fn, void *ctx, unsigned shards);
+
+  private:
+    void workerLoop(unsigned id);
+
+    /** Worker count + 1, frozen before any worker starts (workers
+     *  derive their shard stride from it while the constructor may
+     *  still be appending to `threads`). */
+    unsigned nExecutors;
+
+    std::vector<std::thread> threads;
+    std::mutex mutex;
+    std::condition_variable wake;
+    std::condition_variable done;
+
+    /** Bumped per run(); workers run every generation once. */
+    std::uint64_t generation = 0;
+    unsigned pendingWorkers = 0;
+    TaskFn fn = nullptr;
+    void *ctx = nullptr;
+    unsigned shards = 0;
+    bool stopping = false;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_WORKER_BAND_HH

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Differential test pinning the SoA bitmap flash state (DESIGN.md
+ * section 7.14) to a straightforward array-of-structs reference
+ * model. 100k seeded random operations drive both implementations;
+ * every page state, per-block counter, census total and scan cursor
+ * must agree at every step — the refactor changed the layout, never
+ * the semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/flash_array.hh"
+#include "util/random.hh"
+
+namespace zombie
+{
+namespace
+{
+
+/** One struct per page / block: the obviously-correct layout. */
+class ReferenceArray
+{
+  public:
+    explicit ReferenceArray(const Geometry &geom)
+        : geom_(geom), pages(geom.totalPages()),
+          blocks(geom.totalBlocks())
+    {
+    }
+
+    struct Page
+    {
+        PageState state = PageState::Free;
+        std::uint8_t popularity = 0;
+    };
+
+    Ppn
+    programPage(std::uint64_t block)
+    {
+        BlockInfo &blk = blocks[block];
+        const Ppn ppn = block * geom_.pagesPerBlock() + blk.writePtr;
+        pages[ppn].state = PageState::Valid;
+        ++blk.writePtr;
+        ++blk.validCount;
+        return ppn;
+    }
+
+    void
+    invalidatePage(Ppn ppn, std::uint8_t popularity)
+    {
+        pages[ppn].state = PageState::Invalid;
+        pages[ppn].popularity = popularity;
+        BlockInfo &blk = blocks[geom_.blockOfPpn(ppn)];
+        --blk.validCount;
+        ++blk.invalidCount;
+        blk.garbagePopularity += popularity;
+    }
+
+    void
+    revivePage(Ppn ppn)
+    {
+        BlockInfo &blk = blocks[geom_.blockOfPpn(ppn)];
+        blk.garbagePopularity -= pages[ppn].popularity;
+        pages[ppn].state = PageState::Valid;
+        pages[ppn].popularity = 0;
+        ++blk.validCount;
+        --blk.invalidCount;
+    }
+
+    void
+    eraseBlock(std::uint64_t block)
+    {
+        BlockInfo &blk = blocks[block];
+        const Ppn base = block * geom_.pagesPerBlock();
+        for (std::uint32_t p = 0; p < geom_.pagesPerBlock(); ++p)
+            pages[base + p] = Page{};
+        const std::uint32_t erases = blk.eraseCount + 1;
+        blk = BlockInfo{};
+        blk.eraseCount = erases;
+    }
+
+    std::uint32_t
+    nextWithState(std::uint64_t block, std::uint32_t from,
+                  PageState want) const
+    {
+        const Ppn base = block * geom_.pagesPerBlock();
+        for (std::uint32_t p = from; p < geom_.pagesPerBlock(); ++p) {
+            if (pages[base + p].state == want)
+                return p;
+        }
+        return geom_.pagesPerBlock();
+    }
+
+    const Page &page(Ppn ppn) const { return pages[ppn]; }
+    const BlockInfo &block(std::uint64_t b) const { return blocks[b]; }
+
+    std::uint32_t
+    maxEraseCount() const
+    {
+        std::uint32_t m = 0;
+        for (const BlockInfo &blk : blocks)
+            m = std::max(m, blk.eraseCount);
+        return m;
+    }
+
+  private:
+    Geometry geom_;
+    std::vector<Page> pages;
+    std::vector<BlockInfo> blocks;
+};
+
+/** Full-state comparison, block counters and both scan cursors. */
+void
+expectEquivalent(const FlashArray &soa, const ReferenceArray &ref,
+                 const Geometry &geom)
+{
+    std::uint64_t free_pages = 0, valid_pages = 0, invalid_pages = 0;
+    for (Ppn ppn = 0; ppn < geom.totalPages(); ++ppn) {
+        const PageState state = ref.page(ppn).state;
+        ASSERT_EQ(soa.state(ppn), state) << "ppn " << ppn;
+        switch (state) {
+          case PageState::Free:
+            ++free_pages;
+            break;
+          case PageState::Valid:
+            ++valid_pages;
+            break;
+          case PageState::Invalid:
+            ++invalid_pages;
+            ASSERT_EQ(soa.garbagePopularity(ppn),
+                      ref.page(ppn).popularity)
+                << "ppn " << ppn;
+            break;
+        }
+    }
+    ASSERT_EQ(soa.totalFreePages(), free_pages);
+    ASSERT_EQ(soa.totalValidPages(), valid_pages);
+    ASSERT_EQ(soa.totalInvalidPages(), invalid_pages);
+    ASSERT_EQ(soa.maxEraseCount(), ref.maxEraseCount());
+
+    for (std::uint64_t b = 0; b < geom.totalBlocks(); ++b) {
+        const BlockInfo got = soa.block(b);
+        const BlockInfo &want = ref.block(b);
+        ASSERT_EQ(got.writePtr, want.writePtr) << "block " << b;
+        ASSERT_EQ(got.validCount, want.validCount) << "block " << b;
+        ASSERT_EQ(got.invalidCount, want.invalidCount)
+            << "block " << b;
+        ASSERT_EQ(got.eraseCount, want.eraseCount) << "block " << b;
+        ASSERT_EQ(got.garbagePopularity, want.garbagePopularity)
+            << "block " << b;
+        // Scan cursors from every starting offset: word-boundary
+        // masking bugs hide at from % 64 != 0.
+        for (std::uint32_t from = 0; from <= geom.pagesPerBlock();
+             from += 3) {
+            ASSERT_EQ(soa.nextValidPage(b, from),
+                      ref.nextWithState(b, from, PageState::Valid))
+                << "block " << b << " from " << from;
+            ASSERT_EQ(soa.nextInvalidPage(b, from),
+                      ref.nextWithState(b, from, PageState::Invalid))
+                << "block " << b << " from " << from;
+        }
+    }
+}
+
+TEST(FlashArrayReference, RandomOpsMatchReferenceModel)
+{
+    // 2 channels, small blocks of 96 pages: page indices straddle a
+    // word boundary, exercising the masked first/last-word paths.
+    const Geometry geom(2, 1, 1, 2, 4, 96);
+    FlashArray soa(geom);
+    ReferenceArray ref(geom);
+    Xoshiro256 rng(20260808);
+
+    constexpr std::uint64_t kOps = 100'000;
+    for (std::uint64_t op = 0; op < kOps; ++op) {
+        const std::uint64_t block =
+            rng.nextBounded(geom.totalBlocks());
+        switch (rng.nextBounded(4)) {
+          case 0: // program the block's next page if it has room
+            if (soa.blockHasRoom(block)) {
+                const Ppn got = soa.programPage(block);
+                ASSERT_EQ(got, ref.programPage(block));
+            }
+            break;
+          case 1: { // invalidate a random valid page of the block
+            const std::uint32_t page = ref.nextWithState(
+                block,
+                static_cast<std::uint32_t>(
+                    rng.nextBounded(geom.pagesPerBlock())),
+                PageState::Valid);
+            if (page < geom.pagesPerBlock()) {
+                const Ppn ppn =
+                    block * geom.pagesPerBlock() + page;
+                const auto pop =
+                    static_cast<std::uint8_t>(rng.nextBounded(8));
+                soa.invalidatePage(ppn, pop);
+                ref.invalidatePage(ppn, pop);
+            }
+            break;
+          }
+          case 2: { // revive a random garbage page of the block
+            const std::uint32_t page = ref.nextWithState(
+                block,
+                static_cast<std::uint32_t>(
+                    rng.nextBounded(geom.pagesPerBlock())),
+                PageState::Invalid);
+            if (page < geom.pagesPerBlock()) {
+                const Ppn ppn =
+                    block * geom.pagesPerBlock() + page;
+                soa.revivePage(ppn);
+                ref.revivePage(ppn);
+            }
+            break;
+          }
+          case 3: // erase once no valid page remains
+            if (ref.block(block).validCount == 0 &&
+                ref.block(block).writePtr > 0) {
+                soa.eraseBlock(block);
+                ref.eraseBlock(block);
+            }
+            break;
+        }
+        // Full sweeps are O(array); sample them.
+        if (op % 5000 == 0)
+            expectEquivalent(soa, ref, geom);
+    }
+    expectEquivalent(soa, ref, geom);
+}
+
+TEST(FlashArrayReference, ScanCursorsOnWordBoundaryBlock)
+{
+    // 256 pages per block: exactly four bitmap words per block.
+    const Geometry geom(1, 1, 1, 1, 2, 256);
+    FlashArray soa(geom);
+    ReferenceArray ref(geom);
+    Xoshiro256 rng(99);
+
+    for (std::uint32_t p = 0; p < 256; ++p) {
+        soa.programPage(0);
+        ref.programPage(0);
+        if (rng.nextBounded(2) == 0) {
+            soa.invalidatePage(p, 1);
+            ref.invalidatePage(p, 1);
+        }
+    }
+    for (std::uint32_t from = 0; from <= 256; ++from) {
+        ASSERT_EQ(soa.nextValidPage(0, from),
+                  ref.nextWithState(0, from, PageState::Valid))
+            << "from " << from;
+        ASSERT_EQ(soa.nextInvalidPage(0, from),
+                  ref.nextWithState(0, from, PageState::Invalid))
+            << "from " << from;
+    }
+}
+
+} // namespace
+} // namespace zombie

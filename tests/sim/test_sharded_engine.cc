@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Differential pin for the channel-sharded flash phase (DESIGN.md
+ * section 7.14): every observable of a sharded run must equal the
+ * serial run byte-for-byte — sharding is an execution strategy, never
+ * a model change. Cells cover queue depths, seeds, multi-tenant
+ * frontends and a GC-pressure config whose relocation bursts exceed
+ * the sharding threshold, so the parallel path genuinely executes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+
+namespace zombie
+{
+namespace
+{
+
+/**
+ * Full-result equality: the formatted StatSet covers every reported
+ * stat (latency distributions included, printed at fixed precision),
+ * and the raw fields pin the exact tick/count values behind them.
+ */
+void
+expectIdentical(const SimResult &serial, const SimResult &sharded)
+{
+    EXPECT_EQ(serial.makespan, sharded.makespan);
+    EXPECT_EQ(serial.events, sharded.events);
+    EXPECT_EQ(serial.flashPrograms, sharded.flashPrograms);
+    EXPECT_EQ(serial.flashReads, sharded.flashReads);
+    EXPECT_EQ(serial.flashErases, sharded.flashErases);
+    EXPECT_EQ(serial.gcInvocations, sharded.gcInvocations);
+    EXPECT_EQ(serial.gcRelocations, sharded.gcRelocations);
+    EXPECT_EQ(serial.dvpRevivals, sharded.dvpRevivals);
+    EXPECT_EQ(serial.oooCompletions, sharded.oooCompletions);
+    EXPECT_EQ(serial.maxDieBacklog, sharded.maxDieBacklog);
+    EXPECT_EQ(serial.wear.maxErase, sharded.wear.maxErase);
+    EXPECT_DOUBLE_EQ(serial.wear.meanErase, sharded.wear.meanErase);
+    EXPECT_DOUBLE_EQ(serial.allLatency.mean(),
+                     sharded.allLatency.mean());
+    EXPECT_EQ(serial.allLatency.percentile(0.99),
+              sharded.allLatency.percentile(0.99));
+    EXPECT_EQ(serial.toStatSet().format(),
+              sharded.toStatSet().format());
+}
+
+TEST(ShardedEngine, MatchesSerialAcrossDepthsAndSeeds)
+{
+    for (const std::uint64_t seed : {7ull, 99ull}) {
+        for (const std::uint32_t depth : {1u, 4u, 32u}) {
+            ExperimentOptions opts;
+            opts.requests = 30'000;
+            opts.seed = seed;
+            opts.poolCapacity = 5'000;
+            opts.queueDepth = depth;
+            const SimResult serial =
+                runSystem(Workload::Mail, SystemKind::MqDvp, opts);
+            for (const std::uint32_t shards : {2u, 4u}) {
+                opts.shards = shards;
+                const SimResult sharded = runSystem(
+                    Workload::Mail, SystemKind::MqDvp, opts);
+                SCOPED_TRACE("seed " + std::to_string(seed) +
+                             " depth " + std::to_string(depth) +
+                             " shards " + std::to_string(shards));
+                expectIdentical(serial, sharded);
+            }
+            opts.shards = 1;
+        }
+    }
+}
+
+TEST(ShardedEngine, MatchesSerialUnderGcBursts)
+{
+    // A deep incremental-GC budget makes each collecting command
+    // carry dozens of relocation steps across several planes and
+    // channels — well past the scheduler's serial-fallback threshold,
+    // so this cell exercises the actual worker-band path.
+    ExperimentOptions opts;
+    opts.requests = 40'000;
+    opts.seed = 11;
+    opts.poolCapacity = 2'000;
+    opts.queueDepth = 8;
+    opts.tweak = [](SsdConfig &cfg) {
+        cfg.gcPagesPerStep = 24;
+        cfg.prefillFraction = 0.9;
+    };
+    const SimResult serial =
+        runSystem(Workload::Mail, SystemKind::MqDvp, opts);
+    ASSERT_GT(serial.gcRelocations, 500u);
+    for (const std::uint32_t shards : {2u, 4u, 8u}) {
+        opts.shards = shards;
+        const SimResult sharded =
+            runSystem(Workload::Mail, SystemKind::MqDvp, opts);
+        SCOPED_TRACE("shards " + std::to_string(shards));
+        expectIdentical(serial, sharded);
+    }
+}
+
+TEST(ShardedEngine, MatchesSerialMultiTenant)
+{
+    ExperimentOptions opts;
+    opts.requests = 30'000;
+    opts.seed = 5;
+    opts.poolCapacity = 4'000;
+    opts.queueDepth = 16;
+    opts.tenants = 3;
+    opts.arbiter = "wrr:4,2,1";
+    const SimResult serial =
+        runSystem(Workload::Mail, SystemKind::MqDvp, opts);
+    opts.shards = 4;
+    const SimResult sharded =
+        runSystem(Workload::Mail, SystemKind::MqDvp, opts);
+    ASSERT_EQ(sharded.tenants, 3u);
+    expectIdentical(serial, sharded);
+    for (std::uint32_t t = 0; t < 3; ++t) {
+        SCOPED_TRACE("tenant " + std::to_string(t));
+        EXPECT_EQ(serial.tenantResults[t].submitted,
+                  sharded.tenantResults[t].submitted);
+        EXPECT_EQ(serial.tenantResults[t].gcCollateralTicks,
+                  sharded.tenantResults[t].gcCollateralTicks);
+        EXPECT_DOUBLE_EQ(
+            serial.tenantResults[t].writeLatency.mean(),
+            sharded.tenantResults[t].writeLatency.mean());
+    }
+}
+
+TEST(ShardedEngine, TracerForcesSerialAndStaysIdentical)
+{
+    // With an op tracer attached the scheduler must fall back to
+    // serial issue (spans record in issue order); results still
+    // match a run without the tracer.
+    ExperimentOptions opts;
+    opts.requests = 10'000;
+    opts.seed = 3;
+    opts.poolCapacity = 2'000;
+    const SimResult plain =
+        runSystem(Workload::Mail, SystemKind::MqDvp, opts);
+    opts.shards = 4;
+    opts.tweak = [](SsdConfig &cfg) { cfg.opTrace = true; };
+    const SimResult traced =
+        runSystem(Workload::Mail, SystemKind::MqDvp, opts);
+    expectIdentical(plain, traced);
+}
+
+} // namespace
+} // namespace zombie
