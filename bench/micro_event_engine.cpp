@@ -1,16 +1,27 @@
 /**
  * @file
  * Microbenchmarks (google-benchmark) for the typed event engine: raw
- * schedule/dispatch throughput and the heap behaviour under the
- * controller-like pattern of chained rescheduling. These are the
- * per-event constants behind the simulator's events/sec figure.
+ * schedule/dispatch throughput, the heap behaviour under the
+ * controller-like pattern of chained rescheduling, and the epoch
+ * engine's channel-lane drain. These are the per-event constants
+ * behind the simulator's events/sec figure.
+ *
+ * After the microbenches, a real simulation cell (mail on MQ-DVP)
+ * runs once per engine strategy and reports the per-kind dispatch
+ * histogram plus the epoch-occupancy profile — the two numbers that
+ * explain where `--engine=epoch` gets its speedup: the share of
+ * events that are channel-local, and how many of them each serial
+ * horizon ride covers.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
 
-#include "sim/event.hh"
+#include "bench_common.hh"
+#include "sim/ssd.hh"
+#include "trace/generator.hh"
 #include "util/alloc_counter.hh"
 #include "util/random.hh"
 
@@ -53,6 +64,38 @@ BM_ScheduleDrain(benchmark::State &state)
         for (std::uint64_t i = 0; i < n; ++i) {
             engine.schedule(base + 1 + rng.nextBounded(1024),
                             EventKind::FlashDone, 0, 0);
+        }
+        engine.run();
+        benchmark::DoNotOptimize(sink.count);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(n));
+}
+
+/**
+ * Epoch-engine counterpart of BM_ScheduleDrain: the same scattered
+ * batch, but channel-local and drained through the per-channel lanes
+ * and the k-way commit merge instead of the global heap.
+ */
+void
+BM_EpochScheduleDrain(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    constexpr std::uint32_t kChannels = 8;
+    EventEngine engine;
+    CountingSink sink;
+    engine.setSink(&sink);
+    engine.configureEpoch(kChannels, nullptr, 1);
+    engine.reserve(n);
+    Xoshiro256 rng(11);
+
+    for (auto _ : state) {
+        const Tick base = engine.now();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            engine.scheduleLocal(
+                base + 1 + rng.nextBounded(1024),
+                EventKind::FlashDone, 0, 0,
+                static_cast<std::uint32_t>(i % kChannels));
         }
         engine.run();
         benchmark::DoNotOptimize(sink.count);
@@ -123,10 +166,117 @@ BM_SteadyStateAllocs(benchmark::State &state)
                             static_cast<std::int64_t>(n));
 }
 
+const char *
+kindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::HostArrival:  return "HostArrival";
+      case EventKind::Admit:        return "Admit";
+      case EventKind::DispatchDone: return "DispatchDone";
+      case EventKind::FlashDone:    return "FlashDone";
+      case EventKind::GcTail:       return "GcTail";
+      case EventKind::StatsSample:  return "StatsSample";
+    }
+    return "?";
+}
+
+/** Affinity class of a kind under the epoch split (DESIGN.md 7.15). */
+const char *
+kindAffinity(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::HostArrival:
+      case EventKind::Admit:
+      case EventKind::DispatchDone:
+        return "global";
+      default:
+        return "channel";
+    }
+}
+
+/**
+ * Run mail on MQ-DVP once with the given engine strategy and report
+ * the dispatch histogram and (for epoch mode) epoch occupancy.
+ */
+void
+reportRealCell(EngineMode mode, std::uint64_t requests)
+{
+    const WorkloadProfile profile =
+        WorkloadProfile::preset(Workload::Mail, 1, requests, 42);
+    SsdConfig cfg = SsdConfig::forProfile(profile, SystemKind::MqDvp);
+    cfg.mq.capacity = 5'000;
+    cfg.queueDepth = 8;
+    cfg.engineMode = mode;
+
+    Ssd ssd(cfg);
+    ssd.prefill();
+    ssd.run(SyntheticTraceGenerator(profile).generateAll());
+    const SimResult result = ssd.result();
+    const EventEngine &engine = ssd.events();
+
+    std::printf("\ndispatch histogram (%s engine, mail/mq-dvp, "
+                "%llu requests):\n",
+                toString(mode).c_str(),
+                static_cast<unsigned long long>(requests));
+    TextTable table({"kind", "affinity", "dispatched", "share"});
+    const double total = static_cast<double>(result.events);
+    for (std::uint32_t k = 0; k < kNumEventKinds; ++k) {
+        const auto kind = static_cast<EventKind>(k);
+        const std::uint64_t n = engine.dispatchedOfKind(kind);
+        table.addRow({kindName(kind), kindAffinity(kind),
+                      std::to_string(n),
+                      TextTable::pct(total > 0.0
+                                         ? static_cast<double>(n) /
+                                               total
+                                         : 0.0)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    if (mode == EngineMode::Epoch) {
+        const double epochs =
+            static_cast<double>(engine.epochs());
+        std::printf("\nepoch occupancy: %llu epochs, %llu "
+                    "speculated events (%.2f per epoch, max span "
+                    "%llu), %llu rolled back\n",
+                    static_cast<unsigned long long>(engine.epochs()),
+                    static_cast<unsigned long long>(
+                        engine.speculatedEvents()),
+                    epochs > 0.0
+                        ? static_cast<double>(
+                              engine.speculatedEvents()) / epochs
+                        : 0.0,
+                    static_cast<unsigned long long>(
+                        engine.maxEpochSpan()),
+                    static_cast<unsigned long long>(
+                        engine.rolledBackEpochs()));
+    }
+}
+
 } // namespace
 
 BENCHMARK(BM_ScheduleDrain)->Arg(64)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_EpochScheduleDrain)->Arg(64)->Arg(4096)->Arg(65536);
 BENCHMARK(BM_ChainedDispatch)->Arg(1)->Arg(32);
 BENCHMARK(BM_SteadyStateAllocs);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    reportRealCell(EngineMode::Serial, 30'000);
+    reportRealCell(EngineMode::Epoch, 30'000);
+
+    bench::paperShape(
+        "every flash completion (FlashDone, GcTail, and StatsSample "
+        "when sampling) is channel-local, so the epoch engine "
+        "speculates that whole slice of the mix off the serial "
+        "spine; occupancy above 1 event/epoch with rare rollbacks "
+        "is what turns into the events/sec gain, and both engines' "
+        "histograms match exactly (byte-identical execution).");
+    return 0;
+}

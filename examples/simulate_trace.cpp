@@ -9,6 +9,7 @@
  *   ./simulate_trace --trace /tmp/mail.trc --system ideal
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
@@ -42,6 +43,12 @@ main(int argc, char **argv)
     args.addOption("shards", "1",
                    "flash-phase shards (channel-parallel GC issue; "
                    "byte-identical to 1)");
+    args.addOption("engine", "serial",
+                   "event-engine strategy: serial | epoch "
+                   "(byte-identical results)");
+    args.addOption("wall-json", "",
+                   "write wall-clock/throughput JSON (events, "
+                   "events/s, epoch + shard counters)");
     args.addOption("tenants", "1",
                    "tenant count; >1 splits a generated workload "
                    "into per-namespace streams");
@@ -108,6 +115,7 @@ main(int argc, char **argv)
     cfg.queueDepth =
         static_cast<std::uint32_t>(args.getUint("queue-depth"));
     cfg.shards = static_cast<std::uint32_t>(args.getUint("shards"));
+    cfg.engineMode = engineModeFromString(args.getString("engine"));
     cfg.tenants = tenants;
     const ArbiterSpec arb = parseArbiterSpec(args.getString("arbiter"));
     cfg.arbiter = arb.kind;
@@ -129,8 +137,13 @@ main(int argc, char **argv)
                     .c_str());
 
     Ssd ssd(cfg);
+    const auto wall_start = std::chrono::steady_clock::now();
     ssd.run(records);
     const SimResult result = ssd.result();
+    const double wall_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
     std::printf("%s", result.toStatSet().format().c_str());
 
     if (result.tenants > 1) {
@@ -191,6 +204,47 @@ main(int argc, char **argv)
     });
     write_to(args.getString("dump-stats"), [&ssd](std::ostream &os) {
         ssd.statRegistry().dump(os);
+    });
+    // Wall-clock/throughput record for the single-trace probe. The
+    // execution-strategy counters make silent fallbacks visible: a
+    // sharded run with sharded_bursts == 0 or an epoch run with
+    // epochs == 0 got no parallel/speculative work at all.
+    write_to(args.getString("wall-json"), [&](std::ostream &os) {
+        const auto u64 = [](std::uint64_t v) {
+            return static_cast<unsigned long long>(v);
+        };
+        char buf[768];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\n"
+            "  \"trace\": \"%s\",\n"
+            "  \"requests\": %llu,\n"
+            "  \"engine\": \"%s\",\n"
+            "  \"shards\": %llu,\n"
+            "  \"wall_s\": %.3f,\n"
+            "  \"reqs_per_s\": %.1f,\n"
+            "  \"events\": %llu,\n"
+            "  \"events_per_s\": %.1f,\n"
+            "  \"epochs\": %llu,\n"
+            "  \"rolled_back_epochs\": %llu,\n"
+            "  \"speculated_events\": %llu,\n"
+            "  \"sharded_bursts\": %llu,\n"
+            "  \"serial_forced\": %llu\n"
+            "}\n",
+            label.c_str(), u64(result.requests),
+            toString(cfg.engineMode).c_str(), u64(cfg.shards),
+            wall_s,
+            wall_s > 0.0 ? static_cast<double>(result.requests) /
+                               wall_s
+                         : 0.0,
+            u64(result.events),
+            wall_s > 0.0 ? static_cast<double>(result.events) /
+                               wall_s
+                         : 0.0,
+            u64(result.epochs), u64(result.rolledBackEpochs),
+            u64(result.speculatedEvents), u64(result.shardedBursts),
+            u64(result.serialForcedBursts));
+        os << buf;
     });
     return 0;
 }

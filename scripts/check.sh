@@ -99,6 +99,44 @@ for preset in $presets; do
         > "$bindir/sharded.smoke.txt"
     diff -u "$bindir/sharded.serial.txt" "$bindir/sharded.smoke.txt"
 
+    # Epoch-engine differential: the speculative per-channel lanes
+    # must also reproduce the serial run byte-for-byte, alone and
+    # stacked on the sharded flash phase (the worker band then runs
+    # both the parallel drain and the GC issue — the tsan preset
+    # makes this the race probe for the epoch machinery). The third
+    # cell arms the sampler at a boundary short enough that mid-epoch
+    # StatsSample re-arms force genuine speculation rollbacks.
+    echo "==> epoch differential [$preset]"
+    "$bindir"/examples/simulate_trace --workload mail --system dvp \
+        --requests 100000 --seed 42 --queue-depth 8 --engine epoch \
+        > "$bindir/epoch.smoke.txt"
+    diff -u "$bindir/sharded.serial.txt" "$bindir/epoch.smoke.txt"
+    "$bindir"/examples/simulate_trace --workload mail --system dvp \
+        --requests 100000 --seed 42 --queue-depth 8 --engine epoch \
+        --shards 4 > "$bindir/epoch.sharded.smoke.txt"
+    diff -u "$bindir/sharded.serial.txt" \
+        "$bindir/epoch.sharded.smoke.txt"
+    "$bindir"/examples/simulate_trace --workload mail --system dvp \
+        --requests 20000 --seed 42 --stats-interval 100 \
+        > "$bindir/epoch.rollback.serial.txt"
+    "$bindir"/examples/simulate_trace --workload mail --system dvp \
+        --requests 20000 --seed 42 --stats-interval 100 \
+        --engine epoch --wall-json "$bindir/epoch.rollback.json" \
+        > "$bindir/epoch.rollback.txt"
+    grep -v '^wrote ' "$bindir/epoch.rollback.txt" \
+        > "$bindir/epoch.rollback.filtered.txt"
+    diff -u "$bindir/epoch.rollback.serial.txt" \
+        "$bindir/epoch.rollback.filtered.txt"
+    awk '/"rolled_back_epochs":/ {
+            v = $0; sub(/.*"rolled_back_epochs": /, "", v)
+            sub(/[^0-9].*/, "", v)
+            printf "    rolled-back epochs: %d\n", v
+            if (v + 0 == 0) {
+                print "FATAL: rollback cell rolled nothing back"
+                exit 1
+            }
+        }' "$bindir/epoch.rollback.json"
+
     # Single-trace latency guard (default preset only): best-of-1
     # probe of the committed 1M-request cell, warning (non-fatally,
     # like the harness guard below) when the serial requests/sec
@@ -113,7 +151,7 @@ for preset in $presets; do
                 v = $0; sub(/.*"reqs_per_s": /, "", v)
                 sub(/[^0-9.].*/, "", v)
                 if (!(file in rate))
-                    rate[file] = v
+                    rate[file] = v + 0
             }
             END {
                 printf "    serial reqs/s: now %.0f, committed %.0f\n", \
@@ -140,7 +178,7 @@ for preset in $presets; do
             /"events_per_s":/ && !(file in rate) {
                 v = $0; sub(/.*"events_per_s": /, "", v)
                 sub(/[^0-9.].*/, "", v)
-                rate[file] = v
+                rate[file] = v + 0
             }
             END {
                 printf "    events/s: now %.0f, committed %.0f\n", \

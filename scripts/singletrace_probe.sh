@@ -1,8 +1,9 @@
 #!/bin/sh
-# Single-trace latency probe (DESIGN.md section 7.14): time the
-# 1M-request mail/dvp cell through simulate_trace — serial and with
-# the channel-sharded flash phase — byte-diff the sharded stdout
-# against the serial stdout, and write the wall-clock record.
+# Single-trace latency probe (DESIGN.md sections 7.14/7.15): time the
+# 1M-request mail/dvp cell through simulate_trace — serial, with the
+# channel-sharded flash phase, and with the epoch-sharded event
+# engine — byte-diff each variant's stdout against the serial stdout,
+# and write the wall-clock record.
 #
 #   scripts/singletrace_probe.sh                 # refresh baseline
 #   BINDIR=build-x OUT=/tmp/p.json RUNS=1 scripts/singletrace_probe.sh
@@ -21,8 +22,9 @@ runs="${RUNS:-3}"
 out="${OUT:-BENCH_singletrace.json}"
 scratch="${SCRATCH:-$bindir}"
 
-# Best-of-$runs wall seconds for one shard count; stdout of the last
-# run lands in $2 for the byte-identity diff below.
+# Best-of-$runs wall seconds for one (engine, shards) cell; stdout
+# of the last run lands in $3 for the byte-identity diff below, and
+# its wall-clock JSON (event count, engine counters) in $3.wall.json.
 time_cell() {
     best=""
     i=0
@@ -30,7 +32,8 @@ time_cell() {
         start="$(date +%s.%N)"
         "$bindir"/examples/simulate_trace --workload mail \
             --system dvp --requests "$requests" --seed 42 \
-            --shards "$1" > "$2"
+            --engine "$1" --shards "$2" \
+            --wall-json "$3.wall.json" > "$3"
         end="$(date +%s.%N)"
         best="$(awk -v a="$start" -v b="$end" -v best="${best:-0}" \
             'BEGIN { w = b - a
@@ -40,29 +43,55 @@ time_cell() {
     echo "$best"
 }
 
-echo "==> single-trace probe (requests=$requests runs=$runs)" >&2
-serial_s="$(time_cell 1 "$scratch/singletrace.serial.txt")"
-sharded_s="$(time_cell "$shards" "$scratch/singletrace.sharded.txt")"
+# Byte-identity: $1 must match the serial stdout except the trailing
+# "wrote <path>" line naming the per-cell wall-json.
+diff_cell() {
+    grep -v '^wrote ' "$scratch/singletrace.serial.txt" \
+        > "$scratch/singletrace.diff.a"
+    grep -v '^wrote ' "$1" > "$scratch/singletrace.diff.b"
+    if ! diff -u "$scratch/singletrace.diff.a" \
+        "$scratch/singletrace.diff.b"; then
+        echo "FATAL: $1 diverged from the serial run" >&2
+        exit 1
+    fi
+}
 
-# The sharded run must reproduce the serial run byte-for-byte; any
+echo "==> single-trace probe (requests=$requests runs=$runs)" >&2
+serial_s="$(time_cell serial 1 "$scratch/singletrace.serial.txt")"
+sharded_s="$(time_cell serial "$shards" \
+    "$scratch/singletrace.sharded.txt")"
+epoch_s="$(time_cell epoch 1 "$scratch/singletrace.epoch.txt")"
+
+# Every variant must reproduce the serial run byte-for-byte; any
 # drift is a determinism bug, not a tuning matter.
-diff -u "$scratch/singletrace.serial.txt" \
-    "$scratch/singletrace.sharded.txt"
+diff_cell "$scratch/singletrace.sharded.txt"
+diff_cell "$scratch/singletrace.epoch.txt"
+
+# Simulated event count (identical across variants — checked above).
+events="$(awk '/"events":/ { v = $0
+    sub(/.*"events": /, "", v); sub(/[^0-9].*/, "", v)
+    print v; exit }' "$scratch/singletrace.serial.txt.wall.json")"
 
 awk -v requests="$requests" -v shards="$shards" -v runs="$runs" \
-    -v serial="$serial_s" -v sharded="$sharded_s" '
+    -v events="$events" -v serial="$serial_s" \
+    -v sharded="$sharded_s" -v epoch="$epoch_s" '
 BEGIN {
     printf "{\n"
     printf "  \"generated_by\": \"scripts/singletrace_probe.sh\",\n"
     printf "  \"workload\": \"mail\",\n"
     printf "  \"system\": \"dvp\",\n"
     printf "  \"requests\": %d,\n", requests
+    printf "  \"events\": %d,\n", events
     printf "  \"runs_per_config\": %d,\n", runs
     printf "  \"serial\": {\"shards\": 1, \"wall_s\": %.3f, " \
-           "\"reqs_per_s\": %.1f},\n", serial, requests / serial
+           "\"reqs_per_s\": %.1f, \"events_per_s\": %.1f},\n", \
+           serial, requests / serial, events / serial
     printf "  \"sharded\": {\"shards\": %d, \"wall_s\": %.3f, " \
-           "\"reqs_per_s\": %.1f}\n", shards, sharded, \
-           requests / sharded
+           "\"reqs_per_s\": %.1f, \"events_per_s\": %.1f},\n", \
+           shards, sharded, requests / sharded, events / sharded
+    printf "  \"epoch\": {\"shards\": 1, \"wall_s\": %.3f, " \
+           "\"reqs_per_s\": %.1f, \"events_per_s\": %.1f}\n", \
+           epoch, requests / epoch, events / epoch
     printf "}\n"
 }' > "$out"
 

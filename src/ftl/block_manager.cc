@@ -152,23 +152,72 @@ BlockManager::nextUserPlane()
             // that minimum, then take the nearest-at-or-after-cursor
             // position among the dies that carry it — far cheaper
             // than gathering the load of all planes.
-            Tick min_load = dieLoad[0];
-            for (std::uint32_t d = 1; d < dieCount; ++d)
-                min_load = std::min(min_load, dieLoad[d]);
-            // Unwrapped positions (pos, or pos + n once wrapped) are
-            // all >= rrCursor, so their plain min is the rotated min.
-            std::uint64_t first_pos = 2 * n;
-            for (std::uint32_t d = 0; d < dieCount; ++d) {
-                if (dieLoad[d] != min_load)
-                    continue;
-                const auto &pos = diePositions[d];
-                const auto it = std::lower_bound(pos.begin(),
-                                                 pos.end(), rrCursor);
-                const std::uint64_t cand =
-                    it != pos.end() ? *it : pos.front() + n;
-                first_pos = std::min(first_pos, cand);
+            // With the group-min accelerator the minimum comes from
+            // the (dies / dieGroupSize)-entry group table, and only
+            // groups carrying it are descended into — the candidate
+            // die set and visit order are identical, so the choice
+            // is byte-identical to the flat scan.
+            Tick min_load;
+            if (dieGroupLoad) {
+                min_load = dieGroupLoad[0];
+                for (std::uint32_t g = 1; g < dieGroupCount; ++g)
+                    min_load = std::min(min_load, dieGroupLoad[g]);
+            } else {
+                min_load = dieLoad[0];
+                for (std::uint32_t d = 1; d < dieCount; ++d)
+                    min_load = std::min(min_load, dieLoad[d]);
             }
-            idx = first_pos >= n ? first_pos - n : first_pos;
+            // The sought position is the first one at or after the
+            // cursor (wrapping) whose die carries min_load. GC
+            // bursts leave whole burst's worth of dies with the
+            // same completion tick, so the minimum is usually
+            // carried by many dies and a short forward probe from
+            // the cursor finds it in a step or two. Probe a bounded
+            // window first; a sparse minimum falls back to the
+            // per-die candidate descent. Both compute the same
+            // position, so the choice is byte-identical either way.
+            bool found = false;
+            std::uint64_t probe = rrCursor;
+            for (std::uint32_t k = 0; k < kMinProbeWindow; ++k) {
+                if (dieLoad[orderDie[probe]] == min_load) {
+                    idx = probe;
+                    found = true;
+                    break;
+                }
+                if (++probe == n)
+                    probe = 0;
+            }
+            if (!found) {
+                // Unwrapped positions (pos, or pos + n once
+                // wrapped) are all >= rrCursor, so their plain min
+                // is the rotated min.
+                std::uint64_t first_pos = 2 * n;
+                auto consider = [&](std::uint32_t d) {
+                    if (dieLoad[d] != min_load)
+                        return;
+                    const auto &pos = diePositions[d];
+                    const auto it = std::lower_bound(
+                        pos.begin(), pos.end(), rrCursor);
+                    const std::uint64_t cand =
+                        it != pos.end() ? *it : pos.front() + n;
+                    first_pos = std::min(first_pos, cand);
+                };
+                if (dieGroupLoad) {
+                    for (std::uint32_t g = 0; g < dieGroupCount;
+                         ++g) {
+                        if (dieGroupLoad[g] != min_load)
+                            continue;
+                        const std::uint32_t base = g * dieGroupSize;
+                        for (std::uint32_t d = base;
+                             d < base + dieGroupSize; ++d)
+                            consider(d);
+                    }
+                } else {
+                    for (std::uint32_t d = 0; d < dieCount; ++d)
+                        consider(d);
+                }
+                idx = first_pos >= n ? first_pos - n : first_pos;
+            }
             if (++rrCursor == n)
                 rrCursor = 0;
             return planeOrder[idx];
@@ -238,6 +287,25 @@ BlockManager::setDieLoadView(const Tick *die_busy,
         list.reserve(planes_per_die);
     for (std::uint32_t i = 0; i < orderDie.size(); ++i)
         diePositions[orderDie[i]].push_back(i);
+}
+
+void
+BlockManager::setDieLoadGroups(const Tick *group_min,
+                               std::uint32_t dies_per_group)
+{
+    if (!group_min) {
+        dieGroupLoad = nullptr;
+        dieGroupSize = 0;
+        dieGroupCount = 0;
+        return;
+    }
+    zombie_assert(dieLoad, "die-load groups need a die-load view");
+    zombie_assert(dies_per_group > 0 &&
+                      dieCount % dies_per_group == 0,
+                  "group size must tile the die table");
+    dieGroupLoad = group_min;
+    dieGroupSize = dies_per_group;
+    dieGroupCount = dieCount / dies_per_group;
 }
 
 std::uint64_t

@@ -69,6 +69,19 @@ class BlockManager
                         std::uint32_t planes_per_die);
 
     /**
+     * Optional accelerator over the die-load view: @p group_min is
+     * the resource model's per-group busy-until minima table
+     * (ResourceModel::dieGroupMinTable()), covering
+     * @p dies_per_group consecutive dies per entry. The least-busy
+     * scan then reads the group table and descends only into groups
+     * that carry the global minimum — same plane choice, same
+     * tie-break, a fraction of the memory touched. Pass nullptr to
+     * remove. Requires a die-load view to be installed.
+     */
+    void setDieLoadGroups(const Tick *group_min,
+                          std::uint32_t dies_per_group);
+
+    /**
      * Program one page on @p plane through the given write stream.
      * Panics if the plane is out of free blocks — the GC
      * policy/thresholds must prevent that.
@@ -249,6 +262,21 @@ class BlockManager
     const Tick *dieLoad = nullptr;
     std::uint32_t dieLoadPlanesPerDie = 1;
     std::uint32_t dieCount = 0;          //!< entries in dieLoad
+
+    /**
+     * Forward-probe window for the min-load position search: when
+     * the minimum is carried by many dies (GC bursts synchronize
+     * whole channels' completions), the first matching position sits
+     * a step or two past the cursor; a sparse minimum exhausts the
+     * window and falls back to the candidate descent.
+     */
+    static constexpr std::uint32_t kMinProbeWindow = 32;
+
+    /** Per-group die-load minima (see setDieLoadGroups); null
+     *  disables the group descent. */
+    const Tick *dieGroupLoad = nullptr;
+    std::uint32_t dieGroupSize = 0;      //!< dies per group entry
+    std::uint32_t dieGroupCount = 0;     //!< entries in dieGroupLoad
     std::vector<std::uint32_t> planeDie; //!< plane -> dieLoad index
 
     /** planeOrder position -> dieLoad index, so the rotated argmin

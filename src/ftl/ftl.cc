@@ -62,6 +62,13 @@ Ftl::setDieLoadView(const Tick *die_busy, std::uint32_t planes_per_die)
 }
 
 void
+Ftl::setDieLoadGroups(const Tick *group_min,
+                      std::uint32_t dies_per_group)
+{
+    blockMgr.setDieLoadGroups(group_min, dies_per_group);
+}
+
+void
 Ftl::invalidateLpn(Lpn lpn)
 {
     const Ppn old_ppn = map.ppnOf(lpn);

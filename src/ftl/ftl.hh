@@ -191,6 +191,11 @@ class Ftl
     void setDieLoadView(const Tick *die_busy,
                         std::uint32_t planes_per_die);
 
+    /** Group-min accelerator for the die-load view (see
+     *  BlockManager::setDieLoadGroups). */
+    void setDieLoadGroups(const Tick *group_min,
+                          std::uint32_t dies_per_group);
+
     /**
      * Service a host write of content @p fp to @p lpn, appending the
      * flash work to the caller-owned @p steps (cleared on entry).

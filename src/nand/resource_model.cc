@@ -16,6 +16,15 @@ ResourceModel::ResourceModel(const Geometry &geometry,
       dieBusyTotal(geom.totalDies(), 0),
       dieOutstanding(geom.totalDies()), backlogHigh(geom.totalDies(), 0)
 {
+    // Group size for the busy-until minima: halve the per-channel
+    // die count down to <= 16 dies per group so a group rescan stays
+    // within a couple of cache lines, but never split a channel
+    // unevenly (groups must tile channels exactly for the sharded
+    // flash phase to stay race-free).
+    groupDies = geom.diesPerChip() * geom.chipsPerChannel();
+    while (groupDies > 16 && groupDies % 2 == 0)
+        groupDies /= 2;
+    dieGroupMin.assign(geom.totalDies() / groupDies, 0);
     // A die's backlog window peaks when paced GC stacks a few
     // blocks' worth of relocation ops behind the host stream; two
     // blocks of read/program pairs bounds every observed workload
@@ -65,6 +74,7 @@ ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest, bool gc)
     const std::uint32_t channel = geom.channelOfPpn(ppn);
     Tick &die_free = dieBusyUntil[die];
     Tick &chan_free = channelBusyUntil[channel];
+    const Tick die_was = die_free;
 
     const Tick cmd = times.commandOverhead;
     const Tick xfer = times.pageTransfer;
@@ -123,11 +133,27 @@ ResourceModel::scheduleOp(FlashOp op, Ppn ppn, Tick earliest, bool gc)
         break;
       }
     }
+    updateGroupMin(die, die_was);
     noteDieIssue(die, earliest, completion);
     if (tracer)
         tracer->span(static_cast<std::uint32_t>(die), opSpanName(op),
                      gc ? "gc" : hostCategory, die_start, completion);
     return completion;
+}
+
+void
+ResourceModel::updateGroupMin(std::uint64_t die, Tick die_was)
+{
+    // Busy-untils only grow, so the group's minimum moved only if
+    // the op landed on a die that held it; rescan just that group.
+    const std::uint64_t group = die / groupDies;
+    if (die_was != dieGroupMin[group])
+        return;
+    const std::uint64_t base = group * groupDies;
+    Tick low = dieBusyUntil[base];
+    for (std::uint64_t i = 1; i < groupDies; ++i)
+        low = std::min(low, dieBusyUntil[base + i]);
+    dieGroupMin[group] = low;
 }
 
 void

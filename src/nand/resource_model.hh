@@ -66,6 +66,22 @@ class ResourceModel
     const Tick *dieBusyTable() const { return dieBusyUntil.data(); }
 
     /**
+     * Raw view of the per-group die busy-until minima, one entry per
+     * group of dieGroupDies() consecutive dies in flat die order.
+     * Groups never span channels (the group size divides the
+     * per-channel die count), so the index stays correct under the
+     * channel-sharded flash phase. Like dieBusyTable(), sized at
+     * construction and never reallocated. The BlockManager scans
+     * this instead of every die to find the least-loaded plane
+     * (DESIGN.md section 7.15).
+     */
+    const Tick *dieGroupMinTable() const { return dieGroupMin.data(); }
+
+    /** Dies per group-min entry (a power-of-two divisor of the
+     *  per-channel die count). */
+    std::uint64_t dieGroupDies() const { return groupDies; }
+
+    /**
      * Pending-queue accounting (admission backlog signals). The
      * model keeps, per die, the completion ticks of issued ops that
      * were still outstanding when the die last accepted work. This
@@ -143,10 +159,24 @@ class ResourceModel
     /** Record one issued op's (issue-point, completion) pair. */
     void noteDieIssue(std::uint64_t die, Tick issued, Tick completion);
 
+    /** Keep a die's group minimum current after its busy-until grew
+     *  from @p die_was (see scheduleOp). */
+    void updateGroupMin(std::uint64_t die, Tick die_was);
+
     Geometry geom;
     TimingModel times;
     std::vector<Tick> channelBusyUntil;
     std::vector<Tick> dieBusyUntil;
+
+    /**
+     * Per-group minima over dieBusyUntil (dies in flat order,
+     * groupDies per entry). Maintained lazily: busy-untils only ever
+     * grow, so a group's minimum can change only when the op landed
+     * on a die that held it — one compare per op, and a short
+     * rescan of the group only on that rare hit.
+     */
+    std::vector<Tick> dieGroupMin;
+    std::uint64_t groupDies = 1;
     std::vector<Tick> channelBusyTotal;
     std::vector<Tick> dieBusyTotal;
 

@@ -74,6 +74,28 @@ toString(DvpScope scope)
     zombie_panic("unreachable DVP scope");
 }
 
+EngineMode
+engineModeFromString(const std::string &name)
+{
+    if (name == "serial")
+        return EngineMode::Serial;
+    if (name == "epoch")
+        return EngineMode::Epoch;
+    zombie_fatal("unknown engine mode '", name, "' (serial | epoch)");
+}
+
+std::string
+toString(EngineMode mode)
+{
+    switch (mode) {
+      case EngineMode::Serial:
+        return "serial";
+      case EngineMode::Epoch:
+        return "epoch";
+    }
+    zombie_panic("unreachable engine mode");
+}
+
 bool
 usesHashEngine(SystemKind kind)
 {

@@ -60,6 +60,23 @@ enum class DvpScope : std::uint8_t
 DvpScope dvpScopeFromString(const std::string &name);
 std::string toString(DvpScope scope);
 
+/**
+ * Event-engine execution strategy. Serial — the default — is the
+ * historical single-queue dispatch loop. Epoch runs channel-local
+ * completions through speculative per-channel lanes with epoch
+ * barriers (sim/event.hh, DESIGN.md section 7.15); results are
+ * byte-identical to Serial by construction, so this is purely an
+ * execution-speed knob, like shards.
+ */
+enum class EngineMode : std::uint8_t
+{
+    Serial,
+    Epoch,
+};
+
+EngineMode engineModeFromString(const std::string &name);
+std::string toString(EngineMode mode);
+
 /** Whether this system computes content hashes on the write path. */
 bool usesHashEngine(SystemKind kind);
 /** Whether this system owns a dead-value pool. */
@@ -149,6 +166,13 @@ struct SsdConfig
      * tracer forces serial issue regardless.
      */
     std::uint32_t shards = 1;
+
+    /**
+     * Event-engine execution strategy (see EngineMode). Epoch mode
+     * reuses the flash-phase worker band, so `shards` also sizes its
+     * drain parallelism.
+     */
+    EngineMode engineMode = EngineMode::Serial;
 
     /**
      * Epoch-sampler interval in simulated ticks; 0 — the default —

@@ -34,8 +34,11 @@ FlashScheduler::issue(const FlashStepBuffer &steps, Tick t)
     Tick gc_tail = completion;
     if (shards > 1 && !res.hasTracer() &&
         steps.gcSteps.size() >= kMinShardSteps) {
+        ++nShardedBursts;
         gc_tail = std::max(gc_tail, issueGcSharded(steps, t));
     } else {
+        if (shards > 1 && !steps.gcSteps.empty())
+            ++nSerialForced;
         for (const FlashStep &step : steps.gcSteps) {
             if (step.op == FlashOp::Program)
                 readCache.invalidate(step.ppn);
@@ -43,7 +46,19 @@ FlashScheduler::issue(const FlashStepBuffer &steps, Tick t)
                 gc_tail, res.scheduleOp(step.op, step.ppn, t, true));
         }
     }
-    return FlashIssue{completion, gc_tail};
+    // Completion-lane affinity: the channel the user work ended on.
+    const std::uint32_t channel =
+        steps.userSteps.empty()
+            ? 0
+            : res.geometry().channelOfPpn(steps.userSteps.back().ppn);
+    return FlashIssue{completion, gc_tail, channel};
+}
+
+void
+FlashScheduler::registerStats(StatRegistry &registry) const
+{
+    registry.addCounter("ctrl.sharded_bursts", &nShardedBursts);
+    registry.addCounter("ctrl.serial_forced", &nSerialForced);
 }
 
 void
@@ -224,8 +239,8 @@ Controller::submit(const TraceRecord &rec)
     if (sampler && !samplerArmed) {
         samplerArmed = true;
         const Tick from = std::max(engine.now(), rec.arrival);
-        engine.schedule(sampler->nextBoundary(from),
-                        EventKind::StatsSample);
+        engine.scheduleLocal(sampler->nextBoundary(from),
+                             EventKind::StatsSample, 0, 0, 0);
     }
 }
 
@@ -276,8 +291,8 @@ Controller::event(Tick now, EventKind kind, std::uint32_t ctx,
         // the next submission re-arms it.
         sampler->sample(now);
         if (outstanding() > 0)
-            engine.schedule(now + sampler->interval(),
-                            EventKind::StatsSample);
+            engine.scheduleLocal(now + sampler->interval(),
+                                 EventKind::StatsSample, 0, 0, 0);
         else
             samplerArmed = false;
         break;
@@ -379,11 +394,15 @@ Controller::onDispatched(const HostCommand &cmd, Tick now)
             ts.gcCollateralTicks += issued.gcTail - issued.completion;
     }
 
-    engine.schedule(issued.completion, EventKind::FlashDone, 0,
-                    cmd.idx);
+    // Completions and GC tails are channel-local work: in epoch mode
+    // they ride the per-channel speculative lanes; in serial mode
+    // scheduleLocal forwards straight to schedule().
+    engine.scheduleLocal(issued.completion, EventKind::FlashDone, 0,
+                         cmd.idx, issued.channel);
     if (issued.gcTail > issued.completion) {
         cstats.gcTailTicks += issued.gcTail - issued.completion;
-        engine.schedule(issued.gcTail, EventKind::GcTail);
+        engine.scheduleLocal(issued.gcTail, EventKind::GcTail, 0, 0,
+                             issued.channel);
     }
 
     // This command's tag is free again: admit the next waiter.
@@ -437,6 +456,13 @@ Controller::registerStats(StatRegistry &registry) const
     registry.addGauge("ctrl.outstanding", [this] {
         return static_cast<double>(outstanding());
     });
+
+    // Sharded-issue visibility only when sharding is configured, so
+    // single-shard registry dumps stay byte-identical to historical
+    // output (the flash scheduler is configured after construction;
+    // the config is the authoritative gate).
+    if (cfg.shards > 1)
+        flash.registerStats(registry);
 
     // Per-tenant slices exist only on a multi-tenant drive, so the
     // single-tenant registry dump stays byte-identical. Storage lives

@@ -73,6 +73,13 @@ struct FlashIssue
 
     /** Completion of the last collateral GC step (>= completion). */
     Tick gcTail = 0;
+
+    /**
+     * Channel of the command's last user step (0 when the command
+     * needed no flash work). Pure affinity hint for the epoch
+     * engine's completion lanes — any in-range value is correct.
+     */
+    std::uint32_t channel = 0;
 };
 
 /**
@@ -122,6 +129,25 @@ class FlashScheduler
         res.setHostSpanCategory(category);
     }
 
+    /** GC bursts issued through the sharded path. */
+    std::uint64_t shardedBursts() const { return nShardedBursts; }
+
+    /**
+     * GC bursts issued serially although sharding was configured —
+     * the burst was under kMinShardSteps, or an attached op tracer
+     * forced serial issue. A run with sharded_bursts == 0 and a
+     * large serial_forced count got no parallelism out of --shards.
+     */
+    std::uint64_t serialForced() const { return nSerialForced; }
+
+    /**
+     * Register the sharded-issue visibility counters under "ctrl.".
+     * The owner gates this on the configured shard count so
+     * single-shard registry dumps stay byte-identical to historical
+     * output.
+     */
+    void registerStats(StatRegistry &registry) const;
+
   private:
     /** Sharded GC burst; returns the burst's gc-tail fold. */
     Tick issueGcSharded(const FlashStepBuffer &steps, Tick t);
@@ -142,6 +168,10 @@ class FlashScheduler
     /** GC bursts below this many steps stay serial: the fan-out
      *  handshake costs more than the work it would spread. */
     static constexpr std::size_t kMinShardSteps = 24;
+
+    /** Sharded-vs-forced-serial visibility (see the accessors). */
+    std::uint64_t nShardedBursts = 0;
+    std::uint64_t nSerialForced = 0;
 };
 
 /** Aggregate pipeline counters for one run. */
@@ -248,6 +278,16 @@ class Controller : public EventSink
 
     /** Commands submitted but not yet completed. */
     std::uint64_t outstanding() const { return submitted - completed; }
+
+    /** Sharded-issue visibility (FlashScheduler counters). */
+    std::uint64_t shardedBursts() const
+    {
+        return flash.shardedBursts();
+    }
+    std::uint64_t serialForcedBursts() const
+    {
+        return flash.serialForced();
+    }
 
     /**
      * Attach an epoch sampler (not owned; nullptr detaches). The

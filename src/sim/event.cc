@@ -1,32 +1,33 @@
 #include "sim/event.hh"
 
 #include <algorithm>
+#include <limits>
 
 namespace zombie
 {
 
 void
-EventEngine::heapPush(const Event &ev)
+EventEngine::heapPush(std::vector<Event> &h, const Event &ev)
 {
-    heap.push_back(ev);
-    std::size_t i = heap.size() - 1;
+    h.push_back(ev);
+    std::size_t i = h.size() - 1;
     while (i > 0) {
         const std::size_t parent = (i - 1) >> 2;
-        if (!before(heap[i], heap[parent]))
+        if (!before(h[i], h[parent]))
             break;
-        std::swap(heap[i], heap[parent]);
+        std::swap(h[i], h[parent]);
         i = parent;
     }
 }
 
 void
-EventEngine::heapPopMin()
+EventEngine::heapPopMin(std::vector<Event> &h)
 {
-    const Event last = heap.back();
-    heap.pop_back();
-    if (heap.empty())
+    const Event last = h.back();
+    h.pop_back();
+    if (h.empty())
         return;
-    const std::size_t n = heap.size();
+    const std::size_t n = h.size();
     std::size_t i = 0;
     for (;;) {
         const std::size_t first = 4 * i + 1;
@@ -35,19 +36,19 @@ EventEngine::heapPopMin()
         std::size_t best = first;
         const std::size_t stop = std::min(first + 4, n);
         for (std::size_t c = first + 1; c < stop; ++c) {
-            if (before(heap[c], heap[best]))
+            if (before(h[c], h[best]))
                 best = c;
         }
-        if (!before(heap[best], last))
+        if (!before(h[best], last))
             break;
-        heap[i] = heap[best];
+        h[i] = h[best];
         i = best;
     }
-    heap[i] = last;
+    h[i] = last;
 }
 
 const EventEngine::Event *
-EventEngine::peekNext(int &lane_out) const
+EventEngine::peekGlobal(int &lane_out) const
 {
     lane_out = -1;
     const Event *best = heap.empty() ? nullptr : &heap[0];
@@ -63,6 +64,46 @@ EventEngine::peekNext(int &lane_out) const
     return best;
 }
 
+const EventEngine::Event *
+EventEngine::peekNext(int &lane_out) const
+{
+    const Event *best = peekGlobal(lane_out);
+    for (std::size_t c = 0; c < chanLanes.size(); ++c) {
+        if (chanLanes[c].empty())
+            continue;
+        const Event &top = chanLanes[c][0];
+        if (!best || before(top, *best)) {
+            best = &top;
+            lane_out = static_cast<int>(kMonotoneLanes + c);
+        }
+    }
+    return best;
+}
+
+void
+EventEngine::dispatch(const Event &ev_ref, int lane)
+{
+    // Copy before popping: ev_ref points into the storage being
+    // popped, and the handler may grow the heap (reallocation).
+    const Event ev = ev_ref;
+    if (lane < 0) {
+        heapPopMin(heap);
+    } else if (lane < static_cast<int>(kMonotoneLanes)) {
+        lanes[lane].pop_front();
+    } else {
+        const std::uint32_t c =
+            static_cast<std::uint32_t>(lane) - kMonotoneLanes;
+        heapPopMin(chanLanes[c]);
+        --localPending;
+        if (chanLanes[c].empty())
+            laneMask &= ~(1ull << c);
+    }
+    current = ev.when;
+    ++fired;
+    ++kindFired[static_cast<std::uint32_t>(ev.kind)];
+    target->event(ev.when, ev.kind, ev.ctx, ev.arg);
+}
+
 void
 EventEngine::step()
 {
@@ -70,19 +111,16 @@ EventEngine::step()
     int lane = -1;
     const Event *next = peekNext(lane);
     zombie_assert(next, "step() on an empty event queue");
-    const Event ev = *next;
-    if (lane < 0)
-        heapPopMin();
-    else
-        lanes[lane].pop_front();
-    current = ev.when;
-    ++fired;
-    target->event(ev.when, ev.kind, ev.ctx, ev.arg);
+    dispatch(*next, lane);
 }
 
 void
 EventEngine::run()
 {
+    if (epochMode()) {
+        runEpochs();
+        return;
+    }
     while (!empty())
         step();
 }
@@ -107,6 +145,229 @@ EventEngine::nextAt() const
     const Event *next = peekNext(lane);
     zombie_assert(next, "nextAt() on an empty event queue");
     return next->when;
+}
+
+void
+EventEngine::configureEpoch(std::uint32_t channels,
+                            WorkerBand *worker_band,
+                            std::uint32_t shard_count)
+{
+    zombie_assert(channels > 0, "epoch mode needs >= 1 channel");
+    zombie_assert(channels <= 64,
+                  "epoch mode lane mask caps channels at 64");
+    zombie_assert(empty() && nextSeq == 0,
+                  "configureEpoch on a live engine");
+    chanLanes.assign(channels, {});
+    chanLog.assign(channels, {});
+    logHead.assign(channels, 0);
+    activeCh.reserve(channels);
+    laneMask = 0;
+    band = worker_band;
+    drainShards = std::max<std::uint32_t>(1, shard_count);
+}
+
+void
+EventEngine::drainChannel(std::uint32_t c)
+{
+    // Horizon as a pseudo-event: drain everything that dispatches
+    // strictly before the next global event.
+    const Event horizon{hWhen, hSeq, 0, 0, EventKind::HostArrival};
+    auto &lane = chanLanes[c];
+    auto &log = chanLog[c];
+    log.clear();
+    while (!lane.empty() && before(lane[0], horizon)) {
+        log.push_back(lane[0]);
+        heapPopMin(lane);
+    }
+}
+
+void
+EventEngine::drainThunk(void *ctx, unsigned shard)
+{
+    auto *self = static_cast<EventEngine *>(ctx);
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(self->chanLanes.size());
+    for (std::uint32_t c = shard; c < n; c += self->drainShards)
+        self->drainChannel(c);
+}
+
+bool
+EventEngine::pendingBefore(const Event &ev) const
+{
+    if (!heap.empty() && before(heap[0], ev))
+        return true;
+    for (std::uint32_t l = 0; l < kMonotoneLanes; ++l) {
+        if (!lanes[l].empty() && before(lanes[l].front(), ev))
+            return true;
+    }
+    for (const auto &lane : chanLanes) {
+        if (!lane.empty() && before(lane[0], ev))
+            return true;
+    }
+    return false;
+}
+
+void
+EventEngine::commitLogs()
+{
+    for (const std::uint32_t c : activeCh)
+        logHead[c] = 0;
+    // Set once a committed handler schedules anything. Every event
+    // that existed when the epoch was drained sorts at or after the
+    // horizon, which itself sorts after every log entry — so until a
+    // handler schedules, no pending event can precede an uncommitted
+    // entry and the merge needs no checks at all. Afterwards every
+    // commit must first prove the newly scheduled work still sorts
+    // behind it, or the speculation has diverged from serial order.
+    bool speculation_dirty = false;
+    for (;;) {
+        // K-way merge head: the uncommitted entry with the least
+        // (when, seq). The active-channel list is short (most
+        // epochs touch a lane or two), so a linear scan beats a
+        // merge heap here.
+        const Event *next = nullptr;
+        std::uint32_t next_ch = 0;
+        for (const std::uint32_t c : activeCh) {
+            if (logHead[c] >= chanLog[c].size())
+                continue;
+            const Event &head = chanLog[c][logHead[c]];
+            if (!next || before(head, *next)) {
+                next = &head;
+                next_ch = c;
+            }
+        }
+        if (!next) {
+            // Fully committed: leave the logs empty for the next
+            // epoch's occupancy scan (only drained channels get a
+            // fresh clear).
+            for (const std::uint32_t c : activeCh)
+                chanLog[c].clear();
+            return;
+        }
+        if (speculation_dirty && pendingBefore(*next)) {
+            // Conflict: a newly scheduled event dispatches before
+            // the rest of the log. Roll the uncommitted suffix back
+            // into its lanes (original sequence numbers, so nothing
+            // is reordered) and let the next epoch replay it against
+            // the new horizon. The first commit of a pass is always
+            // clean, so every rollback retires at least one event
+            // and the loop makes progress.
+            ++nRolledBack;
+            for (const std::uint32_t c : activeCh) {
+                if (logHead[c] < chanLog[c].size())
+                    laneMask |= 1ull << c;
+                for (std::size_t i = logHead[c];
+                     i < chanLog[c].size(); ++i) {
+                    heapPush(chanLanes[c], chanLog[c][i]);
+                    ++localPending;
+                }
+                chanLog[c].clear();
+            }
+            return;
+        }
+        const Event ev = *next;
+        ++logHead[next_ch];
+        current = ev.when;
+        ++fired;
+        ++kindFired[static_cast<std::uint32_t>(ev.kind)];
+        const std::uint64_t seq_before = nextSeq;
+        target->event(ev.when, ev.kind, ev.ctx, ev.arg);
+        if (nextSeq != seq_before)
+            speculation_dirty = true;
+    }
+}
+
+void
+EventEngine::runEpochs()
+{
+    zombie_assert(target, "run() with no event sink attached");
+    constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+    while (!empty()) {
+        int glane = -1;
+        const Event *g = peekGlobal(glane);
+        if (localPending == 0) {
+            // Nothing to speculate over: serial spine event.
+            zombie_assert(g, "empty() lied about pending work");
+            dispatch(*g, glane);
+            continue;
+        }
+        if ((laneMask & (laneMask - 1)) == 0) {
+            // One active lane: the merge is trivial, so dispatch
+            // straight from the lane — exact serial stepping, no
+            // drain, no log, no rollback exposure. (localPending >
+            // 0 and the mask is a superset, so the single set bit
+            // is the non-empty lane.) Counted as a span-1 epoch:
+            // the event still dispatches off the serial spine.
+            const auto c = static_cast<std::uint32_t>(
+                __builtin_ctzll(laneMask));
+            const auto &lane = chanLanes[c];
+            if (!g || before(lane[0], *g)) {
+                ++nEpochs;
+                ++nSpeculated;
+                epochSpanMax =
+                    std::max<std::uint64_t>(epochSpanMax, 1);
+                dispatch(lane[0],
+                         static_cast<int>(kMonotoneLanes + c));
+            } else {
+                dispatch(*g, glane);
+            }
+            continue;
+        }
+        if (g) {
+            hWhen = g->when;
+            hSeq = g->seq;
+        } else {
+            hWhen = kMaxTick;
+            hSeq = std::numeric_limits<std::uint64_t>::max();
+        }
+        if (band && drainShards > 1 &&
+            localPending >= kMinSpecEvents) {
+            // The workers never touch laneMask; stale set bits over
+            // the lanes they empty are cleared by later passes.
+            band->run(&drainThunk, this, drainShards);
+        } else {
+            std::uint64_t scan = laneMask;
+            while (scan) {
+                const auto c = static_cast<std::uint32_t>(
+                    __builtin_ctzll(scan));
+                scan &= scan - 1;
+                drainChannel(c);
+                if (chanLanes[c].empty())
+                    laneMask &= ~(1ull << c);
+            }
+        }
+        std::size_t total = 0;
+        activeCh.clear();
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(chanLog.size());
+        for (std::uint32_t c = 0; c < n; ++c) {
+            if (chanLog[c].empty())
+                continue;
+            total += chanLog[c].size();
+            activeCh.push_back(c);
+        }
+        if (total == 0) {
+            // Every local event sits at or past the horizon; the
+            // global event fires first. (g exists: a null horizon
+            // drains everything and localPending > 0.)
+            dispatch(*g, glane);
+            continue;
+        }
+        localPending -= total;
+        nSpeculated += total;
+        ++nEpochs;
+        epochSpanMax = std::max<std::uint64_t>(epochSpanMax, total);
+        commitLogs();
+    }
+}
+
+void
+EventEngine::registerStats(StatRegistry &registry) const
+{
+    registry.addCounter("engine.epochs", &nEpochs);
+    registry.addCounter("engine.rolled_back_epochs", &nRolledBack);
+    registry.addCounter("engine.speculated_events", &nSpeculated);
+    registry.addCounter("engine.max_epoch_span", &epochSpanMax);
 }
 
 } // namespace zombie

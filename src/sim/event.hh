@@ -32,6 +32,24 @@
  * exactly the order a single heap would produce: the split is purely
  * an implementation detail and byte-identity is preserved.
  *
+ * Epoch-sharded mode (DESIGN.md section 7.15, configureEpoch): the
+ * engine additionally partitions *channel-local* events — flash
+ * completions, GC tails, sampler boundaries, anything scheduled via
+ * scheduleLocal — into per-channel lanes (small 4-ary heaps). The
+ * run loop then proceeds in epochs: it picks the next *global*
+ * event's (when, seq) as the horizon, speculatively drains every
+ * channel lane's events before that horizon into per-channel commit
+ * logs (in parallel on a WorkerBand when the backlog is deep
+ * enough), and a serial commit phase replays the logs in global
+ * (when, seq) order against the sink. The sink therefore observes
+ * exactly the serial dispatch order, and byte-identity holds by
+ * construction. If a committed handler schedules a new event that
+ * sorts before a not-yet-committed log entry (a cross-affinity
+ * dependency the speculation missed — e.g. a sampler re-arm landing
+ * mid-epoch), the epoch rolls back: the uncommitted suffix returns
+ * to its lanes with original sequence numbers and the loop replays
+ * from the top. rolledBackEpochs() counts those.
+ *
  * Everything is flat vectors/rings, so the engine performs zero heap
  * allocations once each storage has reached its high-water mark — no
  * std::function captures, no per-event nodes (DESIGN.md section
@@ -48,9 +66,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/stat_registry.hh"
 #include "util/logging.hh"
 #include "util/ring.hh"
 #include "util/types.hh"
+#include "util/worker_band.hh"
 
 namespace zombie
 {
@@ -65,6 +85,9 @@ enum class EventKind : std::uint8_t
     GcTail,       //!< Background GC chain drains (bookkeeping only).
     StatsSample,  //!< Epoch-sampler boundary (telemetry only).
 };
+
+/** Number of EventKind values (dispatch-histogram table size). */
+inline constexpr std::uint32_t kNumEventKinds = 6;
 
 /** Receiver of dispatched events (the controller, or a test). */
 class EventSink
@@ -103,7 +126,7 @@ class EventEngine
         zombie_assert(when >= current,
                       "event scheduled in the past (", when, " < ",
                       current, ")");
-        heapPush(Event{when, nextSeq++, arg, ctx, kind});
+        heapPush(heap, Event{when, nextSeq++, arg, ctx, kind});
     }
 
     /**
@@ -126,17 +149,73 @@ class EventEngine
         lanes[lane].push_back(Event{when, nextSeq++, arg, ctx, kind});
     }
 
+    /**
+     * Enqueue a channel-local event. Without epoch mode this is
+     * exactly schedule() — same storage, same sequence numbering —
+     * so the serial path is untouched. In epoch mode the event lands
+     * on channel lane @p channel and is drained speculatively; the
+     * dispatch order the sink observes is still the global (when,
+     * seq) order. The channel is a load-balancing affinity hint
+     * only: any value in range is correct.
+     */
+    void
+    scheduleLocal(Tick when, EventKind kind, std::uint32_t ctx,
+                  std::uint64_t arg, std::uint32_t channel)
+    {
+        if (chanLanes.empty()) {
+            schedule(when, kind, ctx, arg);
+            return;
+        }
+        zombie_assert(when >= current,
+                      "event scheduled in the past (", when, " < ",
+                      current, ")");
+        zombie_assert(channel < chanLanes.size(),
+                      "channel lane out of range");
+        heapPush(chanLanes[channel],
+                 Event{when, nextSeq++, arg, ctx, kind});
+        laneMask |= 1ull << channel;
+        ++localPending;
+    }
+
+    /**
+     * Enable epoch-sharded execution: scheduleLocal events route to
+     * @p channels per-channel lanes and run() proceeds in epochs.
+     * @p worker_band (not owned, may be null) drains lanes in
+     * parallel with @p shard_count shard strides over the channels,
+     * exactly like the sharded flash phase; a null band or
+     * shard_count <= 1 drains inline (same epochs, same commit
+     * order, no threads). Must be called while the engine is empty.
+     */
+    void configureEpoch(std::uint32_t channels,
+                        WorkerBand *worker_band,
+                        std::uint32_t shard_count);
+
+    /** Whether epoch-sharded execution is configured. */
+    bool epochMode() const { return !chanLanes.empty(); }
+
     /** Fire the earliest pending event. Panics when empty. */
     void step();
 
-    /** Fire events until none remain. */
+    /** Fire events until none remain (epoch loop in epoch mode). */
     void run();
 
     /** Fire events up to and including @p until. */
     void runUntil(Tick until);
 
     /** Pre-size the heap so steady state never reallocates. */
-    void reserve(std::size_t n) { heap.reserve(n); }
+    void
+    reserve(std::size_t n)
+    {
+        heap.reserve(n);
+        // In epoch mode the in-flight events the heap would hold sit
+        // on the channel lanes instead (worst case: all on one
+        // channel), and each drained lane spills into its commit
+        // log, so the same occupancy bound pre-sizes all three.
+        for (auto &lane : chanLanes)
+            lane.reserve(n);
+        for (auto &log : chanLog)
+            log.reserve(n);
+    }
 
     /** Pre-size lane @p lane's ring likewise. */
     void
@@ -149,7 +228,7 @@ class EventEngine
     bool
     empty() const
     {
-        if (!heap.empty())
+        if (!heap.empty() || localPending > 0)
             return false;
         for (const auto &lane : lanes) {
             if (!lane.empty())
@@ -161,7 +240,7 @@ class EventEngine
     std::size_t
     pending() const
     {
-        std::size_t n = heap.size();
+        std::size_t n = heap.size() + localPending;
         for (const auto &lane : lanes)
             n += lane.size();
         return n;
@@ -175,6 +254,33 @@ class EventEngine
 
     /** Total events dispatched over the engine's lifetime. */
     std::uint64_t dispatched() const { return fired; }
+
+    /** Dispatches of one kind (micro_event_engine histogram). */
+    std::uint64_t
+    dispatchedOfKind(EventKind kind) const
+    {
+        return kindFired[static_cast<std::uint32_t>(kind)];
+    }
+
+    /** Epochs executed through the speculative commit path. */
+    std::uint64_t epochs() const { return nEpochs; }
+
+    /** Epochs that hit a cross-affinity conflict and rolled back. */
+    std::uint64_t rolledBackEpochs() const { return nRolledBack; }
+
+    /** Channel-lane events drained speculatively (then committed or
+     *  rolled back). */
+    std::uint64_t speculatedEvents() const { return nSpeculated; }
+
+    /** Largest single-epoch drain (occupancy high-water mark). */
+    std::uint64_t maxEpochSpan() const { return epochSpanMax; }
+
+    /**
+     * Register the epoch counters under "engine.". Only meaningful
+     * in epoch mode; the owner gates the call so serial-mode registry
+     * dumps stay byte-identical to historical output.
+     */
+    void registerStats(StatRegistry &registry) const;
 
   private:
     /** One scheduled event: POD, lives inline in its storage. */
@@ -197,16 +303,43 @@ class EventEngine
     }
 
     /**
-     * Earliest pending event across the heap and the lane fronts, or
-     * nullptr when idle. Lane fronts are lane minima (pushes are
-     * monotone and FIFO breaks same-tick ties by seq), so comparing
-     * at most kMonotoneLanes + 1 candidates finds the global min.
-     * @p lane_out reports which lane held it (-1 = heap).
+     * Earliest pending event across every storage, or nullptr when
+     * idle. Lane fronts are lane minima (pushes are monotone and
+     * FIFO breaks same-tick ties by seq) and channel-lane tops are
+     * their heap minima, so comparing one candidate per storage
+     * finds the global min. @p lane_out reports which storage held
+     * it: -1 = heap, [0, kMonotoneLanes) = monotone lane,
+     * kMonotoneLanes + c = channel lane c.
      */
     const Event *peekNext(int &lane_out) const;
 
-    void heapPush(const Event &ev);
-    void heapPopMin();
+    /** Same, over the global spine only (heap + monotone lanes). */
+    const Event *peekGlobal(int &lane_out) const;
+
+    /** Pop + dispatch one event found by peekNext. */
+    void dispatch(const Event &ev, int lane);
+
+    /** The epoch loop behind run() (see file comment). */
+    void runEpochs();
+
+    /** Drain channel @p c's lane into its commit log up to the
+     *  current horizon (hWhen, hSeq). */
+    void drainChannel(std::uint32_t c);
+
+    /** WorkerBand thunk: drain every channel of one shard. */
+    static void drainThunk(void *ctx, unsigned shard);
+
+    /**
+     * Serial commit: replay the drained logs in global (when, seq)
+     * order, rolling back the uncommitted suffix on conflict.
+     */
+    void commitLogs();
+
+    /** Whether any pending event sorts before @p ev. */
+    bool pendingBefore(const Event &ev) const;
+
+    static void heapPush(std::vector<Event> &h, const Event &ev);
+    static void heapPopMin(std::vector<Event> &h);
 
     /** 4-ary min-heap: shallower than binary for the same size, so
      *  extract touches fewer cache lines. */
@@ -217,10 +350,59 @@ class EventEngine
     /** Last tick pushed per lane (monotonicity guard). */
     Tick laneTail[kMonotoneLanes] = {};
 
+    /** Per-channel 4-ary heaps for channel-local events (epoch mode
+     *  only; empty otherwise). */
+    std::vector<std::vector<Event>> chanLanes;
+
+    /** Per-channel commit logs filled by the drain phase, in each
+     *  channel's (when, seq) order. */
+    std::vector<std::vector<Event>> chanLog;
+
+    /** Commit cursor per channel (index into chanLog). */
+    std::vector<std::size_t> logHead;
+
+    /**
+     * Superset mask of channels whose lanes may be non-empty (bit c
+     * = lane c; configureEpoch caps channels at 64). Set eagerly on
+     * every push, cleared lazily — the parallel drain never touches
+     * it, so a set bit over an empty lane is possible, but a
+     * non-empty lane always has its bit set. A single set bit lets
+     * the epoch loop dispatch that lane serially, skipping the
+     * drain/merge machinery entirely.
+     */
+    std::uint64_t laneMask = 0;
+
+    /** Channels whose commit logs are non-empty this epoch (scratch
+     *  for commitLogs; rebuilt by every drain). */
+    std::vector<std::uint32_t> activeCh;
+
+    /** Events currently held across all channel lanes. */
+    std::size_t localPending = 0;
+
+    /** Drain horizon: the next global event's (when, seq). Shared
+     *  with the drain thunk; written only between band runs. */
+    Tick hWhen = 0;
+    std::uint64_t hSeq = 0;
+
+    /** Epoch drain band (not owned; null = inline drain). */
+    WorkerBand *band = nullptr;
+    std::uint32_t drainShards = 1;
+
+    /** Backlogs below this drain inline: the band handshake costs
+     *  more than the pops it would spread (cf. kMinShardSteps). */
+    static constexpr std::size_t kMinSpecEvents = 24;
+
     EventSink *target = nullptr;
     Tick current = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t fired = 0;
+    std::uint64_t kindFired[kNumEventKinds] = {};
+
+    // Epoch-mode observability (see the accessors above).
+    std::uint64_t nEpochs = 0;
+    std::uint64_t nRolledBack = 0;
+    std::uint64_t nSpeculated = 0;
+    std::uint64_t epochSpanMax = 0;
 };
 
 } // namespace zombie

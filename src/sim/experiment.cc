@@ -59,6 +59,7 @@ applyOptions(SsdConfig &cfg, const ExperimentOptions &opts)
     cfg.gcPolicy = opts.gcPolicy;
     cfg.queueDepth = opts.queueDepth;
     cfg.shards = opts.shards;
+    cfg.engineMode = engineModeFromString(opts.engine);
     const ArbiterSpec arb = parseArbiterSpec(opts.arbiter);
     cfg.arbiter = arb.kind;
     cfg.arbiterWeights = arb.weights;

@@ -38,6 +38,9 @@ struct ExperimentOptions
     /** Flash-phase shards (SsdConfig::shards); 1 = serial issue. */
     std::uint32_t shards = 1;
 
+    /** Event-engine strategy: "serial" | "epoch" (SsdConfig). */
+    std::string engine = "serial";
+
     /**
      * Multi-tenant frontend. tenants > 1 splits the workload into
      * that many per-tenant streams (equal request shares, distinct

@@ -209,6 +209,12 @@ Ssd::Ssd(SsdConfig config)
     // plane per write; it reads the same table dieFreeAtIndex serves.
     ftl_.setDieLoadView(resources.dieBusyTable(),
                         cfg.geom.planesPerDie());
+    // Group-min accelerator over the same table: the least-busy scan
+    // reads (dies / group) entries instead of every die, with the
+    // model keeping the minima current per scheduled op.
+    ftl_.setDieLoadGroups(
+        resources.dieGroupMinTable(),
+        static_cast<std::uint32_t>(resources.dieGroupDies()));
 
     // Telemetry root: every component publishes its counters into
     // one registry. Registration happens once here; nothing on the
@@ -223,6 +229,20 @@ Ssd::Ssd(SsdConfig config)
     if (store)
         store->registerStats(registry_);
 
+    if (cfg.shards > 1) {
+        band_ = std::make_unique<WorkerBand>(cfg.shards - 1);
+        controller_.configureFlashShards(cfg.shards, band_.get());
+    }
+    if (cfg.engineMode == EngineMode::Epoch) {
+        // Per-channel completion lanes with epoch barriers. The
+        // flash-phase band doubles as the drain band (both uses are
+        // sequential); with shards == 1 the epochs drain inline —
+        // same commit order, no threads. Counters register before
+        // the sampler exists so epoch runs can be sampled too.
+        engine.configureEpoch(cfg.geom.channels(), band_.get(),
+                              cfg.shards);
+        engine.registerStats(registry_);
+    }
     if (cfg.statsInterval > 0) {
         sampler_ = std::make_unique<EpochSampler>(registry_,
                                                   cfg.statsInterval);
@@ -231,10 +251,6 @@ Ssd::Ssd(SsdConfig config)
     if (cfg.opTrace) {
         tracer_ = std::make_unique<PerfettoTraceWriter>(cfg.traceLimit);
         resources.setTraceSink(tracer_.get());
-    }
-    if (cfg.shards > 1) {
-        band_ = std::make_unique<WorkerBand>(cfg.shards - 1);
-        controller_.configureFlashShards(cfg.shards, band_.get());
     }
 }
 
@@ -337,6 +353,11 @@ Ssd::result()
     r.oooCompletions = cs.oooCompletions;
     r.maxDieBacklog = resources.maxDieBacklog();
     r.events = engine.dispatched();
+    r.epochs = engine.epochs();
+    r.rolledBackEpochs = engine.rolledBackEpochs();
+    r.speculatedEvents = engine.speculatedEvents();
+    r.shardedBursts = controller_.shardedBursts();
+    r.serialForcedBursts = controller_.serialForcedBursts();
 
     r.wear = ftl_.wearSummary();
     r.readCache = cache.stats();

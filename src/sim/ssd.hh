@@ -90,6 +90,18 @@ struct SimResult
      */
     std::uint64_t events = 0;
 
+    /**
+     * Execution-strategy side channels, absent from toStatSet for
+     * the same reason: epoch mode and sharding must leave every
+     * pinned table byte-identical. Epoch counters are zero in serial
+     * mode; burst counters are zero with shards == 1.
+     */
+    std::uint64_t epochs = 0;
+    std::uint64_t rolledBackEpochs = 0;
+    std::uint64_t speculatedEvents = 0;
+    std::uint64_t shardedBursts = 0;
+    std::uint64_t serialForcedBursts = 0;
+
     /** Erase-count statistics at end of run (device lifetime). */
     WearSummary wear;
 
