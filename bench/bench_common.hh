@@ -75,7 +75,7 @@ standardArgs(const std::string &description,
     args.addOption("trace-out", "",
                    "record flash-op spans and write a Perfetto "
                    "trace_event JSON per cell to this path");
-    args.addOption("trace-limit", "1000000",
+    args.addOption("span-limit", "1000000",
                    "maximum spans kept per cell trace");
     args.addOption("dump-stats", "",
                    "write each cell's end-of-run stat-registry dump "

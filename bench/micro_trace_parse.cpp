@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the external block-trace
+ * frontend: records/s through each streaming parser (FIU blkio, MSR
+ * CSV, generic CSV), the full adapter chain (split + fingerprint
+ * synthesis + compaction), and — after the microbenches — a
+ * streamed-vs-materialized replay comparison on a one-million-record
+ * fixture, the wall-clock and allocation numbers behind the
+ * bounded-memory replay claim (DESIGN.md section 7.16).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hh"
+#include "sim/ssd.hh"
+#include "trace/adapters.hh"
+#include "trace/formats.hh"
+#include "util/alloc_counter.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace zombie;
+
+constexpr std::uint64_t kParseRecords = 200'000;
+constexpr std::uint64_t kReplayRecords = 1'000'000;
+constexpr std::uint64_t kFootprintPages = 20'000;
+
+std::string
+fixtureDir()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return std::string(tmp ? tmp : "/tmp") + "/";
+}
+
+/** Deterministic request shape shared by every fixture writer. */
+struct FixtureRequest
+{
+    std::uint64_t page;
+    std::uint64_t pages;
+    bool write;
+    std::uint64_t ts; //!< ns
+};
+
+FixtureRequest
+fixtureRequest(Xoshiro256 &rng, std::uint64_t index)
+{
+    FixtureRequest req;
+    req.page = rng.nextBounded(kFootprintPages);
+    req.pages = 1 + rng.nextBounded(3);
+    req.write = rng.nextBounded(100) < 70;
+    req.ts = index * 2'500 + rng.nextBounded(500);
+    return req;
+}
+
+/** Write the fixture once; reused across iterations and runs. */
+const std::string &
+csvFixture(std::uint64_t records)
+{
+    static std::string path;
+    static std::uint64_t written = 0;
+    if (written == records)
+        return path;
+    path = fixtureDir() + "zombie_parse_bench_" +
+           std::to_string(records) + ".csv";
+    std::ofstream out(path);
+    out << "lba,size,op,ts\n";
+    Xoshiro256 rng(7);
+    for (std::uint64_t i = 0; i < records; ++i) {
+        const FixtureRequest req = fixtureRequest(rng, i);
+        out << req.page << ',' << req.pages * kPageSize << ','
+            << (req.write ? 'W' : 'R') << ',' << req.ts << '\n';
+    }
+    written = records;
+    return path;
+}
+
+const std::string &
+fiuFixture(std::uint64_t records)
+{
+    static std::string path;
+    static std::uint64_t written = 0;
+    if (written == records)
+        return path;
+    path = fixtureDir() + "zombie_parse_bench_" +
+           std::to_string(records) + ".blkio";
+    std::ofstream out(path);
+    Xoshiro256 rng(7);
+    for (std::uint64_t i = 0; i < records; ++i) {
+        const FixtureRequest req = fixtureRequest(rng, i);
+        // FILETIME ticks, 512B sectors, one MD5 per record.
+        out << req.ts / 100 << " 1234 bench " << req.page * 8 << ' '
+            << req.pages * 8 << ' ' << (req.write ? 'W' : 'R')
+            << " 8 0 "
+            << Fingerprint::fromValueId(rng.nextBounded(50'000)).hex()
+            << '\n';
+    }
+    written = records;
+    return path;
+}
+
+const std::string &
+msrFixture(std::uint64_t records)
+{
+    static std::string path;
+    static std::uint64_t written = 0;
+    if (written == records)
+        return path;
+    path = fixtureDir() + "zombie_parse_bench_" +
+           std::to_string(records) + ".msr";
+    std::ofstream out(path);
+    out << "Timestamp,Hostname,DiskNumber,Type,Offset,Size,"
+           "ResponseTime\n";
+    Xoshiro256 rng(7);
+    constexpr std::uint64_t kFiletimeBase = 128166372000000000ULL;
+    for (std::uint64_t i = 0; i < records; ++i) {
+        const FixtureRequest req = fixtureRequest(rng, i);
+        out << kFiletimeBase + req.ts / 100 << ",bench,0,"
+            << (req.write ? "Write" : "Read") << ','
+            << req.page * kPageSize << ',' << req.pages * kPageSize
+            << ",100\n";
+    }
+    written = records;
+    return path;
+}
+
+/** Drain one raw parser; return records parsed. */
+template <typename Source>
+std::uint64_t
+drainParser(const std::string &path)
+{
+    Source src(path);
+    RawIoRecord rec;
+    std::uint64_t n = 0;
+    while (src.next(rec))
+        ++n;
+    return n;
+}
+
+void
+BM_ParseFiuBlkio(benchmark::State &state)
+{
+    const std::string &path = fiuFixture(kParseRecords);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(drainParser<FiuBlkioSource>(path));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kParseRecords));
+}
+
+void
+BM_ParseMsrCsv(benchmark::State &state)
+{
+    const std::string &path = msrFixture(kParseRecords);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(drainParser<MsrCsvSource>(path));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kParseRecords));
+}
+
+void
+BM_ParseGenericCsv(benchmark::State &state)
+{
+    const std::string &path = csvFixture(kParseRecords);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(drainParser<GenericCsvSource>(path));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(kParseRecords));
+}
+
+/** The full chain: parse + 4KB split + synthesis + compaction. */
+void
+BM_AdapterChain(benchmark::State &state)
+{
+    ExternalTraceConfig cfg;
+    cfg.path = csvFixture(kParseRecords);
+    cfg.format = ExternalFormat::GenericCsv;
+    cfg.versionPeriod = 8;
+    const ScannedTrace scan = scanExternalTrace(cfg);
+    std::uint64_t emitted = 0;
+    for (auto _ : state) {
+        const auto src = scan.factory();
+        TraceRecord rec;
+        emitted = 0;
+        while (src->next(rec))
+            ++emitted;
+        benchmark::DoNotOptimize(emitted);
+    }
+    state.counters["records_out"] =
+        benchmark::Counter(static_cast<double>(emitted));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(emitted));
+}
+
+/**
+ * Replay the one-million-record fixture streamed and materialized
+ * and report wall clock plus allocator traffic for both: the same
+ * byte-identical result, with the streamed path's heap bounded by
+ * the footprint instead of the trace.
+ */
+void
+reportReplayComparison()
+{
+    ExternalTraceConfig cfg;
+    cfg.path = csvFixture(kReplayRecords);
+    cfg.format = ExternalFormat::GenericCsv;
+    cfg.versionPeriod = 8;
+    cfg.summarize = false; // scan cost only where replay needs it
+    const ScannedTrace scan = scanExternalTrace(cfg);
+
+    struct Row
+    {
+        const char *mode;
+        double wall_s;
+        std::uint64_t allocs;
+        std::uint64_t requests;
+    };
+    Row rows[2];
+    for (int streamed = 1; streamed >= 0; --streamed) {
+        SsdConfig ssd_cfg = SsdConfig::forFootprint(
+            scan.footprintPages, SystemKind::Baseline);
+        ssd_cfg.queueDepth = 8;
+        const std::uint64_t allocs_before = heapAllocCount();
+        const auto start = std::chrono::steady_clock::now();
+        Ssd ssd(ssd_cfg);
+        std::uint64_t requests = 0;
+        if (streamed) {
+            const auto src = scan.factory();
+            ssd.run(*src);
+        } else {
+            const auto src = scan.factory();
+            const auto records = drainSource(*src);
+            ssd.run(records);
+        }
+        requests = ssd.result().requests;
+        const double wall_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        rows[streamed ? 0 : 1] =
+            Row{streamed ? "streamed" : "materialized", wall_s,
+                heapAllocCount() - allocs_before, requests};
+    }
+
+    std::printf("\nreplay comparison (%llu-record generic CSV, "
+                "footprint %llu pages, baseline system):\n",
+                static_cast<unsigned long long>(scan.records),
+                static_cast<unsigned long long>(scan.footprintPages));
+    TextTable table({"mode", "requests", "wall_s", "req_per_s",
+                     "heap_allocs"});
+    for (const Row &row : rows) {
+        table.addRow(
+            {row.mode, std::to_string(row.requests),
+             TextTable::num(row.wall_s),
+             TextTable::num(row.wall_s > 0.0
+                                ? static_cast<double>(row.requests) /
+                                      row.wall_s
+                                : 0.0),
+             std::to_string(row.allocs)});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace
+
+BENCHMARK(BM_ParseFiuBlkio);
+BENCHMARK(BM_ParseMsrCsv);
+BENCHMARK(BM_ParseGenericCsv);
+BENCHMARK(BM_AdapterChain);
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    reportReplayComparison();
+
+    bench::paperShape(
+        "all three parsers sustain millions of records/s, so ingest "
+        "never gates replay; the streamed and materialized runs "
+        "finish in comparable wall time with identical results, but "
+        "the streamed path's allocator traffic is footprint-sized "
+        "while the materialized path pays an extra O(trace) for the "
+        "record vector — the gap that makes 10-100M-request replays "
+        "fit in memory.");
+    return 0;
+}

@@ -52,7 +52,7 @@ standardOptions(const ArgParser &args)
         static_cast<std::uint32_t>(args.getUint("queue-depth"));
     opts.engine = args.getString("engine");
     opts.statsInterval = ticksFromUs(args.getDouble("stats-interval"));
-    opts.traceLimit = args.getUint("trace-limit");
+    opts.traceLimit = args.getUint("span-limit");
     opts.statsCsv = args.getString("stats-csv");
     opts.statsJson = args.getString("stats-json");
     opts.traceOut = args.getString("trace-out");

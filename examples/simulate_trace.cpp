@@ -4,9 +4,18 @@
  * external tool emitting the same format) or a generated preset —
  * through a chosen system and print the full result statistics.
  *
+ * External block traces (FIU SRCMap blkio, MSR-Cambridge CSV, or a
+ * generic "lba,size,op,ts" CSV) replay through the streaming ingest
+ * path (trace/adapters.hh): records are parsed, 4KB-split,
+ * fingerprinted and admitted as the simulated clock reaches them,
+ * so memory stays bounded by the drive footprint even at 10-100M
+ * requests.
+ *
  * Examples:
  *   ./simulate_trace --workload web --system dvp+dedup
  *   ./simulate_trace --trace /tmp/mail.trc --system ideal
+ *   ./simulate_trace --trace-file mail.blkio --trace-format fiu \
+ *       --trace-limit 1000000 --system dvp
  */
 
 #include <chrono>
@@ -14,6 +23,7 @@
 #include <fstream>
 
 #include "sim/ssd.hh"
+#include "trace/adapters.hh"
 #include "trace/generator.hh"
 #include "trace/io.hh"
 #include "trace/multi_tenant.hh"
@@ -30,6 +40,30 @@ main(int argc, char **argv)
     ArgParser args("Replay a content trace on a simulated SSD");
     args.addOption("trace", "", "trace file to replay (overrides "
                                 "--workload)");
+    args.addOption("trace-file", "",
+                   "external block trace to stream-replay "
+                   "(overrides --trace and --workload)");
+    args.addOption("trace-format", "csv",
+                   "external trace format: native | fiu | msr | csv");
+    args.addOption("trace-limit", "0",
+                   "replay at most this many 4KB records (0 = all)");
+    args.addOption("trace-skip", "0",
+                   "skip this many 4KB records before replaying");
+    args.addOption("trace-stride", "1",
+                   "replay every Nth 4KB record (downsampling)");
+    args.addOption("version-period", "0",
+                   "synthesized-content recurrence period for "
+                   "hashless formats (0 = every write is fresh)");
+    args.addFlag("no-compact",
+                 "keep raw device LBAs instead of compacting to the "
+                 "trace footprint");
+    args.addFlag("materialize",
+                 "load the whole external trace into memory before "
+                 "replay (differential-testing reference; "
+                 "byte-identical to the streamed default)");
+    args.addFlag("no-summary",
+                 "skip the value-distinct trace summary (saves "
+                 "O(distinct values) memory on huge traces)");
     args.addOption("workload", "mail", "preset workload to generate");
     args.addOption("requests", "100000", "generated trace length");
     args.addOption("seed", "42", "generator seed");
@@ -63,7 +97,7 @@ main(int argc, char **argv)
     args.addOption("stats-json", "", "epoch time-series JSON output");
     args.addOption("trace-out", "",
                    "Perfetto trace_event JSON of flash-op spans");
-    args.addOption("trace-limit", "1000000",
+    args.addOption("span-limit", "1000000",
                    "maximum spans kept in the op trace");
     args.addOption("dump-stats", "",
                    "end-of-run stat-registry dump output");
@@ -77,14 +111,46 @@ main(int argc, char **argv)
     std::vector<TraceRecord> records;
     std::vector<std::uint64_t> namespace_pages;
     std::string label;
-    if (const std::string path = args.getString("trace");
+
+    // External-trace streaming path: scan once (footprint + summary
+    // + compaction map), then replay through the same adapter chain.
+    ScannedTrace scan;
+    bool stream_replay = false;
+    if (const std::string path = args.getString("trace-file");
         !path.empty()) {
         if (tenants > 1)
             zombie_fatal("multi-tenant replay needs a generated "
                          "workload (namespace layout is not stored "
+                         "in trace files); drop --trace-file");
+        ExternalTraceConfig tcfg;
+        tcfg.path = path;
+        tcfg.format =
+            externalFormatFromString(args.getString("trace-format"));
+        tcfg.skip = args.getUint("trace-skip");
+        tcfg.limit = args.getUint("trace-limit");
+        tcfg.stride = args.getUint("trace-stride");
+        tcfg.versionPeriod = static_cast<std::uint32_t>(
+            args.getUint("version-period"));
+        tcfg.compact = !args.getFlag("no-compact");
+        tcfg.summarize = !args.getFlag("no-summary");
+        scan = scanExternalTrace(tcfg);
+        if (scan.records == 0)
+            zombie_fatal("trace is empty: ", path);
+        label = path + " (" + toString(tcfg.format) + ")";
+        if (args.getFlag("materialize")) {
+            const auto src = scan.factory();
+            records = drainSource(*src);
+        } else {
+            stream_replay = true;
+        }
+    } else if (const std::string native = args.getString("trace");
+               !native.empty()) {
+        if (tenants > 1)
+            zombie_fatal("multi-tenant replay needs a generated "
+                         "workload (namespace layout is not stored "
                          "in trace files); drop --trace");
-        records = TraceReader(path).readAll();
-        label = path;
+        records = TraceReader(native).readAll();
+        label = native;
     } else {
         const WorkloadProfile profile = WorkloadProfile::preset(
             workloadFromString(args.getString("workload")), 1,
@@ -100,16 +166,24 @@ main(int argc, char **argv)
             label = profile.name;
         }
     }
-    if (records.empty())
+    if (!stream_replay && records.empty())
         zombie_fatal("trace is empty");
 
     // Size the drive from the trace's address footprint.
-    const TraceSummary summary = summarizeTrace(records);
-    Lpn max_lpn = 0;
-    for (const auto &rec : records)
-        max_lpn = std::max(max_lpn, rec.lpn);
+    TraceSummary summary;
+    Lpn footprint = 0;
+    if (scan.records > 0) {
+        summary = scan.summary;
+        footprint = scan.footprintPages;
+    } else {
+        summary = summarizeTrace(records);
+        Lpn max_lpn = 0;
+        for (const auto &rec : records)
+            max_lpn = std::max(max_lpn, rec.lpn);
+        footprint = max_lpn + 1;
+    }
 
-    SsdConfig cfg = SsdConfig::forFootprint(max_lpn + 1, system,
+    SsdConfig cfg = SsdConfig::forFootprint(footprint, system,
                                             args.getDouble("op"));
     cfg.mq.capacity = args.getUint("pool");
     cfg.queueDepth =
@@ -124,7 +198,7 @@ main(int argc, char **argv)
     cfg.namespacePages = namespace_pages;
     cfg.statsInterval = ticksFromUs(args.getDouble("stats-interval"));
     cfg.opTrace = !args.getString("trace-out").empty();
-    cfg.traceLimit = args.getUint("trace-limit");
+    cfg.traceLimit = args.getUint("span-limit");
 
     std::printf("%s", sectionBanner("replaying " + label + " on " +
                                     toString(system)).c_str());
@@ -138,7 +212,12 @@ main(int argc, char **argv)
 
     Ssd ssd(cfg);
     const auto wall_start = std::chrono::steady_clock::now();
-    ssd.run(records);
+    if (stream_replay) {
+        const auto src = scan.factory();
+        ssd.run(*src);
+    } else {
+        ssd.run(records);
+    }
     const SimResult result = ssd.result();
     const double wall_s =
         std::chrono::duration<double>(

@@ -86,6 +86,36 @@ for preset in $presets; do
     diff -u tests/golden/smoke/multi_tenant.txt \
         "$bindir/multi_tenant.smoke.txt"
 
+    # External-trace replay smoke: generate a 50k-record generic-CSV
+    # fixture with awk (pure arithmetic, so the bytes are identical
+    # on every host), stream it through the trace frontend
+    # (DESIGN.md section 7.16) and diff against the committed golden,
+    # then require the --materialize run to reproduce the streamed
+    # stdout byte-for-byte. The fixture lives at a fixed /tmp path so
+    # the "replaying <path>" banner matches across presets.
+    echo "==> trace replay smoke [$preset]"
+    fixture=/tmp/zombie_replay_smoke.csv
+    awk 'BEGIN {
+        print "lba,size,op,ts"
+        for (i = 0; i < 50000; i++) {
+            lba = (i * 7919) % 4096
+            op = (i % 4 == 3) ? "R" : "W"
+            size = (i % 5 == 0) ? 12288 : 4096
+            printf "%d,%d,%s,%d\n", lba, size, op, i * 3000
+        }
+    }' > "$fixture"
+    "$bindir"/examples/simulate_trace --trace-file "$fixture" \
+        --trace-format csv --version-period 3 --system dvp \
+        --queue-depth 8 > "$bindir/replay_csv.smoke.txt"
+    diff -u tests/golden/smoke/replay_csv.txt \
+        "$bindir/replay_csv.smoke.txt"
+    "$bindir"/examples/simulate_trace --trace-file "$fixture" \
+        --trace-format csv --version-period 3 --system dvp \
+        --queue-depth 8 --materialize \
+        > "$bindir/replay_csv.materialized.txt"
+    diff -u "$bindir/replay_csv.smoke.txt" \
+        "$bindir/replay_csv.materialized.txt"
+
     # Sharded flash-phase differential: the channel-sharded issue
     # path must reproduce the serial run byte-for-byte. Run under
     # every preset — under tsan this is also the data-race probe for

@@ -3,7 +3,10 @@
 # 1M-request mail/dvp cell through simulate_trace — serial, with the
 # channel-sharded flash phase, and with the epoch-sharded event
 # engine — byte-diff each variant's stdout against the serial stdout,
-# and write the wall-clock record.
+# and write the wall-clock record. A fourth row times the same
+# request count streamed through the external generic-CSV frontend
+# (parse + adapt + replay, DESIGN.md section 7.16), byte-diffed
+# against its own --materialize run.
 #
 #   scripts/singletrace_probe.sh                 # refresh baseline
 #   BINDIR=build-x OUT=/tmp/p.json RUNS=1 scripts/singletrace_probe.sh
@@ -67,6 +70,44 @@ epoch_s="$(time_cell epoch 1 "$scratch/singletrace.epoch.txt")"
 diff_cell "$scratch/singletrace.sharded.txt"
 diff_cell "$scratch/singletrace.epoch.txt"
 
+# Streamed-replay row: one request per CSV line (4KB, no splitting)
+# so reqs_per_s is comparable with the generator rows above. awk
+# arithmetic only, so the fixture bytes are host-independent.
+fixture="$scratch/singletrace.replay.csv"
+awk -v n="$requests" 'BEGIN {
+    print "lba,size,op,ts"
+    for (i = 0; i < n; i++) {
+        lba = (i * 7919) % 65536
+        op = (i % 4 == 3) ? "R" : "W"
+        printf "%d,4096,%s,%d\n", lba, op, i * 2500
+    }
+}' > "$fixture"
+replay_s=""
+i=0
+while [ "$i" -lt "$runs" ]; do
+    start="$(date +%s.%N)"
+    "$bindir"/examples/simulate_trace --trace-file "$fixture" \
+        --trace-format csv --version-period 8 --system dvp \
+        --queue-depth 8 > "$scratch/singletrace.replay.txt"
+    end="$(date +%s.%N)"
+    replay_s="$(awk -v a="$start" -v b="$end" -v best="${replay_s:-0}" \
+        'BEGIN { w = b - a
+                 printf "%.3f", (best > 0 && best < w) ? best : w }')"
+    i=$((i + 1))
+done
+
+# The streamed pump must reproduce the materialized replay
+# byte-for-byte, just like the engine variants above.
+"$bindir"/examples/simulate_trace --trace-file "$fixture" \
+    --trace-format csv --version-period 8 --system dvp \
+    --queue-depth 8 --materialize \
+    > "$scratch/singletrace.replay.mat.txt"
+if ! diff -u "$scratch/singletrace.replay.txt" \
+    "$scratch/singletrace.replay.mat.txt"; then
+    echo "FATAL: streamed replay diverged from materialized" >&2
+    exit 1
+fi
+
 # Simulated event count (identical across variants — checked above).
 events="$(awk '/"events":/ { v = $0
     sub(/.*"events": /, "", v); sub(/[^0-9].*/, "", v)
@@ -74,7 +115,8 @@ events="$(awk '/"events":/ { v = $0
 
 awk -v requests="$requests" -v shards="$shards" -v runs="$runs" \
     -v events="$events" -v serial="$serial_s" \
-    -v sharded="$sharded_s" -v epoch="$epoch_s" '
+    -v sharded="$sharded_s" -v epoch="$epoch_s" \
+    -v replay="$replay_s" '
 BEGIN {
     printf "{\n"
     printf "  \"generated_by\": \"scripts/singletrace_probe.sh\",\n"
@@ -90,8 +132,10 @@ BEGIN {
            "\"reqs_per_s\": %.1f, \"events_per_s\": %.1f},\n", \
            shards, sharded, requests / sharded, events / sharded
     printf "  \"epoch\": {\"shards\": 1, \"wall_s\": %.3f, " \
-           "\"reqs_per_s\": %.1f, \"events_per_s\": %.1f}\n", \
+           "\"reqs_per_s\": %.1f, \"events_per_s\": %.1f},\n", \
            epoch, requests / epoch, events / epoch
+    printf "  \"replay\": {\"format\": \"csv\", \"wall_s\": %.3f, " \
+           "\"reqs_per_s\": %.1f}\n", replay, requests / replay
     printf "}\n"
 }' > "$out"
 

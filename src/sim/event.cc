@@ -117,12 +117,41 @@ EventEngine::step()
 void
 EventEngine::run()
 {
+    constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+    constexpr auto kMaxSeq = std::numeric_limits<std::uint64_t>::max();
     if (epochMode()) {
-        runEpochs();
+        runEpochs(kMaxTick, kMaxSeq);
         return;
     }
-    while (!empty())
-        step();
+    runSerial(kMaxTick, kMaxSeq);
+}
+
+void
+EventEngine::runBefore(Tick when)
+{
+    // The bound is the (when, seq) the next arrival-lane push will
+    // receive: everything that sorts before it fires, everything at
+    // or after it stays pending until that arrival is submitted.
+    if (epochMode()) {
+        runEpochs(when, arrivalSeq);
+        return;
+    }
+    runSerial(when, arrivalSeq);
+}
+
+void
+EventEngine::runSerial(Tick bound_when, std::uint64_t bound_seq)
+{
+    zombie_assert(target, "run() with no event sink attached");
+    const Event bound{bound_when, bound_seq, 0, 0,
+                      EventKind::HostArrival};
+    for (;;) {
+        int lane = -1;
+        const Event *next = peekNext(lane);
+        if (!next || !before(*next, bound))
+            return;
+        dispatch(*next, lane);
+    }
 }
 
 void
@@ -155,7 +184,8 @@ EventEngine::configureEpoch(std::uint32_t channels,
     zombie_assert(channels > 0, "epoch mode needs >= 1 channel");
     zombie_assert(channels <= 64,
                   "epoch mode lane mask caps channels at 64");
-    zombie_assert(empty() && nextSeq == 0,
+    zombie_assert(empty() && nextSeq == kNormalSeqBase &&
+                      arrivalSeq == 0,
                   "configureEpoch on a live engine");
     chanLanes.assign(channels, {});
     chanLog.assign(channels, {});
@@ -212,7 +242,10 @@ EventEngine::commitLogs()
 {
     for (const std::uint32_t c : activeCh)
         logHead[c] = 0;
-    // Set once a committed handler schedules anything. Every event
+    // Set once a committed handler schedules anything. Handlers only
+    // ever allocate from the normal band (arrival-lane pushes come
+    // from submit(), outside the engine), so watching nextSeq alone
+    // is sufficient. Every event
     // that existed when the epoch was drained sorts at or after the
     // horizon, which itself sorts after every log entry — so until a
     // handler schedules, no pending event can precede an uncommitted
@@ -278,16 +311,23 @@ EventEngine::commitLogs()
 }
 
 void
-EventEngine::runEpochs()
+EventEngine::runEpochs(Tick bound_when, std::uint64_t bound_seq)
 {
     zombie_assert(target, "run() with no event sink attached");
-    constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+    const Event bound{bound_when, bound_seq, 0, 0,
+                      EventKind::HostArrival};
     while (!empty()) {
         int glane = -1;
         const Event *g = peekGlobal(glane);
+        // A global event at or past the bound is not dispatchable
+        // this call; the horizon logic below still speculates local
+        // work up to the bound, exactly as it would up to g.
+        if (g && !before(*g, bound))
+            g = nullptr;
         if (localPending == 0) {
             // Nothing to speculate over: serial spine event.
-            zombie_assert(g, "empty() lied about pending work");
+            if (!g)
+                return;
             dispatch(*g, glane);
             continue;
         }
@@ -301,15 +341,18 @@ EventEngine::runEpochs()
             const auto c = static_cast<std::uint32_t>(
                 __builtin_ctzll(laneMask));
             const auto &lane = chanLanes[c];
-            if (!g || before(lane[0], *g)) {
+            if ((!g || before(lane[0], *g)) &&
+                before(lane[0], bound)) {
                 ++nEpochs;
                 ++nSpeculated;
                 epochSpanMax =
                     std::max<std::uint64_t>(epochSpanMax, 1);
                 dispatch(lane[0],
                          static_cast<int>(kMonotoneLanes + c));
-            } else {
+            } else if (g) {
                 dispatch(*g, glane);
+            } else {
+                return; // everything pending is at/past the bound
             }
             continue;
         }
@@ -317,8 +360,8 @@ EventEngine::runEpochs()
             hWhen = g->when;
             hSeq = g->seq;
         } else {
-            hWhen = kMaxTick;
-            hSeq = std::numeric_limits<std::uint64_t>::max();
+            hWhen = bound_when;
+            hSeq = bound_seq;
         }
         if (band && drainShards > 1 &&
             localPending >= kMinSpecEvents) {
@@ -347,9 +390,12 @@ EventEngine::runEpochs()
             activeCh.push_back(c);
         }
         if (total == 0) {
-            // Every local event sits at or past the horizon; the
-            // global event fires first. (g exists: a null horizon
-            // drains everything and localPending > 0.)
+            // Every local event sits at or past the horizon. Fire
+            // the global event when one is in bounds; otherwise the
+            // horizon was the bound itself and nothing else may run
+            // this call.
+            if (!g)
+                return;
             dispatch(*g, glane);
             continue;
         }

@@ -27,10 +27,18 @@
  *    few cache lines hot.
  *
  * A dispatch picks the earliest of the heap top and the lane fronts
- * by (when, seq). Sequence numbers are allocated globally at
- * schedule time across all storages, so the dispatch order is
- * exactly the order a single heap would produce: the split is purely
- * an implementation detail and byte-identity is preserved.
+ * by (when, seq). Sequence numbers are allocated at schedule time
+ * from two bands: the arrival lane draws from a low band counting
+ * from 0, every other storage from a high band starting at
+ * kNormalSeqBase. Within a band the numbering is the schedule
+ * order, so the dispatch order is exactly the order a single heap
+ * would produce for a materialized run — where every arrival is
+ * scheduled before the first drain and therefore always carries the
+ * smaller seq in a same-tick tie. The banding makes that tie-break
+ * independent of *when* the arrival was pushed, which is what lets
+ * streamed admission (runBefore + submit, record by record)
+ * reproduce the materialized dispatch order byte-for-byte
+ * (DESIGN.md section 7.16).
  *
  * Epoch-sharded mode (DESIGN.md section 7.15, configureEpoch): the
  * engine additionally partitions *channel-local* events — flash
@@ -115,6 +123,14 @@ class EventEngine
     static constexpr std::uint32_t kArrivalLane = 0;
     static constexpr std::uint32_t kDispatchLane = 1;
 
+    /**
+     * First sequence number of the non-arrival band. Arrival-lane
+     * events count from 0; everything else counts from here, so an
+     * arrival wins every same-tick tie against non-arrival events
+     * regardless of push order (see the file comment).
+     */
+    static constexpr std::uint64_t kNormalSeqBase = 1ull << 63;
+
     /** Route all dispatched events to @p sink (not owned). */
     void setSink(EventSink *sink) { target = sink; }
 
@@ -146,7 +162,9 @@ class EventEngine
                       "non-monotone push on lane ", lane, " (", when,
                       " < ", laneTail[lane], ")");
         laneTail[lane] = when;
-        lanes[lane].push_back(Event{when, nextSeq++, arg, ctx, kind});
+        const std::uint64_t seq =
+            lane == kArrivalLane ? arrivalSeq++ : nextSeq++;
+        lanes[lane].push_back(Event{when, seq, arg, ctx, kind});
     }
 
     /**
@@ -201,6 +219,17 @@ class EventEngine
 
     /** Fire events up to and including @p until. */
     void runUntil(Tick until);
+
+    /**
+     * Fire every event that dispatches before an arrival-lane push
+     * at @p when would — i.e. everything sorting before (when,
+     * next-arrival-seq). The streamed-admission pump: calling this
+     * just before each submit keeps the dispatch order identical to
+     * submitting the whole trace first and draining once, while the
+     * arrival backlog stays bounded by the in-flight window. Runs
+     * the epoch loop in epoch mode, so speculation is preserved.
+     */
+    void runBefore(Tick when);
 
     /** Pre-size the heap so steady state never reallocates. */
     void
@@ -319,8 +348,11 @@ class EventEngine
     /** Pop + dispatch one event found by peekNext. */
     void dispatch(const Event &ev, int lane);
 
-    /** The epoch loop behind run() (see file comment). */
-    void runEpochs();
+    /** Serial dispatch loop bounded by (bound_when, bound_seq). */
+    void runSerial(Tick bound_when, std::uint64_t bound_seq);
+
+    /** The epoch loop behind run(), bounded likewise. */
+    void runEpochs(Tick bound_when, std::uint64_t bound_seq);
 
     /** Drain channel @p c's lane into its commit log up to the
      *  current horizon (hWhen, hSeq). */
@@ -394,7 +426,11 @@ class EventEngine
 
     EventSink *target = nullptr;
     Tick current = 0;
-    std::uint64_t nextSeq = 0;
+
+    /** Band counters: arrival lane low, everything else high. */
+    std::uint64_t nextSeq = kNormalSeqBase;
+    std::uint64_t arrivalSeq = 0;
+
     std::uint64_t fired = 0;
     std::uint64_t kindFired[kNumEventKinds] = {};
 

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <fstream>
 
 #include "trace/generator.hh"
@@ -93,6 +94,29 @@ runSystemOnProfile(const WorkloadProfile &profile, SystemKind system,
     TraceRecord rec;
     while (gen.next(rec))
         ssd.process(rec);
+    SimResult result = ssd.result();
+    writeTelemetry(ssd, opts);
+    return result;
+}
+
+SimResult
+runSystemOnScannedTrace(const ScannedTrace &scan, SystemKind system,
+                        const ExperimentOptions &opts, bool streamed)
+{
+    SsdConfig cfg = SsdConfig::forFootprint(
+        std::max<std::uint64_t>(scan.footprintPages, 1), system);
+    applyOptions(cfg, opts);
+    if (opts.tweak)
+        opts.tweak(cfg);
+
+    Ssd ssd(cfg);
+    const auto src = scan.factory();
+    if (streamed) {
+        ssd.run(*src);
+    } else {
+        const std::vector<TraceRecord> records = drainSource(*src);
+        ssd.run(records);
+    }
     SimResult result = ssd.result();
     writeTelemetry(ssd, opts);
     return result;

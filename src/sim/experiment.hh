@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/ssd.hh"
+#include "trace/adapters.hh"
 #include "trace/profile.hh"
 
 namespace zombie
@@ -85,6 +86,20 @@ SimResult runSystem(Workload workload, SystemKind system,
 SimResult runSystemOnProfile(const WorkloadProfile &profile,
                              SystemKind system,
                              const ExperimentOptions &opts = {});
+
+/**
+ * Replay a scanned external trace (trace/adapters.hh) on @p system,
+ * sizing the drive from the scan's footprint. @p streamed admits
+ * each record only once the engine has serviced everything ordered
+ * before its arrival — bounded memory at 10-100M requests — and is
+ * byte-identical to the materialized replay (streamed == false),
+ * which submits the whole trace up front and exists as the
+ * differential-testing reference.
+ */
+SimResult runSystemOnScannedTrace(const ScannedTrace &scan,
+                                  SystemKind system,
+                                  const ExperimentOptions &opts = {},
+                                  bool streamed = true);
 
 /**
  * Simulate one drive shared by explicitly-profiled tenants (one

@@ -308,6 +308,22 @@ Ssd::run(const std::vector<TraceRecord> &records)
     drain();
 }
 
+void
+Ssd::run(TraceSource &source)
+{
+    if (!prefilled && cfg.prefillFraction > 0.0)
+        prefill();
+    TraceRecord rec;
+    while (source.next(rec)) {
+        // Service the past before admitting the future: everything
+        // ordered strictly before this arrival's (when, seq) key has
+        // fired, so the arrivals ring holds only in-flight commands.
+        engine.runBefore(rec.arrival);
+        process(rec);
+    }
+    drain();
+}
+
 SimResult
 Ssd::result()
 {

@@ -34,6 +34,7 @@
 #include "telemetry/perfetto_trace.hh"
 #include "telemetry/stat_registry.hh"
 #include "trace/record.hh"
+#include "trace/source.hh"
 #include "util/stats.hh"
 #include "util/worker_band.hh"
 
@@ -144,6 +145,19 @@ class Ssd
 
     /** Service a whole trace (prefill() first if configured). */
     void run(const std::vector<TraceRecord> &records);
+
+    /**
+     * Service a trace streamed from @p source with bounded memory:
+     * before each record is admitted, the engine first services
+     * everything scheduled strictly before the record's arrival, so
+     * at most the genuinely-concurrent window of commands is ever
+     * buffered. Byte-identical to run(records) — arrival events
+     * draw sequence numbers from a dedicated low band, so every
+     * event's (when, seq) dispatch key is the same whether arrivals
+     * are all scheduled up front or admitted as the clock reaches
+     * them (DESIGN.md section 7.16).
+     */
+    void run(TraceSource &source);
 
     /** Run the event engine until every submitted request completed. */
     void drain();

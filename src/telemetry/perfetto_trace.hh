@@ -8,7 +8,7 @@
  * track, plus thread_name metadata events. Ticks are nanoseconds, so
  * timestamps print with three decimals and lose nothing.
  *
- * The buffer keeps the first `limit` spans offered (--trace-limit):
+ * The buffer keeps the first `limit` spans offered (--span-limit):
  * the interesting transients — pool warm-up, first GC storms — are at
  * the front of a run, and a hard cap keeps a day-long trace from
  * buffering gigabytes. recorded() vs kept() exposes the truncation.

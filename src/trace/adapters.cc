@@ -1,0 +1,239 @@
+#include "trace/adapters.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "trace/io.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+namespace
+{
+
+/**
+ * Keeps synthesized external content ids clear of the generator's
+ * value-id regions (tenant salts in the low top-nibble, cold reads
+ * at 0xC0.., prefill at 0xF0..). XOR with a constant is a bijection,
+ * so it cannot break (lpn, version) injectivity.
+ */
+constexpr std::uint64_t kExternalIdSalt = 0xe3a1d95b00000000ULL;
+
+constexpr std::uint64_t kGoldenRatio = 0x9e3779b97f4a7c15ULL;
+
+std::unique_ptr<RawTraceSource>
+openRawSource(const ExternalTraceConfig &cfg)
+{
+    switch (cfg.format) {
+      case ExternalFormat::FiuBlkio:
+        return std::make_unique<FiuBlkioSource>(cfg.path);
+      case ExternalFormat::MsrCsv:
+        return std::make_unique<MsrCsvSource>(cfg.path);
+      case ExternalFormat::GenericCsv:
+        return std::make_unique<GenericCsvSource>(cfg.path);
+      case ExternalFormat::Native:
+        break;
+    }
+    zombie_panic("native traces bypass the raw-parser layer");
+}
+
+} // namespace
+
+Fingerprint
+synthesizeFingerprint(Lpn lpn, std::uint32_t version)
+{
+    zombie_assert(lpn < (1ULL << 40),
+                  "external LPN exceeds the 2^40 synthesis range");
+    const std::uint64_t id =
+        ((static_cast<std::uint64_t>(version) << 40) | lpn) ^
+        kExternalIdSalt;
+    return Fingerprint::fromValueId(id);
+}
+
+Fingerprint
+pageFingerprint(const Fingerprint &native, std::uint64_t page_index)
+{
+    if (page_index == 0)
+        return native;
+    // Later pages of a multi-page extent get distinct deterministic
+    // fingerprints derived from the extent hash and their index.
+    return Fingerprint::fromValueId(native.word0() ^
+                                    (native.word1() * kGoldenRatio) ^
+                                    (page_index * kGoldenRatio));
+}
+
+ExternalPageSource::ExternalPageSource(
+    std::unique_ptr<RawTraceSource> raw, std::uint32_t version_period)
+    : src(std::move(raw)), period(version_period)
+{
+}
+
+bool
+ExternalPageSource::next(TraceRecord &out)
+{
+    if (!active) {
+        if (!src->next(cur))
+            return false;
+        // A zero-length request still touches the page at offset.
+        const std::uint64_t len =
+            std::max<std::uint64_t>(cur.length, 1);
+        page = cur.offset / kPageSize;
+        lastPage = (cur.offset + len - 1) / kPageSize;
+        pageIndex = 0;
+        active = true;
+    }
+
+    out = TraceRecord{};
+    out.arrival = cur.arrival;
+    out.op = cur.write ? OpType::Write : OpType::Read;
+    out.lpn = page;
+    out.valueId = TraceRecord::kNoValueId;
+    if (cur.hasFingerprint) {
+        out.fp = pageFingerprint(cur.fp, pageIndex);
+    } else {
+        // Hashless formats: name content by (LBA, version). Writes
+        // bump the page's version — wrapping modulo the period, so
+        // overwritten content eventually recurs — and reads see the
+        // version currently on the page (0 if never written).
+        std::uint32_t version = 0;
+        if (cur.write) {
+            std::uint32_t &slot = versions[page];
+            slot = period ? (slot + 1) % period : slot + 1;
+            version = slot;
+        } else {
+            const auto it = versions.find(page);
+            if (it != versions.end())
+                version = it->second;
+        }
+        out.fp = synthesizeFingerprint(page, version);
+    }
+
+    ++pageIndex;
+    if (page >= lastPage)
+        active = false;
+    else
+        ++page;
+    return true;
+}
+
+bool
+WindowSource::next(TraceRecord &out)
+{
+    while (toSkip > 0) {
+        if (!src->next(out))
+            return false;
+        --toSkip;
+    }
+    if (bounded && remaining == 0)
+        return false;
+    if (!src->next(out))
+        return false;
+    if (bounded)
+        --remaining;
+    return true;
+}
+
+bool
+StrideSource::next(TraceRecord &out)
+{
+    for (;;) {
+        if (!src->next(out))
+            return false;
+        const bool keep = index % stride_ == 0;
+        ++index;
+        if (keep)
+            return true;
+    }
+}
+
+bool
+CompactingSource::next(TraceRecord &out)
+{
+    if (!src->next(out))
+        return false;
+    const auto it = map->find(out.lpn);
+    // The remap was built by a scan over this same deterministic
+    // stream, so every LPN the replay pass sees must be present.
+    zombie_assert(it != map->end(),
+                  "LPN absent from the compaction remap");
+    out.lpn = it->second;
+    return true;
+}
+
+TraceSourceFactory
+makeExternalSourceFactory(const ExternalTraceConfig &cfg)
+{
+    return [cfg]() -> std::unique_ptr<TraceSource> {
+        std::unique_ptr<TraceSource> src;
+        if (cfg.format == ExternalFormat::Native)
+            src = std::make_unique<TraceReader>(cfg.path);
+        else
+            src = std::make_unique<ExternalPageSource>(
+                openRawSource(cfg), cfg.versionPeriod);
+        if (cfg.skip > 0 || cfg.limit > 0)
+            src = std::make_unique<WindowSource>(std::move(src),
+                                                 cfg.skip, cfg.limit);
+        if (cfg.stride > 1)
+            src = std::make_unique<StrideSource>(std::move(src),
+                                                 cfg.stride);
+        return src;
+    };
+}
+
+ScannedTrace
+scanExternalTrace(const ExternalTraceConfig &cfg)
+{
+    ScannedTrace out;
+    const TraceSourceFactory inner = makeExternalSourceFactory(cfg);
+    auto remap = std::make_shared<LpnRemap>();
+    TraceSummarizer summarizer;
+
+    auto src = inner();
+    TraceRecord rec;
+    Lpn max_lpn = 0;
+    bool first = true;
+    while (src->next(rec)) {
+        ++out.records;
+        if (cfg.compact) {
+            const auto [it, fresh] = remap->insert(
+                {rec.lpn, static_cast<Lpn>(remap->size())});
+            (void)fresh;
+            rec.lpn = it->second;
+        }
+        max_lpn = std::max(max_lpn, rec.lpn);
+        if (cfg.summarize) {
+            summarizer.observe(rec);
+        } else {
+            // Cheap fields only: skip the O(distinct-values) sets.
+            if (rec.isWrite())
+                ++out.summary.writes;
+            else
+                ++out.summary.reads;
+            if (first)
+                out.summary.firstArrival = rec.arrival;
+            out.summary.lastArrival = rec.arrival;
+        }
+        first = false;
+    }
+
+    out.footprintPages =
+        cfg.compact ? remap->size()
+                    : (out.records > 0 ? max_lpn + 1 : 0);
+    if (cfg.summarize)
+        out.summary = summarizer.finish();
+    else
+        out.summary.distinctLpns = out.footprintPages;
+
+    if (cfg.compact) {
+        out.factory = [inner, remap]() -> std::unique_ptr<TraceSource> {
+            return std::make_unique<CompactingSource>(inner(), remap);
+        };
+    } else {
+        out.factory = inner;
+    }
+    return out;
+}
+
+} // namespace zombie

@@ -1,0 +1,320 @@
+#include "trace/formats.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <cctype>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+
+namespace
+{
+
+/**
+ * Split @p line on @p sep (the space separator also folds runs of
+ * whitespace, matching the blkio column convention) into at most
+ * @p max fields. @return the field count, which may exceed @p max by
+ * one to signal trailing garbage.
+ */
+std::size_t
+splitFields(const std::string &line, char sep, std::string_view *out,
+            std::size_t max)
+{
+    const char *p = line.data();
+    const char *end = p + line.size();
+    std::size_t n = 0;
+    while (p < end) {
+        if (sep == ' ') {
+            while (p < end && std::isspace(
+                                  static_cast<unsigned char>(*p)))
+                ++p;
+            if (p == end)
+                break;
+        }
+        const char *start = p;
+        if (sep == ' ') {
+            while (p < end && !std::isspace(
+                                  static_cast<unsigned char>(*p)))
+                ++p;
+        } else {
+            while (p < end && *p != sep)
+                ++p;
+        }
+        if (n < max)
+            out[n] = std::string_view(start,
+                                      static_cast<std::size_t>(
+                                          p - start));
+        if (++n > max)
+            return n;
+        if (sep != ' ' && p < end)
+            ++p; // skip the separator; empty trailing field is fine
+    }
+    return n;
+}
+
+bool
+allHexDigits(std::string_view s)
+{
+    return std::all_of(s.begin(), s.end(), [](char c) {
+        return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+    });
+}
+
+} // namespace
+
+ExternalFormat
+externalFormatFromString(const std::string &name)
+{
+    if (name == "native")
+        return ExternalFormat::Native;
+    if (name == "fiu")
+        return ExternalFormat::FiuBlkio;
+    if (name == "msr")
+        return ExternalFormat::MsrCsv;
+    if (name == "csv" || name == "generic")
+        return ExternalFormat::GenericCsv;
+    zombie_fatal("unknown trace format '", name,
+                 "' (native|fiu|msr|csv)");
+}
+
+std::string
+toString(ExternalFormat format)
+{
+    switch (format) {
+      case ExternalFormat::Native:
+        return "native";
+      case ExternalFormat::FiuBlkio:
+        return "fiu";
+      case ExternalFormat::MsrCsv:
+        return "msr";
+      case ExternalFormat::GenericCsv:
+        return "csv";
+    }
+    zombie_panic("unreachable format");
+}
+
+LineTraceSource::LineTraceSource(const std::string &path,
+                                 const char *format_name)
+    : in(path), path_(path), fmtName(format_name)
+{
+    if (!in)
+        zombie_fatal("cannot open ", fmtName, " trace: ", path);
+}
+
+void
+LineTraceSource::fail(const std::string &what,
+                      const std::string &line) const
+{
+    zombie_fatal("malformed ", fmtName, " record at ", path_, ":",
+                 lineNo, " (", what, "): '", line, "'");
+}
+
+std::uint64_t
+LineTraceSource::parseUint(std::string_view field,
+                           const std::string &line) const
+{
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        field.data(), field.data() + field.size(), value);
+    if (ec != std::errc{} || ptr != field.data() + field.size())
+        fail("expected unsigned integer, got '" +
+                 std::string(field) + "'",
+             line);
+    return value;
+}
+
+bool
+LineTraceSource::isHeader(const std::string &) const
+{
+    return false;
+}
+
+bool
+LineTraceSource::next(RawIoRecord &out)
+{
+    while (std::getline(in, text)) {
+        ++lineNo;
+        if (text.empty() || text[0] == '#')
+            continue;
+        if (!sawFirst && isHeader(text))
+            continue;
+        out = RawIoRecord{};
+        parseLine(text, out);
+
+        // Normalize: the first record's wall-clock timestamp maps to
+        // tick 0, and small reorderings (real traces carry them)
+        // clamp to nondecreasing — the host-queue submit contract.
+        if (!sawFirst) {
+            sawFirst = true;
+            firstRaw = rawTimestamp;
+        }
+        const std::uint64_t delta =
+            rawTimestamp > firstRaw ? rawTimestamp - firstRaw : 0;
+        Tick arrival = delta * arrivalUnitNs();
+        arrival = std::max(arrival, lastArrival);
+        lastArrival = arrival;
+        out.arrival = arrival;
+        return true;
+    }
+    if (in.bad())
+        zombie_fatal("I/O error reading ", fmtName, " trace ", path_,
+                     " near line ", lineNo);
+    return false;
+}
+
+FiuBlkioSource::FiuBlkioSource(const std::string &path)
+    : LineTraceSource(path, "fiu-blkio")
+{
+}
+
+void
+FiuBlkioSource::parseLine(const std::string &line, RawIoRecord &out)
+{
+    // "timestamp pid process lba size op major minor [md5]" —
+    // FILETIME ticks, 512-byte sectors, one MD5 per 4KB block.
+    std::string_view f[9];
+    const std::size_t n = splitFields(line, ' ', f, 9);
+    if (n != 8 && n != 9)
+        fail("expected 8 or 9 columns, got " + std::to_string(n),
+             line);
+    rawTimestamp = parseUint(f[0], line);
+    const std::uint64_t lba = parseUint(f[3], line);
+    const std::uint64_t sectors = parseUint(f[4], line);
+    if (f[5].size() != 1)
+        fail("bad op column '" + std::string(f[5]) + "'", line);
+    switch (f[5][0]) {
+      case 'W':
+      case 'w':
+        out.write = true;
+        break;
+      case 'R':
+      case 'r':
+        out.write = false;
+        break;
+      default:
+        fail("bad op '" + std::string(f[5]) + "'", line);
+    }
+    out.offset = lba * 512;
+    out.length = sectors * 512;
+    if (n == 9) {
+        if (f[8].size() != 32 || !allHexDigits(f[8]))
+            fail("md5 column is not 32 hex digits", line);
+        out.hasFingerprint = true;
+        out.fp = Fingerprint::fromHex(std::string(f[8]));
+    }
+}
+
+MsrCsvSource::MsrCsvSource(const std::string &path)
+    : LineTraceSource(path, "msr-csv")
+{
+}
+
+bool
+MsrCsvSource::isHeader(const std::string &line) const
+{
+    // The distributed CSVs often lead with a column-name row.
+    return line.rfind("Timestamp", 0) == 0 ||
+           line.rfind("timestamp", 0) == 0;
+}
+
+void
+MsrCsvSource::parseLine(const std::string &line, RawIoRecord &out)
+{
+    // "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime"
+    // — FILETIME ticks and byte offsets/sizes; no content hashes.
+    std::string_view f[7];
+    const std::size_t n = splitFields(line, ',', f, 7);
+    if (n != 7)
+        fail("expected 7 columns, got " + std::to_string(n), line);
+    rawTimestamp = parseUint(f[0], line);
+    if (f[3].empty())
+        fail("empty Type column", line);
+    switch (f[3][0]) {
+      case 'W':
+      case 'w':
+        out.write = true;
+        break;
+      case 'R':
+      case 'r':
+        out.write = false;
+        break;
+      default:
+        fail("bad Type '" + std::string(f[3]) + "'", line);
+    }
+    out.offset = parseUint(f[4], line);
+    out.length = parseUint(f[5], line);
+    out.hasFingerprint = false;
+}
+
+GenericCsvSource::GenericCsvSource(const std::string &path)
+    : LineTraceSource(path, "generic-csv")
+{
+}
+
+bool
+GenericCsvSource::isHeader(const std::string &line) const
+{
+    return line.rfind("lba", 0) == 0;
+}
+
+void
+GenericCsvSource::parseLine(const std::string &line, RawIoRecord &out)
+{
+    // "lba,size,op,ts" — lba in 4KB pages, size in bytes, ts in ns.
+    std::string_view f[4];
+    const std::size_t n = splitFields(line, ',', f, 4);
+    if (n != 4)
+        fail("expected 4 columns, got " + std::to_string(n), line);
+    const std::uint64_t lba = parseUint(f[0], line);
+    out.offset = lba * kPageSize;
+    out.length = parseUint(f[1], line);
+    if (f[2].size() != 1)
+        fail("bad op column '" + std::string(f[2]) + "'", line);
+    switch (f[2][0]) {
+      case 'W':
+      case 'w':
+        out.write = true;
+        break;
+      case 'R':
+      case 'r':
+        out.write = false;
+        break;
+      default:
+        fail("bad op '" + std::string(f[2]) + "'", line);
+    }
+    rawTimestamp = parseUint(f[3], line);
+    out.hasFingerprint = false;
+}
+
+GenericCsvWriter::GenericCsvWriter(const std::string &path)
+    : out(path)
+{
+    if (!out)
+        zombie_fatal("cannot open CSV trace for writing: ", path);
+    out << "lba,size,op,ts\n";
+}
+
+GenericCsvWriter::~GenericCsvWriter()
+{
+    close();
+}
+
+void
+GenericCsvWriter::write(const TraceRecord &rec)
+{
+    out << rec.lpn << ",4096," << (rec.isWrite() ? 'W' : 'R') << ','
+        << rec.arrival << '\n';
+    ++count;
+}
+
+void
+GenericCsvWriter::close()
+{
+    if (out.is_open())
+        out.close();
+}
+
+} // namespace zombie

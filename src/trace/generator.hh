@@ -25,6 +25,7 @@
 #include "hash/hasher.hh"
 #include "trace/profile.hh"
 #include "trace/record.hh"
+#include "trace/source.hh"
 #include "util/random.hh"
 #include "util/zipf.hh"
 
@@ -75,7 +76,7 @@ struct GeneratorStats
 };
 
 /** Streaming trace generator; one instance per trace/day. */
-class SyntheticTraceGenerator
+class SyntheticTraceGenerator : public TraceSource
 {
   public:
     /**
@@ -92,7 +93,7 @@ class SyntheticTraceGenerator
      * Produce the next record. @return false once the profile's
      * request budget is exhausted.
      */
-    bool next(TraceRecord &out);
+    bool next(TraceRecord &out) override;
 
     /** Materialize the entire trace (convenience for analyses). */
     std::vector<TraceRecord> generateAll();

@@ -1,5 +1,6 @@
 #include "trace/io.hh"
 
+#include <charconv>
 #include <cstring>
 #include <sstream>
 
@@ -112,15 +113,25 @@ TraceReader::next(TraceRecord &out)
     if (fmt == TraceFormat::Binary) {
         PackedRecord packed;
         in.read(reinterpret_cast<char *>(&packed), sizeof(packed));
-        if (in.gcount() == 0)
+        if (in.gcount() == 0) {
+            if (in.bad())
+                zombie_fatal("I/O error reading binary trace ", path_,
+                             " after record ", line);
             return false;
-        if (in.gcount() != sizeof(packed))
-            zombie_fatal("truncated binary trace: ", path_);
+        }
+        ++line; // binary: `line` counts records, not text lines
+        if (in.gcount() != static_cast<std::streamsize>(sizeof(packed)))
+            zombie_fatal("truncated binary trace ", path_, ": record ",
+                         line, " has ", in.gcount(), " of ",
+                         sizeof(packed), " bytes");
         out.arrival = packed.arrival;
         out.lpn = packed.lpn;
         out.valueId = packed.value_id;
         if (packed.op > 1)
-            zombie_fatal("corrupt op byte in binary trace: ", path_);
+            zombie_fatal("corrupt op byte ",
+                         static_cast<unsigned>(packed.op),
+                         " at record ", line, " in binary trace ",
+                         path_);
         out.op = static_cast<OpType>(packed.op);
         std::memcpy(out.fp.bytes.data(), packed.fp, 16);
         out.tenant = static_cast<std::uint16_t>(
@@ -148,9 +159,23 @@ TraceReader::next(TraceRecord &out)
         else
             zombie_fatal("bad op '", op_char, "' at line ", line, " in ",
                          path_);
+        if (fp_hex.size() != 32)
+            zombie_fatal("bad fingerprint '", fp_hex, "' at line ",
+                         line, " in ", path_,
+                         " (need 32 hex digits)");
         out.fp = Fingerprint::fromHex(fp_hex);
-        out.valueId = vid_text == "-" ? TraceRecord::kNoValueId
-                                      : std::stoull(vid_text);
+        if (vid_text == "-") {
+            out.valueId = TraceRecord::kNoValueId;
+        } else {
+            // Checked parse: std::stoull would throw (an uncaught
+            // exception, not a diagnosis) on a corrupt column.
+            const char *vid_end = vid_text.data() + vid_text.size();
+            const auto [ptr, ec] = std::from_chars(
+                vid_text.data(), vid_end, out.valueId);
+            if (ec != std::errc{} || ptr != vid_end)
+                zombie_fatal("bad value id '", vid_text,
+                             "' at line ", line, " in ", path_);
+        }
         std::uint64_t tenant = 0;
         out.tenant = (iss >> tenant)
                          ? static_cast<std::uint16_t>(tenant)

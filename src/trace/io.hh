@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "trace/record.hh"
+#include "trace/source.hh"
 
 namespace zombie
 {
@@ -49,13 +50,13 @@ class TraceWriter
 };
 
 /** Streaming reader mirroring TraceWriter. */
-class TraceReader
+class TraceReader : public TraceSource
 {
   public:
     explicit TraceReader(const std::string &path);
 
     /** @return false at end of trace; fatal on malformed input. */
-    bool next(TraceRecord &out);
+    bool next(TraceRecord &out) override;
 
     /** Drain the remainder of the trace. */
     std::vector<TraceRecord> readAll();

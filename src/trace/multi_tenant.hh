@@ -47,7 +47,7 @@ splitProfileAcrossTenants(const WorkloadProfile &base,
                           std::uint32_t tenants);
 
 /** Streaming k-way merge over per-tenant generators. */
-class MultiTenantTraceGenerator
+class MultiTenantTraceGenerator : public TraceSource
 {
   public:
     /** One profile per tenant; 1 <= size <= kMaxTenants (fatal). */
@@ -59,7 +59,7 @@ class MultiTenantTraceGenerator
      * LPN, salted value id). @return false when every tenant's
      * request budget is exhausted.
      */
-    bool next(TraceRecord &out);
+    bool next(TraceRecord &out) override;
 
     /** Materialize the whole merged trace. */
     std::vector<TraceRecord> generateAll();

@@ -1,0 +1,16 @@
+#include "trace/source.hh"
+
+namespace zombie
+{
+
+std::vector<TraceRecord>
+drainSource(TraceSource &source)
+{
+    std::vector<TraceRecord> records;
+    TraceRecord rec;
+    while (source.next(rec))
+        records.push_back(rec);
+    return records;
+}
+
+} // namespace zombie

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the external block-trace parsers (FIU blkio, MSR CSV,
+ * generic CSV) and the generic-CSV round-trip writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "trace/formats.hh"
+#include "util/types.hh"
+
+namespace zombie
+{
+namespace
+{
+
+class TraceFormatsTest : public testing::Test
+{
+  protected:
+    std::string
+    tempPath()
+    {
+        return testing::TempDir() + "zombie_trace_formats_test.trc";
+    }
+
+    void TearDown() override { std::remove(tempPath().c_str()); }
+
+    void
+    writeFile(const std::string &content)
+    {
+        std::ofstream out(tempPath());
+        out << content;
+    }
+
+    std::vector<RawIoRecord>
+    drainRaw(RawTraceSource &src)
+    {
+        std::vector<RawIoRecord> records;
+        RawIoRecord rec;
+        while (src.next(rec))
+            records.push_back(rec);
+        return records;
+    }
+};
+
+TEST_F(TraceFormatsTest, FormatNamesRoundTrip)
+{
+    for (const auto fmt :
+         {ExternalFormat::Native, ExternalFormat::FiuBlkio,
+          ExternalFormat::MsrCsv, ExternalFormat::GenericCsv})
+        EXPECT_EQ(externalFormatFromString(toString(fmt)), fmt);
+    EXPECT_EQ(externalFormatFromString("generic"),
+              ExternalFormat::GenericCsv);
+    EXPECT_EXIT((void)externalFormatFromString("tape"),
+                testing::ExitedWithCode(1), "unknown trace format");
+}
+
+TEST_F(TraceFormatsTest, FiuBlkioParsesSectorsAndMd5)
+{
+    const std::string md5 = "0123456789abcdef0123456789abcdef";
+    writeFile("1000 42 maild 16 8 W 8 0 " + md5 + "\n"
+              "1020 42 maild 24 16 R 8 0\n");
+    FiuBlkioSource src(tempPath());
+    const auto records = drainRaw(src);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].arrival, 0u); // first timestamp -> tick 0
+    EXPECT_TRUE(records[0].write);
+    EXPECT_EQ(records[0].offset, 16u * 512);
+    EXPECT_EQ(records[0].length, 8u * 512);
+    ASSERT_TRUE(records[0].hasFingerprint);
+    EXPECT_EQ(records[0].fp, Fingerprint::fromHex(md5));
+    // FILETIME: 20 ticks of 100ns each.
+    EXPECT_EQ(records[1].arrival, 2000u);
+    EXPECT_FALSE(records[1].write);
+    EXPECT_FALSE(records[1].hasFingerprint);
+}
+
+TEST_F(TraceFormatsTest, FiuBlkioRejectsMalformedLines)
+{
+    struct Case
+    {
+        const char *line;
+        const char *diagnostic;
+    };
+    const Case cases[] = {
+        {"1000 42 maild 16 8\n", "expected 8 or 9 columns"},
+        {"1000 42 maild 16 8 W 8 0 junk junk\n",
+         "expected 8 or 9 columns"},
+        {"1000 42 maild 16 8 Q 8 0\n", "bad op"},
+        {"xyz 42 maild 16 8 W 8 0\n", "expected unsigned integer"},
+        {"1000 42 maild 16 8 W 8 0 deadbeef\n",
+         "md5 column is not 32 hex digits"},
+    };
+    for (const Case &c : cases) {
+        writeFile(c.line);
+        FiuBlkioSource src(tempPath());
+        RawIoRecord rec;
+        EXPECT_EXIT((void)src.next(rec), testing::ExitedWithCode(1),
+                    c.diagnostic)
+            << c.line;
+    }
+}
+
+TEST_F(TraceFormatsTest, FatalNamesFileAndLine)
+{
+    writeFile("# comment\n"
+              "1000 42 maild 16 8 W 8 0\n"
+              "garbage\n");
+    FiuBlkioSource src(tempPath());
+    RawIoRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EXIT((void)src.next(rec), testing::ExitedWithCode(1),
+                ":3 ");
+}
+
+TEST_F(TraceFormatsTest, MsrCsvParsesBytesAndSkipsHeader)
+{
+    writeFile("Timestamp,Hostname,DiskNumber,Type,Offset,Size,"
+              "ResponseTime\n"
+              "128166372003061629,srv0,0,Write,8192,4096,100\n"
+              "128166372003061729,srv0,0,Read,16384,8192,80\n");
+    MsrCsvSource src(tempPath());
+    const auto records = drainRaw(src);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_TRUE(records[0].write);
+    EXPECT_EQ(records[0].offset, 8192u);
+    EXPECT_EQ(records[0].length, 4096u);
+    EXPECT_FALSE(records[0].hasFingerprint);
+    EXPECT_EQ(records[1].arrival, 10000u); // 100 FILETIME ticks
+    EXPECT_FALSE(records[1].write);
+}
+
+TEST_F(TraceFormatsTest, MsrCsvRejectsWrongColumnCount)
+{
+    writeFile("128166372003061629,srv0,0,Write,8192\n");
+    MsrCsvSource src(tempPath());
+    RawIoRecord rec;
+    EXPECT_EXIT((void)src.next(rec), testing::ExitedWithCode(1),
+                "expected 7 columns");
+}
+
+TEST_F(TraceFormatsTest, GenericCsvParsesPagesAndSkipsHeader)
+{
+    writeFile("lba,size,op,ts\n"
+              "# a comment\n"
+              "7,4096,W,0\n"
+              "9,8192,R,1500\n");
+    GenericCsvSource src(tempPath());
+    const auto records = drainRaw(src);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].offset, 7u * kPageSize);
+    EXPECT_EQ(records[0].length, 4096u);
+    EXPECT_TRUE(records[0].write);
+    EXPECT_EQ(records[1].arrival, 1500u); // ts already in ns
+    EXPECT_FALSE(records[1].write);
+}
+
+TEST_F(TraceFormatsTest, OutOfOrderTimestampsClampMonotone)
+{
+    writeFile("5,4096,W,1000\n"
+              "6,4096,W,400\n" // reordered: earlier raw timestamp
+              "7,4096,W,2000\n");
+    GenericCsvSource src(tempPath());
+    const auto records = drainRaw(src);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].arrival, 0u);
+    EXPECT_EQ(records[1].arrival, 0u); // clamped, not negative
+    EXPECT_EQ(records[2].arrival, 1000u);
+}
+
+TEST_F(TraceFormatsTest, GenericCsvWriterRoundTrips)
+{
+    {
+        GenericCsvWriter writer(tempPath());
+        TraceRecord rec;
+        rec.arrival = 10;
+        rec.op = OpType::Write;
+        rec.lpn = 3;
+        writer.write(rec);
+        rec.arrival = 25;
+        rec.op = OpType::Read;
+        rec.lpn = 4;
+        writer.write(rec);
+        EXPECT_EQ(writer.recordsWritten(), 2u);
+    }
+    GenericCsvSource src(tempPath());
+    const auto records = drainRaw(src);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].offset, 3u * kPageSize);
+    EXPECT_EQ(records[0].length, kPageSize);
+    EXPECT_TRUE(records[0].write);
+    EXPECT_EQ(records[0].arrival, 0u);
+    EXPECT_EQ(records[1].arrival, 15u); // normalized to first ts
+    EXPECT_FALSE(records[1].write);
+}
+
+TEST(TraceFormatsDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ GenericCsvSource src("/no/such/file.csv"); },
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace zombie

@@ -179,6 +179,46 @@ TEST_F(TraceIoTest, BadOpCharacterIsFatal)
                 "bad op");
 }
 
+TEST_F(TraceIoTest, BadValueIdIsFatalNotAnException)
+{
+    // std::stoull would throw here; the reader must diagnose the
+    // file and line instead.
+    {
+        std::ofstream out(tempPath());
+        out << "1 W 0 " << Fingerprint::fromValueId(1).hex()
+            << " banana\n";
+    }
+    TraceReader reader(tempPath());
+    TraceRecord rec;
+    EXPECT_EXIT((void)reader.next(rec), testing::ExitedWithCode(1),
+                "bad value id 'banana' at line 1");
+}
+
+TEST_F(TraceIoTest, ValueIdWithTrailingGarbageIsFatal)
+{
+    {
+        std::ofstream out(tempPath());
+        out << "1 W 0 " << Fingerprint::fromValueId(1).hex()
+            << " 12x\n";
+    }
+    TraceReader reader(tempPath());
+    TraceRecord rec;
+    EXPECT_EXIT((void)reader.next(rec), testing::ExitedWithCode(1),
+                "bad value id");
+}
+
+TEST_F(TraceIoTest, ShortFingerprintIsFatalWithLineNumber)
+{
+    {
+        std::ofstream out(tempPath());
+        out << "1 W 0 abc123 7\n";
+    }
+    TraceReader reader(tempPath());
+    TraceRecord rec;
+    EXPECT_EXIT((void)reader.next(rec), testing::ExitedWithCode(1),
+                "bad fingerprint 'abc123' at line 1");
+}
+
 TEST_F(TraceIoTest, TruncatedBinaryIsFatal)
 {
     writeTraceFile(tempPath(), TraceFormat::Binary, sampleTrace(4));
@@ -201,7 +241,7 @@ TEST_F(TraceIoTest, TruncatedBinaryIsFatal)
             while (reader.next(rec)) {
             }
         },
-        testing::ExitedWithCode(1), "truncated");
+        testing::ExitedWithCode(1), "truncated.*record 4");
 }
 
 TEST(TraceIoDeath, MissingFileIsFatal)
