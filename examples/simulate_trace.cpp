@@ -22,11 +22,13 @@
 #include <cstdio>
 #include <fstream>
 
+#include "sim/grid.hh"
 #include "sim/ssd.hh"
 #include "trace/adapters.hh"
 #include "trace/generator.hh"
 #include "trace/io.hh"
 #include "trace/multi_tenant.hh"
+#include "trace/prefetch.hh"
 #include "trace/summary.hh"
 #include "util/args.hh"
 #include "util/logging.hh"
@@ -57,6 +59,9 @@ main(int argc, char **argv)
     args.addFlag("no-compact",
                  "keep raw device LBAs instead of compacting to the "
                  "trace footprint");
+    args.addFlag("msr-disk-tenants",
+                 "route each source device (MSR DiskNumber) onto "
+                 "its own tenant namespace");
     args.addFlag("materialize",
                  "load the whole external trace into memory before "
                  "replay (differential-testing reference; "
@@ -64,6 +69,25 @@ main(int argc, char **argv)
     args.addFlag("no-summary",
                  "skip the value-distinct trace summary (saves "
                  "O(distinct values) memory on huge traces)");
+    args.addOption("prefetch", "4096",
+                   "decode-ahead batch size for streamed replay: "
+                   "the parse/adapter chain runs on a producer "
+                   "thread handing over batches of this many "
+                   "records");
+    args.addFlag("no-prefetch",
+                 "pull the parse/adapter chain inline on the "
+                 "simulation thread (byte-identical to the "
+                 "prefetched default)");
+    args.addOption("grid", "",
+                   "scan-once parameter sweep over the external "
+                   "trace, e.g. \"system=dvp,dedup;depth=1,32\" "
+                   "(axes: system|depth|gc|engine|pool)");
+    args.addOption("jobs", "1",
+                   "grid cells to run concurrently (0 = one per "
+                   "hardware thread)");
+    args.addOption("spool-mem-mb", "512",
+                   "grid spool memory budget in MB; larger traces "
+                   "spill to a temporary binary file");
     args.addOption("workload", "mail", "preset workload to generate");
     args.addOption("requests", "100000", "generated trace length");
     args.addOption("seed", "42", "generator seed");
@@ -132,6 +156,7 @@ main(int argc, char **argv)
         tcfg.versionPeriod = static_cast<std::uint32_t>(
             args.getUint("version-period"));
         tcfg.compact = !args.getFlag("no-compact");
+        tcfg.deviceTenants = args.getFlag("msr-disk-tenants");
         tcfg.summarize = !args.getFlag("no-summary");
         scan = scanExternalTrace(tcfg);
         if (scan.records == 0)
@@ -166,6 +191,70 @@ main(int argc, char **argv)
             label = profile.name;
         }
     }
+    // Scan-once grid sweep: spool the post-adapter stream once and
+    // fan the cells across worker threads; each cell's output is
+    // byte-identical to a standalone run of that configuration.
+    if (const std::string grid_text = args.getString("grid");
+        !grid_text.empty()) {
+        if (!stream_replay)
+            zombie_fatal("--grid sweeps an external trace; it needs "
+                         "--trace-file (and not --materialize)");
+        const GridSpec spec = parseGridSpec(grid_text);
+        ExperimentOptions gopts;
+        gopts.poolCapacity = args.getUint("pool");
+        gopts.queueDepth =
+            static_cast<std::uint32_t>(args.getUint("queue-depth"));
+        gopts.shards =
+            static_cast<std::uint32_t>(args.getUint("shards"));
+        gopts.engine = args.getString("engine");
+        gopts.arbiter = args.getString("arbiter");
+        gopts.dvpScope = args.getString("dvp-scope");
+        gopts.prefetchBatch =
+            args.getFlag("no-prefetch") ? 0 : args.getUint("prefetch");
+
+        std::printf("%s", sectionBanner("grid sweep over " + label)
+                              .c_str());
+        std::printf("%llu cells, %llu records\n",
+                    static_cast<unsigned long long>(spec.cells()),
+                    static_cast<unsigned long long>(scan.records));
+
+        const auto wall_start = std::chrono::steady_clock::now();
+        const auto cells = runGridOnScannedTrace(
+            scan, spec, system, gopts,
+            static_cast<unsigned>(args.getUint("jobs")),
+            args.getUint("spool-mem-mb") << 20);
+        const double wall_s =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+
+        for (const auto &cell : cells) {
+            std::printf("%s", sectionBanner("cell: " + cell.label)
+                                  .c_str());
+            std::printf("%s",
+                        cell.result.toStatSet().format().c_str());
+        }
+        std::printf("%s", sectionBanner("grid summary").c_str());
+        TextTable table({"cell", "requests", "rd_p99_us",
+                         "wr_p99_us", "gc_relocs", "revivals"});
+        for (const auto &cell : cells) {
+            const auto p99_us = [](const LatencyHistogram &h) {
+                return static_cast<double>(h.percentile(0.99)) /
+                       1000.0;
+            };
+            table.addRow(
+                {cell.label, std::to_string(cell.result.requests),
+                 TextTable::num(p99_us(cell.result.readLatency)),
+                 TextTable::num(p99_us(cell.result.writeLatency)),
+                 std::to_string(cell.result.gcRelocations),
+                 std::to_string(cell.result.revivals)});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("grid wall: %.3f s (%llu cells)\n", wall_s,
+                    static_cast<unsigned long long>(cells.size()));
+        return 0;
+    }
+
     if (!stream_replay && records.empty())
         zombie_fatal("trace is empty");
 
@@ -191,6 +280,13 @@ main(int argc, char **argv)
     cfg.shards = static_cast<std::uint32_t>(args.getUint("shards"));
     cfg.engineMode = engineModeFromString(args.getString("engine"));
     cfg.tenants = tenants;
+    if (scan.tenantPages.size() > 1) {
+        // --msr-disk-tenants: the scan routed devices onto tenant
+        // namespaces and laid them out contiguously.
+        cfg.tenants =
+            static_cast<std::uint32_t>(scan.tenantPages.size());
+        namespace_pages = scan.tenantPages;
+    }
     const ArbiterSpec arb = parseArbiterSpec(args.getString("arbiter"));
     cfg.arbiter = arb.kind;
     cfg.arbiterWeights = arb.weights;
@@ -213,7 +309,12 @@ main(int argc, char **argv)
     Ssd ssd(cfg);
     const auto wall_start = std::chrono::steady_clock::now();
     if (stream_replay) {
-        const auto src = scan.factory();
+        const std::size_t prefetch_batch =
+            args.getFlag("no-prefetch")
+                ? 0
+                : static_cast<std::size_t>(args.getUint("prefetch"));
+        const auto src =
+            maybePrefetch(scan.factory(), prefetch_batch);
         ssd.run(*src);
     } else {
         ssd.run(records);

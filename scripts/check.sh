@@ -116,6 +116,58 @@ for preset in $presets; do
     diff -u "$bindir/replay_csv.smoke.txt" \
         "$bindir/replay_csv.materialized.txt"
 
+    # Decode-ahead differential (DESIGN.md section 7.17): the
+    # streamed run above uses the default prefetch pipeline, so
+    # diffing an inline (--no-prefetch) run and an awkward batch
+    # size against it proves the producer thread is invisible —
+    # and under the tsan preset the default run doubles as the
+    # data-race probe for the hand-off ring.
+    echo "==> prefetch differential [$preset]"
+    "$bindir"/examples/simulate_trace --trace-file "$fixture" \
+        --trace-format csv --version-period 3 --system dvp \
+        --queue-depth 8 --no-prefetch \
+        > "$bindir/replay_csv.noprefetch.txt"
+    diff -u "$bindir/replay_csv.smoke.txt" \
+        "$bindir/replay_csv.noprefetch.txt"
+    "$bindir"/examples/simulate_trace --trace-file "$fixture" \
+        --trace-format csv --version-period 3 --system dvp \
+        --queue-depth 8 --prefetch 7 \
+        > "$bindir/replay_csv.prefetch7.txt"
+    diff -u "$bindir/replay_csv.smoke.txt" \
+        "$bindir/replay_csv.prefetch7.txt"
+
+    # Gzipped-input smoke: compress the fixture *in place* — the
+    # byte source sniffs container magic, not file extensions, so
+    # the same path now decodes through zlib and must reproduce
+    # the same golden byte-for-byte (banner included).
+    if command -v gzip > /dev/null 2>&1; then
+        echo "==> gzip replay smoke [$preset]"
+        gzip -n -c "$fixture" > "$fixture.tmp"
+        mv "$fixture.tmp" "$fixture"
+        "$bindir"/examples/simulate_trace --trace-file "$fixture" \
+            --trace-format csv --version-period 3 --system dvp \
+            --queue-depth 8 > "$bindir/replay_csv.gz.txt"
+        diff -u tests/golden/smoke/replay_csv.txt \
+            "$bindir/replay_csv.gz.txt"
+    else
+        echo "==> gzip replay smoke [$preset] (skipped: no gzip)" >&2
+    fi
+
+    # Scan-once grid smoke: a 2x2 sweep from the (now gzipped)
+    # fixture, two cells at a time. Deterministic like everything
+    # else — the whole stdout (per-cell stats and summary table)
+    # diffs against a golden; under tsan this is the race probe
+    # for the cell fan-out and the shared spool.
+    echo "==> grid sweep smoke [$preset]"
+    "$bindir"/examples/simulate_trace --trace-file "$fixture" \
+        --trace-format csv --version-period 3 --system dvp \
+        --grid "system=dvp,baseline;depth=1,8" --jobs 2 \
+        > "$bindir/replay_grid.smoke.txt"
+    grep -v '^grid wall:' "$bindir/replay_grid.smoke.txt" \
+        > "$bindir/replay_grid.filtered.txt"
+    diff -u tests/golden/smoke/replay_grid.txt \
+        "$bindir/replay_grid.filtered.txt"
+
     # Sharded flash-phase differential: the channel-sharded issue
     # path must reproduce the serial run byte-for-byte. Run under
     # every preset — under tsan this is also the data-race probe for

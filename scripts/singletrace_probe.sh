@@ -5,8 +5,10 @@
 # engine — byte-diff each variant's stdout against the serial stdout,
 # and write the wall-clock record. A fourth row times the same
 # request count streamed through the external generic-CSV frontend
-# (parse + adapt + replay, DESIGN.md section 7.16), byte-diffed
-# against its own --materialize run.
+# (parse + adapt + replay, DESIGN.md section 7.16) inline on the
+# simulation thread; a fifth repeats it with the decode-ahead
+# prefetch pipeline (section 7.17). Both are byte-diffed against
+# each other and the --materialize run.
 #
 #   scripts/singletrace_probe.sh                 # refresh baseline
 #   BINDIR=build-x OUT=/tmp/p.json RUNS=1 scripts/singletrace_probe.sh
@@ -82,19 +84,39 @@ awk -v n="$requests" 'BEGIN {
         printf "%d,4096,%s,%d\n", lba, op, i * 2500
     }
 }' > "$fixture"
-replay_s=""
-i=0
-while [ "$i" -lt "$runs" ]; do
-    start="$(date +%s.%N)"
-    "$bindir"/examples/simulate_trace --trace-file "$fixture" \
-        --trace-format csv --version-period 8 --system dvp \
-        --queue-depth 8 > "$scratch/singletrace.replay.txt"
-    end="$(date +%s.%N)"
-    replay_s="$(awk -v a="$start" -v b="$end" -v best="${replay_s:-0}" \
-        'BEGIN { w = b - a
-                 printf "%.3f", (best > 0 && best < w) ? best : w }')"
-    i=$((i + 1))
-done
+# Best-of-$runs for one replay variant; extra flags in $2.., stdout
+# in $1.
+time_replay() {
+    replay_out="$1"
+    shift
+    best=""
+    i=0
+    while [ "$i" -lt "$runs" ]; do
+        start="$(date +%s.%N)"
+        "$bindir"/examples/simulate_trace --trace-file "$fixture" \
+            --trace-format csv --version-period 8 --system dvp \
+            --queue-depth 8 "$@" > "$replay_out"
+        end="$(date +%s.%N)"
+        best="$(awk -v a="$start" -v b="$end" -v best="${best:-0}" \
+            'BEGIN { w = b - a
+                     printf "%.3f", (best > 0 && best < w) ? best : w }')"
+        i=$((i + 1))
+    done
+    echo "$best"
+}
+
+# Inline row: the parse/adapter chain runs on the simulation thread.
+replay_s="$(time_replay "$scratch/singletrace.replay.txt" \
+    --no-prefetch)"
+# Decode-ahead row (DESIGN.md section 7.17): the default prefetch
+# pipeline overlaps parsing with simulation; byte-identity with the
+# inline run is part of the materialize diff below.
+prefetch_s="$(time_replay "$scratch/singletrace.prefetch.txt")"
+if ! diff -u "$scratch/singletrace.replay.txt" \
+    "$scratch/singletrace.prefetch.txt"; then
+    echo "FATAL: prefetched replay diverged from inline" >&2
+    exit 1
+fi
 
 # The streamed pump must reproduce the materialized replay
 # byte-for-byte, just like the engine variants above.
@@ -116,7 +138,7 @@ events="$(awk '/"events":/ { v = $0
 awk -v requests="$requests" -v shards="$shards" -v runs="$runs" \
     -v events="$events" -v serial="$serial_s" \
     -v sharded="$sharded_s" -v epoch="$epoch_s" \
-    -v replay="$replay_s" '
+    -v replay="$replay_s" -v prefetch="$prefetch_s" '
 BEGIN {
     printf "{\n"
     printf "  \"generated_by\": \"scripts/singletrace_probe.sh\",\n"
@@ -135,7 +157,10 @@ BEGIN {
            "\"reqs_per_s\": %.1f, \"events_per_s\": %.1f},\n", \
            epoch, requests / epoch, events / epoch
     printf "  \"replay\": {\"format\": \"csv\", \"wall_s\": %.3f, " \
-           "\"reqs_per_s\": %.1f}\n", replay, requests / replay
+           "\"reqs_per_s\": %.1f},\n", replay, requests / replay
+    printf "  \"replay_prefetch\": {\"format\": \"csv\", " \
+           "\"wall_s\": %.3f, \"reqs_per_s\": %.1f}\n", \
+           prefetch, requests / prefetch
     printf "}\n"
 }' > "$out"
 

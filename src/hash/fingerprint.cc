@@ -20,7 +20,7 @@ Fingerprint::hex() const
 }
 
 Fingerprint
-Fingerprint::fromHex(const std::string &hex)
+Fingerprint::fromHex(std::string_view hex)
 {
     if (hex.size() != 32)
         zombie_fatal("fingerprint hex must be 32 chars, got ", hex.size());

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 namespace zombie
 {
@@ -48,7 +49,7 @@ struct Fingerprint
     std::string hex() const;
 
     /** Parse 32 hex characters; fatal on malformed input. */
-    static Fingerprint fromHex(const std::string &hex);
+    static Fingerprint fromHex(std::string_view hex);
 
     /**
      * Deterministically expand a synthetic value id into a fingerprint.

@@ -5,6 +5,7 @@
 
 #include "trace/generator.hh"
 #include "trace/multi_tenant.hh"
+#include "trace/prefetch.hh"
 #include "util/logging.hh"
 
 namespace zombie
@@ -106,12 +107,23 @@ runSystemOnScannedTrace(const ScannedTrace &scan, SystemKind system,
     SsdConfig cfg = SsdConfig::forFootprint(
         std::max<std::uint64_t>(scan.footprintPages, 1), system);
     applyOptions(cfg, opts);
+    if (scan.tenantPages.size() > 1) {
+        // Device-routed trace: the scan laid the namespaces out.
+        cfg.tenants =
+            static_cast<std::uint32_t>(scan.tenantPages.size());
+        cfg.namespacePages = scan.tenantPages;
+    }
     if (opts.tweak)
         opts.tweak(cfg);
 
     Ssd ssd(cfg);
-    const auto src = scan.factory();
+    auto src = scan.factory();
     if (streamed) {
+        // Decode ahead on a producer thread (order-preserving, so
+        // the engine sees the identical record stream either way).
+        src = maybePrefetch(
+            std::move(src),
+            static_cast<std::size_t>(opts.prefetchBatch));
         ssd.run(*src);
     } else {
         const std::vector<TraceRecord> records = drainSource(*src);

@@ -53,6 +53,16 @@ struct ExperimentOptions
     /** Arbiter spec: "rr" or "wrr:<w0,w1,..>" (sim/arbiter.hh). */
     std::string arbiter = "rr";
 
+    /**
+     * Decode-ahead batch size for streamed trace replay
+     * (trace/prefetch.hh): the parse/adapter chain runs on a
+     * producer thread handing the engine batches of this many
+     * records. 0 pulls inline on the simulation thread (the
+     * differential-testing reference). Either way the record stream
+     * is byte-identical — the prefetch ring preserves order exactly.
+     */
+    std::uint64_t prefetchBatch = 4096;
+
     /** Dead-value pool tenancy: "shared" | "partitioned". */
     std::string dvpScope = "shared";
 

@@ -42,14 +42,24 @@ openRawSource(const ExternalTraceConfig &cfg)
 } // namespace
 
 Fingerprint
-synthesizeFingerprint(Lpn lpn, std::uint32_t version)
+synthesizeFingerprint(Lpn lpn, std::uint32_t version,
+                      std::uint32_t tenant)
 {
     zombie_assert(lpn < (1ULL << 40),
                   "external LPN exceeds the 2^40 synthesis range");
-    const std::uint64_t id =
-        ((static_cast<std::uint64_t>(version) << 40) | lpn) ^
-        kExternalIdSalt;
-    return Fingerprint::fromValueId(id);
+    std::uint64_t id =
+        (static_cast<std::uint64_t>(version) << 40) | lpn;
+    if (tenant != 0) {
+        // Tenant salt occupies the top byte; versions then live in
+        // bits 40..55, so the three fields never overlap and the
+        // synthesis stays injective per tenant.
+        zombie_assert(version < (1U << 16),
+                      "per-tenant synthesis needs version < 2^16");
+        zombie_assert(tenant < kMaxTenants,
+                      "tenant id exceeds kMaxTenants");
+        id |= static_cast<std::uint64_t>(tenant) << 56;
+    }
+    return Fingerprint::fromValueId(id ^ kExternalIdSalt);
 }
 
 Fingerprint
@@ -65,8 +75,10 @@ pageFingerprint(const Fingerprint &native, std::uint64_t page_index)
 }
 
 ExternalPageSource::ExternalPageSource(
-    std::unique_ptr<RawTraceSource> raw, std::uint32_t version_period)
-    : src(std::move(raw)), period(version_period)
+    std::unique_ptr<RawTraceSource> raw, std::uint32_t version_period,
+    bool device_tenants)
+    : src(std::move(raw)), period(version_period),
+      deviceTenants(device_tenants)
 {
 }
 
@@ -83,12 +95,28 @@ ExternalPageSource::next(TraceRecord &out)
         lastPage = (cur.offset + len - 1) / kPageSize;
         pageIndex = 0;
         active = true;
+        if (deviceTenants) {
+            const auto [it, fresh] = devices.insert(
+                {cur.device,
+                 static_cast<std::uint32_t>(devices.size())});
+            if (fresh && devices.size() > kMaxTenants)
+                zombie_fatal("trace touches more than ", kMaxTenants,
+                             " devices; window or filter it before "
+                             "tenant routing");
+            tenant = it->second;
+        }
     }
+
+    // Tenant-qualified version-map key; plain LPN when routing is
+    // off, so single-device replay bytes never change.
+    const Lpn vkey =
+        (static_cast<Lpn>(tenant) << 48) | page;
 
     out = TraceRecord{};
     out.arrival = cur.arrival;
     out.op = cur.write ? OpType::Write : OpType::Read;
     out.lpn = page;
+    out.tenant = static_cast<std::uint16_t>(tenant);
     out.valueId = TraceRecord::kNoValueId;
     if (cur.hasFingerprint) {
         out.fp = pageFingerprint(cur.fp, pageIndex);
@@ -99,15 +127,15 @@ ExternalPageSource::next(TraceRecord &out)
         // version currently on the page (0 if never written).
         std::uint32_t version = 0;
         if (cur.write) {
-            std::uint32_t &slot = versions[page];
+            std::uint32_t &slot = versions[vkey];
             slot = period ? (slot + 1) % period : slot + 1;
             version = slot;
         } else {
-            const auto it = versions.find(page);
+            const auto it = versions.find(vkey);
             if (it != versions.end())
                 version = it->second;
         }
-        out.fp = synthesizeFingerprint(page, version);
+        out.fp = synthesizeFingerprint(page, version, tenant);
     }
 
     ++pageIndex;
@@ -153,7 +181,9 @@ CompactingSource::next(TraceRecord &out)
 {
     if (!src->next(out))
         return false;
-    const auto it = map->find(out.lpn);
+    const Lpn key =
+        (static_cast<Lpn>(out.tenant) << 48) | out.lpn;
+    const auto it = map->find(key);
     // The remap was built by a scan over this same deterministic
     // stream, so every LPN the replay pass sees must be present.
     zombie_assert(it != map->end(),
@@ -171,7 +201,8 @@ makeExternalSourceFactory(const ExternalTraceConfig &cfg)
             src = std::make_unique<TraceReader>(cfg.path);
         else
             src = std::make_unique<ExternalPageSource>(
-                openRawSource(cfg), cfg.versionPeriod);
+                openRawSource(cfg), cfg.versionPeriod,
+                cfg.deviceTenants);
         if (cfg.skip > 0 || cfg.limit > 0)
             src = std::make_unique<WindowSource>(std::move(src),
                                                  cfg.skip, cfg.limit);
@@ -185,10 +216,24 @@ makeExternalSourceFactory(const ExternalTraceConfig &cfg)
 ScannedTrace
 scanExternalTrace(const ExternalTraceConfig &cfg)
 {
+    if (cfg.deviceTenants && !cfg.compact)
+        zombie_fatal("per-device tenant routing needs LBA "
+                     "compaction to lay out the namespaces; drop "
+                     "--no-compact");
+    if (cfg.deviceTenants && cfg.format == ExternalFormat::Native)
+        zombie_fatal("native traces already carry tenant ids; "
+                     "--msr-disk-tenants applies to raw block "
+                     "formats");
+
     ScannedTrace out;
     const TraceSourceFactory inner = makeExternalSourceFactory(cfg);
     auto remap = std::make_shared<LpnRemap>();
     TraceSummarizer summarizer;
+
+    // Per-tenant footprints; single implicit tenant when device
+    // routing is off. Remap values hold per-tenant indices during
+    // the scan and get namespace bases added afterwards.
+    std::vector<std::uint64_t> tenant_counts;
 
     auto src = inner();
     TraceRecord rec;
@@ -197,10 +242,20 @@ scanExternalTrace(const ExternalTraceConfig &cfg)
     while (src->next(rec)) {
         ++out.records;
         if (cfg.compact) {
+            if (rec.tenant >= tenant_counts.size())
+                tenant_counts.resize(rec.tenant + 1, 0);
+            const Lpn key =
+                (static_cast<Lpn>(rec.tenant) << 48) | rec.lpn;
             const auto [it, fresh] = remap->insert(
-                {rec.lpn, static_cast<Lpn>(remap->size())});
-            (void)fresh;
-            rec.lpn = it->second;
+                {key, static_cast<Lpn>(
+                          tenant_counts[rec.tenant])});
+            if (fresh)
+                ++tenant_counts[rec.tenant];
+            // Summarize under the tenant-qualified dense id so
+            // distinct pages of different tenants stay distinct
+            // (identical to the plain index for tenant 0).
+            rec.lpn =
+                (static_cast<Lpn>(rec.tenant) << 48) | it->second;
         }
         max_lpn = std::max(max_lpn, rec.lpn);
         if (cfg.summarize) {
@@ -216,6 +271,18 @@ scanExternalTrace(const ExternalTraceConfig &cfg)
             out.summary.lastArrival = rec.arrival;
         }
         first = false;
+    }
+
+    if (tenant_counts.size() > 1) {
+        // Lay the tenants out as contiguous namespaces: final LPN =
+        // namespace base (prefix sum of earlier footprints) + the
+        // per-tenant first-appearance index stored during the scan.
+        std::vector<Lpn> bases(tenant_counts.size(), 0);
+        for (std::size_t t = 1; t < tenant_counts.size(); ++t)
+            bases[t] = bases[t - 1] + tenant_counts[t - 1];
+        for (auto &entry : *remap)
+            entry.second += bases[entry.first >> 48];
+        out.tenantPages = tenant_counts;
     }
 
     out.footprintPages =

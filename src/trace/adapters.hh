@@ -47,8 +47,13 @@ namespace zombie
  * Synthesize the fingerprint of version @p version of page @p lpn
  * through the zombie::hash engine. Injective over lpn < 2^40 and
  * version < 2^24, so distinct (LBA, version) pairs never alias.
+ * A non-zero @p tenant salts the id in the top byte (and narrows
+ * versions to < 2^16), so per-tenant content spaces stay disjoint —
+ * mirroring MultiTenantTraceGenerator::saltValueId. Tenant 0 is the
+ * identity: single-device traces keep their historical bytes.
  */
-Fingerprint synthesizeFingerprint(Lpn lpn, std::uint32_t version);
+Fingerprint synthesizeFingerprint(Lpn lpn, std::uint32_t version,
+                                  std::uint32_t tenant = 0);
 
 /** Derive page @p page_index's fingerprint of a multi-page extent
  *  from the extent's native hash (page 0 keeps it verbatim). */
@@ -66,27 +71,39 @@ class ExternalPageSource : public TraceSource
      *        content: an overwritten version eventually returns, so
      *        the DVP has zombies to revive); 0 keeps versions
      *        monotone (every write is fresh content).
+     * @param device_tenants route each record's source device (MSR
+     *        DiskNumber) onto a tenant namespace: devices get dense
+     *        tenant ids in first-appearance order (fatal past
+     *        kMaxTenants), version counters and synthesized content
+     *        become per-tenant, and records carry the tenant id.
      */
     ExternalPageSource(std::unique_ptr<RawTraceSource> raw,
-                       std::uint32_t version_period = 0);
+                       std::uint32_t version_period = 0,
+                       bool device_tenants = false);
 
     bool next(TraceRecord &out) override;
 
-    /** Distinct LPNs seen so far (version-map occupancy). */
+    /** Distinct (tenant, LPN) pairs seen (version-map occupancy). */
     std::uint64_t lpnsSeen() const { return versions.size(); }
 
   private:
     std::unique_ptr<RawTraceSource> src;
     std::uint32_t period;
+    bool deviceTenants;
 
     /** Extent currently being split. */
     RawIoRecord cur;
+    std::uint32_t tenant = 0;
     Lpn page = 0;
     Lpn lastPage = 0;
     std::uint64_t pageIndex = 0;
     bool active = false;
 
-    /** versions[lpn] = writes observed to lpn (possibly wrapped). */
+    /** Dense first-appearance tenant id per source device. */
+    FlatMap<std::uint32_t, std::uint32_t> devices;
+
+    /** versions[(tenant << 48) | lpn] = writes observed (possibly
+     *  wrapped); plain lpn keys when device_tenants is off. */
     FlatMap<Lpn, std::uint32_t> versions;
 };
 
@@ -128,7 +145,12 @@ class StrideSource : public TraceSource
     std::uint64_t index = 0;
 };
 
-/** First-appearance-order LBA remap table (Lpn -> dense index). */
+/**
+ * First-appearance-order LBA remap table. Keys are
+ * (tenant << 48) | lpn — plain LPNs for single-tenant traces —
+ * and values are final dense LPNs (per-tenant namespace base plus
+ * per-tenant first-appearance index).
+ */
 using LpnRemap = FlatMap<Lpn, Lpn>;
 
 /** Remap each record's LPN through a prebuilt compaction table. */
@@ -162,6 +184,11 @@ struct ExternalTraceConfig
     /** ExternalPageSource version-wrap period (0 = monotone). */
     std::uint32_t versionPeriod = 0;
 
+    /** Route source devices (MSR DiskNumber) onto tenant
+     *  namespaces; requires compact (the namespace layout is built
+     *  from per-tenant footprints). */
+    bool deviceTenants = false;
+
     /** Remap the LBA space to dense [0, footprint). The default:
      *  external address spaces are sparse and device-sized. */
     bool compact = true;
@@ -188,6 +215,14 @@ struct ScannedTrace
 
     /** Table-II style aggregate over the emitted records. */
     TraceSummary summary;
+
+    /**
+     * Per-tenant namespace sizes in pages (tenant order), non-empty
+     * only when deviceTenants found more than one device. Their
+     * prefix sums are the namespace base LPNs the compacted stream
+     * already honours — SsdConfig::namespacePages shaped.
+     */
+    std::vector<std::uint64_t> tenantPages;
 };
 
 /**

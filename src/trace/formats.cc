@@ -20,7 +20,7 @@ namespace
  * one to signal trailing garbage.
  */
 std::size_t
-splitFields(const std::string &line, char sep, std::string_view *out,
+splitFields(std::string_view line, char sep, std::string_view *out,
             std::size_t max)
 {
     const char *p = line.data();
@@ -98,23 +98,22 @@ toString(ExternalFormat format)
 
 LineTraceSource::LineTraceSource(const std::string &path,
                                  const char *format_name)
-    : in(path), path_(path), fmtName(format_name)
+    : reader(openByteSource(path)), path_(path), fmtName(format_name)
 {
-    if (!in)
-        zombie_fatal("cannot open ", fmtName, " trace: ", path);
 }
 
 void
 LineTraceSource::fail(const std::string &what,
-                      const std::string &line) const
+                      std::string_view line) const
 {
     zombie_fatal("malformed ", fmtName, " record at ", path_, ":",
-                 lineNo, " (", what, "): '", line, "'");
+                 lineNumber(), " (", what, "): '", std::string(line),
+                 "'");
 }
 
 std::uint64_t
 LineTraceSource::parseUint(std::string_view field,
-                           const std::string &line) const
+                           std::string_view line) const
 {
     std::uint64_t value = 0;
     const auto [ptr, ec] = std::from_chars(
@@ -127,7 +126,7 @@ LineTraceSource::parseUint(std::string_view field,
 }
 
 bool
-LineTraceSource::isHeader(const std::string &) const
+LineTraceSource::isHeader(std::string_view) const
 {
     return false;
 }
@@ -135,8 +134,8 @@ LineTraceSource::isHeader(const std::string &) const
 bool
 LineTraceSource::next(RawIoRecord &out)
 {
-    while (std::getline(in, text)) {
-        ++lineNo;
+    std::string_view text;
+    while (reader.nextLine(text)) {
         if (text.empty() || text[0] == '#')
             continue;
         if (!sawFirst && isHeader(text))
@@ -159,9 +158,6 @@ LineTraceSource::next(RawIoRecord &out)
         out.arrival = arrival;
         return true;
     }
-    if (in.bad())
-        zombie_fatal("I/O error reading ", fmtName, " trace ", path_,
-                     " near line ", lineNo);
     return false;
 }
 
@@ -171,7 +167,7 @@ FiuBlkioSource::FiuBlkioSource(const std::string &path)
 }
 
 void
-FiuBlkioSource::parseLine(const std::string &line, RawIoRecord &out)
+FiuBlkioSource::parseLine(std::string_view line, RawIoRecord &out)
 {
     // "timestamp pid process lba size op major minor [md5]" —
     // FILETIME ticks, 512-byte sectors, one MD5 per 4KB block.
@@ -203,7 +199,7 @@ FiuBlkioSource::parseLine(const std::string &line, RawIoRecord &out)
         if (f[8].size() != 32 || !allHexDigits(f[8]))
             fail("md5 column is not 32 hex digits", line);
         out.hasFingerprint = true;
-        out.fp = Fingerprint::fromHex(std::string(f[8]));
+        out.fp = Fingerprint::fromHex(f[8]);
     }
 }
 
@@ -213,7 +209,7 @@ MsrCsvSource::MsrCsvSource(const std::string &path)
 }
 
 bool
-MsrCsvSource::isHeader(const std::string &line) const
+MsrCsvSource::isHeader(std::string_view line) const
 {
     // The distributed CSVs often lead with a column-name row.
     return line.rfind("Timestamp", 0) == 0 ||
@@ -221,7 +217,7 @@ MsrCsvSource::isHeader(const std::string &line) const
 }
 
 void
-MsrCsvSource::parseLine(const std::string &line, RawIoRecord &out)
+MsrCsvSource::parseLine(std::string_view line, RawIoRecord &out)
 {
     // "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime"
     // — FILETIME ticks and byte offsets/sizes; no content hashes.
@@ -230,6 +226,7 @@ MsrCsvSource::parseLine(const std::string &line, RawIoRecord &out)
     if (n != 7)
         fail("expected 7 columns, got " + std::to_string(n), line);
     rawTimestamp = parseUint(f[0], line);
+    out.device = static_cast<std::uint32_t>(parseUint(f[2], line));
     if (f[3].empty())
         fail("empty Type column", line);
     switch (f[3][0]) {
@@ -255,13 +252,13 @@ GenericCsvSource::GenericCsvSource(const std::string &path)
 }
 
 bool
-GenericCsvSource::isHeader(const std::string &line) const
+GenericCsvSource::isHeader(std::string_view line) const
 {
     return line.rfind("lba", 0) == 0;
 }
 
 void
-GenericCsvSource::parseLine(const std::string &line, RawIoRecord &out)
+GenericCsvSource::parseLine(std::string_view line, RawIoRecord &out)
 {
     // "lba,size,op,ts" — lba in 4KB pages, size in bytes, ts in ns.
     std::string_view f[4];

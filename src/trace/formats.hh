@@ -39,6 +39,7 @@
 
 #include "hash/fingerprint.hh"
 #include "trace/record.hh"
+#include "util/buffered_reader.hh"
 
 namespace zombie
 {
@@ -68,6 +69,10 @@ struct RawIoRecord
     std::uint64_t offset = 0;
     std::uint64_t length = 0;
 
+    /** Source device (MSR DiskNumber); 0 for single-device formats.
+     *  --msr-disk-tenants routes devices onto tenant namespaces. */
+    std::uint32_t device = 0;
+
     /** Native content fingerprint, when the format carries one. */
     bool hasFingerprint = false;
     Fingerprint fp{};
@@ -84,10 +89,13 @@ class RawTraceSource
 };
 
 /**
- * Shared line-oriented plumbing: open-or-fatal, line counting, and
- * the timestamp normalization every wall-clock format needs (first
- * timestamp maps to 0; real traces carry small reorderings, so later
- * arrivals clamp to nondecreasing — the submit() contract).
+ * Shared line-oriented plumbing: open-or-fatal (with transparent
+ * gzip/zstd input via util/byte_source), zero-copy buffered line
+ * reading, line counting, and the timestamp normalization every
+ * wall-clock format needs (first timestamp maps to 0; real traces
+ * carry small reorderings, so later arrivals clamp to nondecreasing
+ * — the submit() contract). CRLF line endings are stripped by the
+ * reader, so Windows-produced CSVs parse exactly like Unix ones.
  */
 class LineTraceSource : public RawTraceSource
 {
@@ -99,35 +107,34 @@ class LineTraceSource : public RawTraceSource
 
     /**
      * Parse one non-empty, non-comment line into @p out, with
-     * arrival still in raw trace units. Implementations call fail()
-     * (fatal) on any malformed field.
+     * arrival still in raw trace units. The view aliases the read
+     * buffer and dies with the next line. Implementations call
+     * fail() (fatal) on any malformed field.
      */
-    virtual void parseLine(const std::string &line,
+    virtual void parseLine(std::string_view line,
                            RawIoRecord &out) = 0;
 
     /** Raw-timestamp unit in ns (100 for FILETIME formats). */
     virtual Tick arrivalUnitNs() const = 0;
 
     /** Whether @p line is a header/comment to skip (first line). */
-    virtual bool isHeader(const std::string &line) const;
+    virtual bool isHeader(std::string_view line) const;
 
     /** Fatal parse error naming the file and 1-based line. */
     [[noreturn]] void fail(const std::string &what,
-                           const std::string &line) const;
+                           std::string_view line) const;
 
     /** Parse helpers; fatal via fail() on malformed fields. */
     std::uint64_t parseUint(std::string_view field,
-                            const std::string &line) const;
+                            std::string_view line) const;
 
     const std::string &path() const { return path_; }
-    std::uint64_t lineNumber() const { return lineNo; }
+    std::uint64_t lineNumber() const { return reader.lineNumber(); }
 
   private:
-    std::ifstream in;
+    BufferedLineReader reader;
     std::string path_;
     const char *fmtName;
-    std::string text;
-    std::uint64_t lineNo = 0;
 
     /** Raw-unit timestamp of the first record (normalization base). */
     bool sawFirst = false;
@@ -148,7 +155,7 @@ class FiuBlkioSource : public LineTraceSource
     explicit FiuBlkioSource(const std::string &path);
 
   protected:
-    void parseLine(const std::string &line, RawIoRecord &out) override;
+    void parseLine(std::string_view line, RawIoRecord &out) override;
     Tick arrivalUnitNs() const override { return 100; }
 };
 
@@ -159,9 +166,9 @@ class MsrCsvSource : public LineTraceSource
     explicit MsrCsvSource(const std::string &path);
 
   protected:
-    void parseLine(const std::string &line, RawIoRecord &out) override;
+    void parseLine(std::string_view line, RawIoRecord &out) override;
     Tick arrivalUnitNs() const override { return 100; }
-    bool isHeader(const std::string &line) const override;
+    bool isHeader(std::string_view line) const override;
 };
 
 /** Generic "lba,size,op,ts" CSV parser. */
@@ -171,9 +178,9 @@ class GenericCsvSource : public LineTraceSource
     explicit GenericCsvSource(const std::string &path);
 
   protected:
-    void parseLine(const std::string &line, RawIoRecord &out) override;
+    void parseLine(std::string_view line, RawIoRecord &out) override;
     Tick arrivalUnitNs() const override { return 1; }
-    bool isHeader(const std::string &line) const override;
+    bool isHeader(std::string_view line) const override;
 };
 
 /**

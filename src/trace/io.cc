@@ -1,8 +1,8 @@
 #include "trace/io.hh"
 
+#include <cctype>
 #include <charconv>
 #include <cstring>
-#include <sstream>
 
 #include "util/logging.hh"
 
@@ -90,40 +90,83 @@ TraceWriter::close()
 }
 
 TraceReader::TraceReader(const std::string &path)
-    : in(path, std::ios::binary), path_(path), fmt(TraceFormat::Text)
+    : path_(path), fmt(TraceFormat::Text)
 {
-    if (!in)
-        zombie_fatal("cannot open trace file: ", path);
+    auto src = openByteSource(path);
+
+    // Sniff the native binary magic on the (decompressed) stream.
     char magic[sizeof(kBinaryMagic)] = {};
-    in.read(magic, sizeof(magic));
-    if (in.gcount() == sizeof(magic) &&
+    std::size_t got = 0;
+    while (got < sizeof(magic)) {
+        const std::size_t n =
+            src->read(magic + got, sizeof(magic) - got);
+        if (n == 0)
+            break;
+        got += n;
+    }
+    if (got == sizeof(magic) &&
         std::memcmp(magic, kBinaryMagic, sizeof(magic)) == 0) {
         fmt = TraceFormat::Binary;
+        bin = std::move(src);
+        buf.resize(BufferedLineReader::kDefaultBlock);
     } else {
-        // Not binary: rewind and parse as text.
-        in.clear();
-        in.seekg(0);
+        // Not binary: hand the sniffed bytes back, parse as text.
         fmt = TraceFormat::Text;
+        lines = std::make_unique<BufferedLineReader>(
+            prependBytes(std::string(magic, got), std::move(src)));
     }
 }
+
+std::size_t
+TraceReader::binAvail(std::size_t need)
+{
+    while (limit - pos < need) {
+        if (pos > 0) {
+            std::memmove(buf.data(), buf.data() + pos, limit - pos);
+            limit -= pos;
+            pos = 0;
+        }
+        const std::size_t n =
+            bin->read(buf.data() + limit, buf.size() - limit);
+        if (n == 0)
+            break;
+        limit += n;
+    }
+    return limit - pos;
+}
+
+namespace
+{
+
+/** Advance past spaces; then past the field. @return the field. */
+std::string_view
+takeField(std::string_view text, std::size_t &cursor)
+{
+    while (cursor < text.size() && text[cursor] == ' ')
+        ++cursor;
+    const std::size_t start = cursor;
+    while (cursor < text.size() && text[cursor] != ' ')
+        ++cursor;
+    return text.substr(start, cursor - start);
+}
+
+} // namespace
 
 bool
 TraceReader::next(TraceRecord &out)
 {
     if (fmt == TraceFormat::Binary) {
-        PackedRecord packed;
-        in.read(reinterpret_cast<char *>(&packed), sizeof(packed));
-        if (in.gcount() == 0) {
-            if (in.bad())
-                zombie_fatal("I/O error reading binary trace ", path_,
-                             " after record ", line);
+        const std::size_t have = binAvail(sizeof(PackedRecord));
+        if (have == 0)
             return false;
-        }
         ++line; // binary: `line` counts records, not text lines
-        if (in.gcount() != static_cast<std::streamsize>(sizeof(packed)))
+        if (have < sizeof(PackedRecord))
             zombie_fatal("truncated binary trace ", path_, ": record ",
-                         line, " has ", in.gcount(), " of ",
-                         sizeof(packed), " bytes");
+                         line, " has ", have, " of ",
+                         sizeof(PackedRecord), " bytes");
+        PackedRecord packed;
+        std::memcpy(&packed, buf.data() + pos, sizeof(packed));
+        pos += sizeof(packed);
         out.arrival = packed.arrival;
         out.lpn = packed.lpn;
         out.valueId = packed.value_id;
@@ -139,47 +182,60 @@ TraceReader::next(TraceRecord &out)
         return true;
     }
 
-    std::string text;
-    while (std::getline(in, text)) {
-        ++line;
+    std::string_view text;
+    while (lines->nextLine(text)) {
+        line = lines->lineNumber();
         if (text.empty() || text[0] == '#')
             continue;
-        std::istringstream iss(text);
-        char op_char;
-        std::string fp_hex, vid_text;
-        if (!(iss >> out.arrival >> op_char >> out.lpn >> fp_hex >>
-              vid_text)) {
+        const auto bad = [&](const char *what, std::string_view tok) {
+            zombie_fatal("bad ", what, " '", std::string(tok),
+                         "' at line ", line, " in ", path_);
+        };
+        const auto parse_u64 = [&](std::string_view tok,
+                                   const char *what) {
+            std::uint64_t value = 0;
+            const char *end = tok.data() + tok.size();
+            const auto [ptr, ec] =
+                std::from_chars(tok.data(), end, value);
+            if (ec != std::errc{} || ptr != end)
+                bad(what, tok);
+            return value;
+        };
+
+        std::size_t cursor = 0;
+        const std::string_view ts = takeField(text, cursor);
+        const std::string_view op_tok = takeField(text, cursor);
+        const std::string_view lpn_tok = takeField(text, cursor);
+        const std::string_view fp_hex = takeField(text, cursor);
+        const std::string_view vid_text = takeField(text, cursor);
+        if (vid_text.empty())
             zombie_fatal("malformed trace line ", line, " in ", path_,
-                         ": '", text, "'");
-        }
+                         ": '", std::string(text), "'");
+        out.arrival = parse_u64(ts, "arrival");
+        const char op_char = op_tok.size() == 1 ? op_tok[0] : '?';
         if (op_char == 'W' || op_char == 'w')
             out.op = OpType::Write;
         else if (op_char == 'R' || op_char == 'r')
             out.op = OpType::Read;
         else
-            zombie_fatal("bad op '", op_char, "' at line ", line, " in ",
-                         path_);
+            zombie_fatal("bad op '", std::string(op_tok),
+                         "' at line ", line, " in ", path_);
+        out.lpn = parse_u64(lpn_tok, "lpn");
         if (fp_hex.size() != 32)
-            zombie_fatal("bad fingerprint '", fp_hex, "' at line ",
-                         line, " in ", path_,
+            zombie_fatal("bad fingerprint '", std::string(fp_hex),
+                         "' at line ", line, " in ", path_,
                          " (need 32 hex digits)");
         out.fp = Fingerprint::fromHex(fp_hex);
-        if (vid_text == "-") {
+        if (vid_text == "-")
             out.valueId = TraceRecord::kNoValueId;
-        } else {
-            // Checked parse: std::stoull would throw (an uncaught
-            // exception, not a diagnosis) on a corrupt column.
-            const char *vid_end = vid_text.data() + vid_text.size();
-            const auto [ptr, ec] = std::from_chars(
-                vid_text.data(), vid_end, out.valueId);
-            if (ec != std::errc{} || ptr != vid_end)
-                zombie_fatal("bad value id '", vid_text,
-                             "' at line ", line, " in ", path_);
-        }
-        std::uint64_t tenant = 0;
-        out.tenant = (iss >> tenant)
-                         ? static_cast<std::uint16_t>(tenant)
-                         : 0;
+        else
+            out.valueId = parse_u64(vid_text, "value id");
+        const std::string_view tenant_tok = takeField(text, cursor);
+        out.tenant =
+            tenant_tok.empty()
+                ? 0
+                : static_cast<std::uint16_t>(
+                      parse_u64(tenant_tok, "tenant"));
         return true;
     }
     return false;

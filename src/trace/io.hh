@@ -15,11 +15,14 @@
 #define ZOMBIE_TRACE_IO_HH
 
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "trace/record.hh"
 #include "trace/source.hh"
+#include "util/buffered_reader.hh"
+#include "util/byte_source.hh"
 
 namespace zombie
 {
@@ -49,7 +52,13 @@ class TraceWriter
     std::uint64_t count = 0;
 };
 
-/** Streaming reader mirroring TraceWriter. */
+/**
+ * Streaming reader mirroring TraceWriter. Reads through
+ * util/byte_source, so gzip/zstd-compressed traces (text or binary)
+ * replay transparently; text lines come from the zero-copy buffered
+ * reader (CRLF-tolerant), binary records from a chunked refill
+ * buffer — no istream machinery on the per-record path.
+ */
 class TraceReader : public TraceSource
 {
   public:
@@ -64,7 +73,18 @@ class TraceReader : public TraceSource
     TraceFormat format() const { return fmt; }
 
   private:
-    std::ifstream in;
+    /** Refill the binary chunk buffer; @return bytes available. */
+    std::size_t binAvail(std::size_t need);
+
+    /** Binary-record byte stream; null in text mode. */
+    std::unique_ptr<ByteSource> bin;
+    std::vector<char> buf;
+    std::size_t pos = 0;
+    std::size_t limit = 0;
+
+    /** Text-line stream; null in binary mode. */
+    std::unique_ptr<BufferedLineReader> lines;
+
     std::string path_;
     TraceFormat fmt;
     std::uint64_t line = 0;

@@ -1,0 +1,70 @@
+#include "trace/prefetch.hh"
+
+namespace zombie
+{
+
+PrefetchSource::PrefetchSource(std::unique_ptr<TraceSource> inner,
+                               std::size_t batch_records,
+                               std::size_t depth)
+    : src(std::move(inner)),
+      batchRecords(batch_records > 0 ? batch_records : 1),
+      ring(depth)
+{
+    producer = std::thread([this] { producerLoop(); });
+}
+
+PrefetchSource::~PrefetchSource()
+{
+    ring.cancel();
+    if (producer.joinable())
+        producer.join();
+}
+
+void
+PrefetchSource::producerLoop()
+{
+    Batch batch;
+    batch.reserve(batchRecords);
+    TraceRecord rec;
+    bool more = true;
+    while (more) {
+        batch.clear();
+        while (batch.size() < batchRecords && (more = src->next(rec)))
+            batch.push_back(rec);
+        if (batch.empty())
+            break;
+        if (!ring.push(batch))
+            return; // consumer cancelled; skip finish(), just exit
+        // push() swapped in a recycled buffer; grow it once so the
+        // steady state stays allocation-free.
+        if (batch.capacity() < batchRecords)
+            batch.reserve(batchRecords);
+    }
+    ring.finish();
+}
+
+bool
+PrefetchSource::next(TraceRecord &out)
+{
+    while (pos >= cur.size()) {
+        // Hand the drained batch's buffer back through the swap.
+        cur.clear();
+        pos = 0;
+        if (!ring.pop(cur))
+            return false;
+    }
+    out = cur[pos++];
+    return true;
+}
+
+std::unique_ptr<TraceSource>
+maybePrefetch(std::unique_ptr<TraceSource> inner,
+              std::size_t batch_records)
+{
+    if (batch_records == 0)
+        return inner;
+    return std::make_unique<PrefetchSource>(std::move(inner),
+                                            batch_records);
+}
+
+} // namespace zombie

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Decode-ahead prefetch stage for trace replay.
+ *
+ * PrefetchSource runs its inner TraceSource — the whole
+ * parse/adapter chain for an external trace — on a producer thread
+ * that stays ahead of the simulator, handing records over in
+ * fixed-size batches through a bounded SPSC ring
+ * (util/spsc_ring.hh). While the engine services one batch the
+ * producer is already parsing the next, so file decode (and gzip
+ * inflation, the expensive case) overlaps simulation instead of
+ * serializing with it.
+ *
+ * Determinism: the ring is FIFO and batches are drained in order, so
+ * the consumer observes exactly the inner source's record sequence —
+ * the prefetched replay is byte-identical to the inline pull by
+ * construction, for any batch size or ring depth (DESIGN.md section
+ * 7.17). Batch boundaries only affect when the producer blocks,
+ * never what the simulator sees.
+ *
+ * Memory: ring depth x batch size records, recycled via the ring's
+ * swap hand-off — after the first few batches the consumer side of
+ * the pipeline allocates nothing.
+ */
+
+#ifndef ZOMBIE_TRACE_PREFETCH_HH
+#define ZOMBIE_TRACE_PREFETCH_HH
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "trace/source.hh"
+#include "util/spsc_ring.hh"
+
+namespace zombie
+{
+
+/** Run an inner TraceSource ahead on a producer thread. */
+class PrefetchSource : public TraceSource
+{
+  public:
+    /** Records per hand-off batch when the caller has no opinion. */
+    static constexpr std::size_t kDefaultBatch = 4096;
+
+    /** Ring depth: batches parsed ahead of the consumer. */
+    static constexpr std::size_t kDefaultDepth = 4;
+
+    /**
+     * @param inner the source to decode ahead (owned; its next() is
+     *        only ever called from the producer thread).
+     * @param batch_records records per batch (minimum 1).
+     * @param depth ring slots, i.e. maximum batches in flight.
+     */
+    explicit PrefetchSource(std::unique_ptr<TraceSource> inner,
+                            std::size_t batch_records = kDefaultBatch,
+                            std::size_t depth = kDefaultDepth);
+
+    /** Cancels the ring and joins the producer thread. */
+    ~PrefetchSource() override;
+
+    bool next(TraceRecord &out) override;
+
+  private:
+    using Batch = std::vector<TraceRecord>;
+
+    void producerLoop();
+
+    std::unique_ptr<TraceSource> src;
+    std::size_t batchRecords;
+    SpscRing<Batch> ring;
+
+    /** Batch currently being drained (consumer thread only). */
+    Batch cur;
+    std::size_t pos = 0;
+
+    std::thread producer;
+};
+
+/**
+ * Wrap @p inner in a PrefetchSource with @p batch_records per batch;
+ * batch_records == 0 means "inline" and returns @p inner unchanged.
+ */
+std::unique_ptr<TraceSource>
+maybePrefetch(std::unique_ptr<TraceSource> inner,
+              std::size_t batch_records);
+
+} // namespace zombie
+
+#endif // ZOMBIE_TRACE_PREFETCH_HH

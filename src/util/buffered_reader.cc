@@ -1,0 +1,71 @@
+#include "util/buffered_reader.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace zombie
+{
+
+BufferedLineReader::BufferedLineReader(
+    std::unique_ptr<ByteSource> source, std::size_t block_size)
+    : src(std::move(source)),
+      buf(block_size > 0 ? block_size : kDefaultBlock)
+{
+}
+
+bool
+BufferedLineReader::refill()
+{
+    // Keep the partial line's bytes: slide them to the front, then
+    // fill the space behind them. A line longer than the buffer
+    // grows it (doubling), so pathological inputs still parse.
+    if (pos > 0) {
+        std::memmove(buf.data(), buf.data() + pos, limit - pos);
+        limit -= pos;
+        pos = 0;
+    } else if (limit == buf.size()) {
+        buf.resize(buf.size() * 2);
+    }
+    const std::size_t n =
+        src->read(buf.data() + limit, buf.size() - limit);
+    limit += n;
+    if (n == 0)
+        eof = true;
+    return n > 0;
+}
+
+bool
+BufferedLineReader::nextLine(std::string_view &line)
+{
+    for (;;) {
+        const char *base = buf.data() + pos;
+        const std::size_t avail = limit - pos;
+        const char *nl = static_cast<const char *>(
+            std::memchr(base, '\n', avail));
+        if (nl) {
+            std::size_t len = static_cast<std::size_t>(nl - base);
+            if (len > 0 && base[len - 1] == '\r')
+                --len;
+            line = std::string_view(base, len);
+            pos += static_cast<std::size_t>(nl - base) + 1;
+            ++lineNo;
+            return true;
+        }
+        if (eof) {
+            if (avail == 0)
+                return false;
+            // Final line without a terminator.
+            std::size_t len = avail;
+            if (base[len - 1] == '\r')
+                --len;
+            line = std::string_view(base, len);
+            pos = limit;
+            ++lineNo;
+            return true;
+        }
+        refill();
+    }
+}
+
+} // namespace zombie

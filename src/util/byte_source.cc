@@ -1,0 +1,322 @@
+#include "util/byte_source.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+#if ZOMBIE_HAVE_ZLIB
+#include <zlib.h>
+#endif
+#if ZOMBIE_HAVE_ZSTD
+#include <zstd.h>
+#endif
+
+namespace zombie
+{
+
+namespace
+{
+
+/** Compressed-input block fed to a decoder per refill. */
+constexpr std::size_t kDecoderInputBlock = 1 << 16;
+
+/**
+ * Replays a sniffed prefix before delegating to the inner source, so
+ * openByteSource() can inspect magic bytes without seeking (decoders
+ * need the container header too, and gzip streams from a pipe could
+ * not rewind).
+ */
+class PrefixedByteSource : public ByteSource
+{
+  public:
+    PrefixedByteSource(std::string head,
+                       std::unique_ptr<ByteSource> inner)
+        : prefix(std::move(head)), src(std::move(inner))
+    {
+    }
+
+    std::size_t
+    read(char *dst, std::size_t capacity) override
+    {
+        if (pos < prefix.size()) {
+            const std::size_t n =
+                std::min(capacity, prefix.size() - pos);
+            std::memcpy(dst, prefix.data() + pos, n);
+            pos += n;
+            return n;
+        }
+        return src->read(dst, capacity);
+    }
+
+    const std::string &describe() const override
+    {
+        return src->describe();
+    }
+
+  private:
+    std::string prefix;
+    std::unique_ptr<ByteSource> src;
+    std::size_t pos = 0;
+};
+
+#if ZOMBIE_HAVE_ZLIB
+
+/** Streaming gzip/zlib inflater over an inner ByteSource. */
+class GzipByteSource : public ByteSource
+{
+  public:
+    explicit GzipByteSource(std::unique_ptr<ByteSource> inner)
+        : src(std::move(inner)), input(kDecoderInputBlock)
+    {
+        std::memset(&strm, 0, sizeof(strm));
+        // 15 window bits + 32: auto-detect gzip or zlib wrapping.
+        if (inflateInit2(&strm, 15 + 32) != Z_OK)
+            zombie_fatal("zlib inflateInit failed for ",
+                         src->describe());
+    }
+
+    ~GzipByteSource() override { inflateEnd(&strm); }
+
+    std::size_t
+    read(char *dst, std::size_t capacity) override
+    {
+        if (finished)
+            return 0;
+        strm.next_out = reinterpret_cast<Bytef *>(dst);
+        strm.avail_out = static_cast<uInt>(capacity);
+        while (strm.avail_out > 0) {
+            if (strm.avail_in == 0) {
+                const std::size_t n =
+                    src->read(input.data(), input.size());
+                if (n == 0) {
+                    if (strm.avail_out == capacity)
+                        zombie_fatal("truncated gzip stream: ",
+                                     src->describe());
+                    break;
+                }
+                strm.next_in =
+                    reinterpret_cast<Bytef *>(input.data());
+                strm.avail_in = static_cast<uInt>(n);
+            }
+            const int rc = inflate(&strm, Z_NO_FLUSH);
+            if (rc == Z_STREAM_END) {
+                // Concatenated gzip members are valid (gzip -c a b);
+                // reset and keep inflating the remaining input.
+                if (strm.avail_in == 0 && !innerHasMore()) {
+                    finished = true;
+                    break;
+                }
+                if (inflateReset(&strm) != Z_OK)
+                    zombie_fatal("gzip member reset failed: ",
+                                 src->describe());
+                continue;
+            }
+            if (rc != Z_OK)
+                zombie_fatal("corrupt gzip stream (zlib rc ", rc,
+                             "): ", src->describe());
+        }
+        return capacity - strm.avail_out;
+    }
+
+    const std::string &describe() const override
+    {
+        return src->describe();
+    }
+
+  private:
+    /** Peek one byte ahead so trailing garbage-free streams end. */
+    bool
+    innerHasMore()
+    {
+        const std::size_t n = src->read(input.data(), input.size());
+        if (n == 0)
+            return false;
+        strm.next_in = reinterpret_cast<Bytef *>(input.data());
+        strm.avail_in = static_cast<uInt>(n);
+        return true;
+    }
+
+    std::unique_ptr<ByteSource> src;
+    std::vector<char> input;
+    z_stream strm;
+    bool finished = false;
+};
+
+#endif // ZOMBIE_HAVE_ZLIB
+
+#if ZOMBIE_HAVE_ZSTD
+
+/** Streaming zstd decoder over an inner ByteSource. */
+class ZstdByteSource : public ByteSource
+{
+  public:
+    explicit ZstdByteSource(std::unique_ptr<ByteSource> inner)
+        : src(std::move(inner)), input(kDecoderInputBlock),
+          stream(ZSTD_createDStream())
+    {
+        if (!stream)
+            zombie_fatal("ZSTD_createDStream failed for ",
+                         src->describe());
+        in.src = input.data();
+        in.size = 0;
+        in.pos = 0;
+    }
+
+    ~ZstdByteSource() override { ZSTD_freeDStream(stream); }
+
+    std::size_t
+    read(char *dst, std::size_t capacity) override
+    {
+        ZSTD_outBuffer out{dst, capacity, 0};
+        while (out.pos < out.size) {
+            if (in.pos == in.size) {
+                const std::size_t n =
+                    src->read(input.data(), input.size());
+                if (n == 0) {
+                    if (pending != 0)
+                        zombie_fatal("truncated zstd stream: ",
+                                     src->describe());
+                    break;
+                }
+                in.size = n;
+                in.pos = 0;
+            }
+            pending = ZSTD_decompressStream(stream, &out, &in);
+            if (ZSTD_isError(pending))
+                zombie_fatal("corrupt zstd stream (",
+                             ZSTD_getErrorName(pending),
+                             "): ", src->describe());
+        }
+        return out.pos;
+    }
+
+    const std::string &describe() const override
+    {
+        return src->describe();
+    }
+
+  private:
+    std::unique_ptr<ByteSource> src;
+    std::vector<char> input;
+    ZSTD_DStream *stream;
+    ZSTD_inBuffer in{};
+    std::size_t pending = 0;
+};
+
+#endif // ZOMBIE_HAVE_ZSTD
+
+} // namespace
+
+FileByteSource::FileByteSource(const std::string &path)
+    : file(std::fopen(path.c_str(), "rb")), path_(path)
+{
+    if (!file)
+        zombie_fatal("cannot open file: ", path);
+    // The line reader above does its own 256KB chunking; stdio's
+    // extra copy through its internal buffer is pure overhead.
+    std::setvbuf(file, nullptr, _IONBF, 0);
+}
+
+FileByteSource::~FileByteSource()
+{
+    std::fclose(file);
+}
+
+std::size_t
+FileByteSource::read(char *dst, std::size_t capacity)
+{
+    const std::size_t n = std::fread(dst, 1, capacity, file);
+    if (n < capacity && std::ferror(file))
+        zombie_fatal("I/O error reading ", path_);
+    return n;
+}
+
+std::size_t
+MemoryByteSource::read(char *dst, std::size_t capacity)
+{
+    const std::size_t n = std::min(capacity, data.size() - pos);
+    std::memcpy(dst, data.data() + pos, n);
+    pos += n;
+    return n;
+}
+
+bool
+compressionSupported(Compression kind)
+{
+    switch (kind) {
+      case Compression::None:
+        return true;
+      case Compression::Gzip:
+        return ZOMBIE_HAVE_ZLIB != 0;
+      case Compression::Zstd:
+        return ZOMBIE_HAVE_ZSTD != 0;
+    }
+    zombie_panic("unreachable compression kind");
+}
+
+Compression
+sniffCompression(const unsigned char *head, std::size_t size)
+{
+    if (size >= 2 && head[0] == 0x1f && head[1] == 0x8b)
+        return Compression::Gzip;
+    if (size >= 4 && head[0] == 0x28 && head[1] == 0xb5 &&
+        head[2] == 0x2f && head[3] == 0xfd)
+        return Compression::Zstd;
+    return Compression::None;
+}
+
+std::unique_ptr<ByteSource>
+makeDecompressor(Compression kind, std::unique_ptr<ByteSource> inner)
+{
+    switch (kind) {
+      case Compression::None:
+        return inner;
+      case Compression::Gzip:
+#if ZOMBIE_HAVE_ZLIB
+        return std::make_unique<GzipByteSource>(std::move(inner));
+#else
+        zombie_fatal("gzip input ", inner->describe(),
+                     " but this build has no zlib; rebuild with "
+                     "zlib development headers installed");
+#endif
+      case Compression::Zstd:
+#if ZOMBIE_HAVE_ZSTD
+        return std::make_unique<ZstdByteSource>(std::move(inner));
+#else
+        zombie_fatal("zstd input ", inner->describe(),
+                     " but this build has no libzstd; rebuild with "
+                     "zstd development headers installed");
+#endif
+    }
+    zombie_panic("unreachable compression kind");
+}
+
+std::unique_ptr<ByteSource>
+prependBytes(std::string head, std::unique_ptr<ByteSource> inner)
+{
+    return std::make_unique<PrefixedByteSource>(std::move(head),
+                                                std::move(inner));
+}
+
+std::unique_ptr<ByteSource>
+openByteSource(const std::string &path)
+{
+    auto file = std::make_unique<FileByteSource>(path);
+    char head[4];
+    std::size_t got = 0;
+    while (got < sizeof(head)) {
+        const std::size_t n =
+            file->read(head + got, sizeof(head) - got);
+        if (n == 0)
+            break;
+        got += n;
+    }
+    const Compression kind = sniffCompression(
+        reinterpret_cast<const unsigned char *>(head), got);
+    std::unique_ptr<ByteSource> src =
+        std::make_unique<PrefixedByteSource>(std::string(head, got),
+                                             std::move(file));
+    return makeDecompressor(kind, std::move(src));
+}
+
+} // namespace zombie

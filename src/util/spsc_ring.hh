@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer hand-off ring.
+ *
+ * The decode-ahead replay pipeline (trace/prefetch.hh) moves *batches*
+ * of records between exactly two threads, so the ring optimizes for
+ * clarity and allocation behaviour, not lock-free cleverness: one
+ * mutex guards the indices, and both push() and pop() exchange
+ * payloads with the slot via swap. A popped std::vector batch hands
+ * its heap buffer back to the ring, and the producer receives it on
+ * the next push — after warm-up the same few buffers circulate
+ * forever and the steady state allocates nothing. At one lock
+ * operation per multi-thousand-record batch the mutex is invisible,
+ * and the blocking paths are trivially free of lost-wakeup races
+ * (every wait predicate is re-checked under the same lock the state
+ * changes under), which keeps the tsan preset quiet.
+ *
+ * FIFO order is absolute: pop() returns payloads in exactly push()
+ * order, which is what lets the prefetch pipeline guarantee a
+ * byte-identical record stream (DESIGN.md section 7.17).
+ *
+ * Shutdown is two-sided: the producer finish()es when its stream is
+ * exhausted (pop() then drains and returns false), and the consumer
+ * cancel()s when it stops early (push() then fails so the producer
+ * thread can exit instead of blocking forever on a full ring).
+ */
+
+#ifndef ZOMBIE_UTIL_SPSC_RING_HH
+#define ZOMBIE_UTIL_SPSC_RING_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace zombie
+{
+
+/** Bounded two-thread FIFO with swap-based payload exchange. */
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param depth slot count; full push() blocks (minimum 1). */
+    explicit SpscRing(std::size_t depth)
+        : slots(depth > 0 ? depth : 1)
+    {
+    }
+
+    std::size_t capacity() const { return slots.size(); }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        return count;
+    }
+
+    /**
+     * Producer: exchange @p value into the ring (on return, @p value
+     * holds the recycled previous content of the slot). Blocks while
+     * full. @return false — with @p value untouched — once the
+     * consumer cancelled.
+     */
+    bool
+    push(T &value)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        notFull.wait(lock, [&] {
+            return cancelled || count < slots.size();
+        });
+        if (cancelled)
+            return false;
+        using std::swap;
+        swap(slots[(head + count) % slots.size()], value);
+        ++count;
+        lock.unlock();
+        notEmpty.notify_one();
+        return true;
+    }
+
+    /** Producer: no further push() calls will follow. */
+    void
+    finish()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            finished = true;
+        }
+        notEmpty.notify_one();
+    }
+
+    /**
+     * Consumer: exchange the oldest payload into @p out (its previous
+     * content becomes the slot's recycled buffer). Blocks while
+     * empty. @return false once the ring is finished and drained.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        notEmpty.wait(lock, [&] { return finished || count > 0; });
+        if (count == 0)
+            return false;
+        using std::swap;
+        swap(slots[head], out);
+        head = (head + 1) % slots.size();
+        --count;
+        lock.unlock();
+        notFull.notify_one();
+        return true;
+    }
+
+    /** Consumer: abandon the stream; blocked/future push() fails. */
+    void
+    cancel()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mtx);
+            cancelled = true;
+        }
+        notFull.notify_one();
+    }
+
+  private:
+    std::vector<T> slots;
+    mutable std::mutex mtx;
+    std::condition_variable notFull;
+    std::condition_variable notEmpty;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    bool finished = false;
+    bool cancelled = false;
+};
+
+} // namespace zombie
+
+#endif // ZOMBIE_UTIL_SPSC_RING_HH

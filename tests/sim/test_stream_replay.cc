@@ -21,6 +21,7 @@
 #include "sim/ssd.hh"
 #include "trace/formats.hh"
 #include "trace/generator.hh"
+#include "trace/prefetch.hh"
 #include "util/alloc_counter.hh"
 
 namespace zombie
@@ -140,6 +141,36 @@ TEST_F(StreamReplayTest, StreamedGeneratorMatchesProcessLoop)
     EXPECT_EQ(got.format(), want.format());
 }
 
+TEST_F(StreamReplayTest, PrefetchIsByteIdenticalAcrossBatchSizes)
+{
+    // Decode-ahead prefetch (trace/prefetch.hh) must be invisible:
+    // under both event engines, every batch size — including a
+    // degenerate one-record batch that maximizes producer/consumer
+    // interleaving — must match the inline pull (prefetchBatch = 0)
+    // and the materialized replay byte for byte.
+    const ExternalTraceConfig tcfg = writeGeneratedCsv(8'000, 24);
+    const ScannedTrace scan = scanExternalTrace(tcfg);
+    ASSERT_GT(scan.records, 0u);
+
+    for (const char *engine : {"serial", "epoch"}) {
+        ExperimentOptions opts;
+        opts.poolCapacity = 2'000;
+        opts.queueDepth = 8;
+        opts.engine = engine;
+        const std::string want = runSystemOnScannedTrace(
+            scan, SystemKind::MqDvp, opts, /*streamed=*/false)
+                .toStatSet().format();
+        for (const std::uint64_t batch : {0, 1, 7, 4096}) {
+            opts.prefetchBatch = batch;
+            const std::string got = runSystemOnScannedTrace(
+                scan, SystemKind::MqDvp, opts, /*streamed=*/true)
+                    .toStatSet().format();
+            EXPECT_EQ(got, want)
+                << "engine=" << engine << " batch=" << batch;
+        }
+    }
+}
+
 TEST_F(StreamReplayTest, VersionRecurrenceRevivesZombies)
 {
     // Overwrite -> rewrite of the same (LBA, version) must flow all
@@ -178,6 +209,32 @@ TEST_F(StreamReplayTest, StreamedHeapScalesWithFootprintNotRecords)
     const std::uint64_t large = replayAllocs(40'000);
     EXPECT_LT(large, small + small / 2 + 256)
         << "streamed replay allocated per-record state: " << small
+        << " allocs at 5k records vs " << large << " at 40k";
+}
+
+TEST_F(StreamReplayTest, PrefetchedHeapScalesWithFootprintNotRecords)
+{
+    // Same invariant with the decode-ahead thread in the loop: the
+    // ring recycles batch buffers through its swap hand-off, so past
+    // warm-up neither side of the pipe allocates per record. The
+    // process-wide counter sees the producer thread too, so a leaky
+    // ring (fresh vector per batch) would scale with record count.
+    const auto replayAllocs = [this](std::uint64_t records) {
+        const ExternalTraceConfig tcfg = writeChurnCsv(records, 512);
+        const ScannedTrace scan = scanExternalTrace(tcfg);
+        SsdConfig cfg = SsdConfig::forFootprint(scan.footprintPages,
+                                                SystemKind::Baseline);
+        const std::uint64_t before = heapAllocCount();
+        Ssd ssd(cfg);
+        const auto src = maybePrefetch(scan.factory(), 1024);
+        ssd.run(*src);
+        return heapAllocCount() - before;
+    };
+
+    const std::uint64_t small = replayAllocs(5'000);
+    const std::uint64_t large = replayAllocs(40'000);
+    EXPECT_LT(large, small + small / 2 + 256)
+        << "prefetched replay allocated per-record state: " << small
         << " allocs at 5k records vs " << large << " at 40k";
 }
 

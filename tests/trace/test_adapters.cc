@@ -250,5 +250,129 @@ TEST_F(TraceAdaptersTest, FactoryRebuildsIdenticalStreams)
     }
 }
 
+class DeviceTenantsTest : public TraceAdaptersTest
+{
+  protected:
+    ExternalTraceConfig
+    msrConfig()
+    {
+        ExternalTraceConfig cfg;
+        cfg.path = tempPath();
+        cfg.format = ExternalFormat::MsrCsv;
+        cfg.deviceTenants = true;
+        return cfg;
+    }
+
+    /** "ts,host,disk,type,offset,size,rt" rows for three disks. */
+    void
+    writeThreeDiskMsr()
+    {
+        std::string text;
+        for (int i = 0; i < 60; ++i) {
+            const int disk = (i % 3 == 0) ? 4 : (i % 3); // 4,1,2,...
+            text += std::to_string(128166372003061629ULL + i * 100) +
+                    ",srv0," + std::to_string(disk) +
+                    (i % 4 == 1 ? ",Read," : ",Write,") +
+                    std::to_string(((i * 13) % 20) * 4096) +
+                    ",4096,100\n";
+        }
+        writeCsv(text);
+    }
+};
+
+TEST_F(DeviceTenantsTest, DevicesMapToDisjointNamespaces)
+{
+    writeThreeDiskMsr();
+    const ScannedTrace scan = scanExternalTrace(msrConfig());
+    ASSERT_EQ(scan.tenantPages.size(), 3u);
+
+    // Namespace bases are the prefix sums of tenantPages; every
+    // record of tenant t must fall inside [base[t], base[t] +
+    // tenantPages[t]) and nowhere else — per-tenant record
+    // disjointness down to the LPN ranges.
+    std::vector<Lpn> base(scan.tenantPages.size(), 0);
+    for (std::size_t t = 1; t < base.size(); ++t)
+        base[t] = base[t - 1] + scan.tenantPages[t - 1];
+
+    auto src = scan.factory();
+    const auto records = drainSource(*src);
+    ASSERT_EQ(records.size(), scan.records);
+    std::vector<std::uint64_t> seen(scan.tenantPages.size(), 0);
+    for (const auto &rec : records) {
+        ASSERT_LT(rec.tenant, scan.tenantPages.size());
+        EXPECT_GE(rec.lpn, base[rec.tenant]);
+        EXPECT_LT(rec.lpn,
+                  base[rec.tenant] + scan.tenantPages[rec.tenant]);
+        ++seen[rec.tenant];
+    }
+    for (const std::uint64_t count : seen)
+        EXPECT_GT(count, 0u); // all three devices produced records
+    EXPECT_EQ(scan.footprintPages,
+              base.back() + scan.tenantPages.back());
+}
+
+TEST_F(DeviceTenantsTest, TenantsGetFirstAppearanceIds)
+{
+    // Disk numbers 4, 1, 2 appear in that order; dense tenant ids
+    // follow appearance, not the numeric disk id.
+    writeThreeDiskMsr();
+    const ScannedTrace scan = scanExternalTrace(msrConfig());
+    auto src = scan.factory();
+    TraceRecord rec;
+    ASSERT_TRUE(src->next(rec)); // disk 4
+    EXPECT_EQ(rec.tenant, 0u);
+    ASSERT_TRUE(src->next(rec)); // disk 1
+    EXPECT_EQ(rec.tenant, 1u);
+    ASSERT_TRUE(src->next(rec)); // disk 2
+    EXPECT_EQ(rec.tenant, 2u);
+}
+
+TEST_F(DeviceTenantsTest, PerTenantContentStaysDisjoint)
+{
+    // Two disks writing the same offsets with the same versions
+    // must synthesize different content — tenant-salted ids.
+    writeCsv("128166372003061629,srv0,0,Write,4096,4096,100\n"
+             "128166372003061630,srv0,1,Write,4096,4096,100\n");
+    const ScannedTrace scan = scanExternalTrace(msrConfig());
+    auto src = scan.factory();
+    TraceRecord a, b;
+    ASSERT_TRUE(src->next(a));
+    ASSERT_TRUE(src->next(b));
+    EXPECT_NE(a.fp, b.fp);
+    EXPECT_NE(a.lpn, b.lpn);
+}
+
+TEST_F(DeviceTenantsTest, SingleDeviceKeepsHistoricalStream)
+{
+    // One disk: routing on must be a no-op (tenant 0, no
+    // tenantPages, identical records to routing off).
+    writeCsv("128166372003061629,srv0,3,Write,8192,8192,100\n"
+             "128166372003061729,srv0,3,Read,8192,4096,80\n");
+    ExternalTraceConfig off = msrConfig();
+    off.deviceTenants = false;
+    const ScannedTrace with = scanExternalTrace(msrConfig());
+    const ScannedTrace without = scanExternalTrace(off);
+    EXPECT_TRUE(with.tenantPages.empty());
+    auto sa = with.factory();
+    auto sb = without.factory();
+    const auto ra = drainSource(*sa);
+    const auto rb = drainSource(*sb);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].lpn, rb[i].lpn);
+        EXPECT_EQ(ra[i].fp, rb[i].fp);
+        EXPECT_EQ(ra[i].tenant, rb[i].tenant);
+    }
+}
+
+TEST_F(DeviceTenantsTest, RoutingWithoutCompactionIsFatal)
+{
+    writeCsv("128166372003061629,srv0,0,Write,8192,4096,100\n");
+    ExternalTraceConfig cfg = msrConfig();
+    cfg.compact = false;
+    EXPECT_EXIT((void)scanExternalTrace(cfg),
+                testing::ExitedWithCode(1), "compaction");
+}
+
 } // namespace
 } // namespace zombie

@@ -133,6 +133,59 @@ TEST_F(TraceFormatsTest, MsrCsvParsesBytesAndSkipsHeader)
     EXPECT_FALSE(records[1].write);
 }
 
+TEST_F(TraceFormatsTest, CrlfLinesParseIdenticallyToUnix)
+{
+    // MSR CSVs ship with Windows line endings; the reader must
+    // strip the trailing \r instead of folding it into the last
+    // column (which used to make ResponseTime unparseable).
+    writeFile("Timestamp,Hostname,DiskNumber,Type,Offset,Size,"
+              "ResponseTime\r\n"
+              "128166372003061629,srv0,2,Write,8192,4096,100\r\n"
+              "128166372003061729,srv0,2,Read,16384,8192,80\r\n");
+    MsrCsvSource src(tempPath());
+    const auto records = drainRaw(src);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_TRUE(records[0].write);
+    EXPECT_EQ(records[0].device, 2u);
+    EXPECT_EQ(records[0].length, 4096u);
+    EXPECT_EQ(records[1].arrival, 10000u);
+}
+
+TEST_F(TraceFormatsTest, CrlfGenericCsvAndMissingFinalNewline)
+{
+    writeFile("lba,size,op,ts\r\n"
+              "7,4096,W,0\r\n"
+              "9,8192,R,1500"); // no terminator on the last line
+    GenericCsvSource src(tempPath());
+    const auto records = drainRaw(src);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].offset, 7u * kPageSize);
+    EXPECT_EQ(records[1].length, 8192u);
+    EXPECT_EQ(records[1].arrival, 1500u);
+}
+
+TEST_F(TraceFormatsTest, MsrCsvCapturesDiskNumber)
+{
+    writeFile("128166372003061629,srv0,0,Write,8192,4096,100\n"
+              "128166372003061630,srv0,5,Write,8192,4096,100\n"
+              "128166372003061631,srv0,0,Read,8192,4096,100\n");
+    MsrCsvSource src(tempPath());
+    const auto records = drainRaw(src);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].device, 0u);
+    EXPECT_EQ(records[1].device, 5u);
+    EXPECT_EQ(records[2].device, 0u);
+}
+
+TEST_F(TraceFormatsTest, SingleDeviceFormatsReportDeviceZero)
+{
+    writeFile("7,4096,W,0\n");
+    GenericCsvSource src(tempPath());
+    const auto records = drainRaw(src);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].device, 0u);
+}
+
 TEST_F(TraceFormatsTest, MsrCsvRejectsWrongColumnCount)
 {
     writeFile("128166372003061629,srv0,0,Write,8192\n");
